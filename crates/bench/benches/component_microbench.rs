@@ -1,0 +1,100 @@
+//! Microbenchmarks of the simulator's components: return-address-stack
+//! operations under each repair policy, predictor lookups, BTB and cache
+//! accesses, and whole-core cycle throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hydra_bpred::{Btb, BtbConfig, HybridConfig, HybridPredictor};
+use hydra_isa::Addr;
+use hydra_mem::{Cache, CacheConfig};
+use hydra_pipeline::{Core, CoreConfig};
+use hydra_workloads::{Workload, WorkloadSpec};
+use ras_core::{RepairPolicy, ReturnAddressStack};
+use std::hint::black_box;
+
+fn ras_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ras");
+    g.bench_function("push_pop", |b| {
+        let mut s = ReturnAddressStack::new(32);
+        b.iter(|| {
+            s.push(black_box(0x40));
+            black_box(s.pop())
+        })
+    });
+    for policy in [
+        RepairPolicy::TosPointer,
+        RepairPolicy::TosPointerAndContents,
+        RepairPolicy::TopContents { k: 4 },
+        RepairPolicy::FullStack,
+    ] {
+        g.bench_function(format!("checkpoint_restore/{policy}"), |b| {
+            let mut s = ReturnAddressStack::new(32);
+            for i in 0..16 {
+                s.push(i);
+            }
+            b.iter(|| {
+                let ckpt = s.checkpoint(black_box(policy));
+                s.pop();
+                s.push(0xbad);
+                s.restore(&ckpt);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn predictor_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.bench_function("hybrid_predict_train", |b| {
+        let mut p = HybridPredictor::new(HybridConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = Addr::new(i % 509);
+            let pred = p.predict(pc);
+            p.update(pc, &pred, i.is_multiple_of(3));
+            i += 1;
+        })
+    });
+    g.bench_function("btb_lookup_update", |b| {
+        let mut btb = Btb::new(BtbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = Addr::new(i % 1021);
+            black_box(btb.lookup(pc));
+            btb.update(pc, Addr::new(i));
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn cache_ops(c: &mut Criterion) {
+    c.bench_function("cache/access_stride", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            sets: 128,
+            ways: 2,
+            line_words: 16,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(cache.access(i * 7 % 65536));
+            i += 1;
+        })
+    });
+}
+
+fn core_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.sample_size(10);
+    let w = Workload::generate(&WorkloadSpec::test_small(), 3).unwrap();
+    g.bench_function("simulate_20k_commits", |b| {
+        b.iter_batched(
+            || Core::new(CoreConfig::baseline(), w.program()),
+            |mut core| core.run(20_000),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ras_ops, predictor_ops, cache_ops, core_throughput);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for the analytical trace-model ablation: prints the
+//! artifact, then times trace generation + replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::expt_fig_analytical;
+use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", expt_fig_analytical());
+
+    let trace = SyntheticTrace::builder().events(20_000).seed(3).generate();
+    c.bench_function("fig_analytical/replay_20k_events", |b| {
+        b.iter(|| {
+            let mut r = TraceReplayer::new(32, RepairPolicy::TosPointerAndContents);
+            r.replay(&trace);
+            r.outcome()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for the multipath figure: prints the reproduced artifact at reduced
+//! size, then times a representative simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hydra_bench::{expt_fig_multipath, run_one, suite, RunSpec};
+use hydra_pipeline::CoreConfig;
+
+fn bench(c: &mut Criterion) {
+    let rs = RunSpec::quick();
+    println!("{}", expt_fig_multipath(&rs));
+
+    let w = &suite(&rs)[1]; // m88ksim: the fastest-running benchmark
+    let kernel = RunSpec {
+        seed: rs.seed,
+        warmup: 2_000,
+        measure: 10_000,
+    };
+    let mut g = c.benchmark_group("fig_multipath");
+    g.sample_size(10);
+    g.bench_function("m88ksim_10k_baseline", |b| {
+        b.iter(|| run_one(w, CoreConfig::baseline(), &kernel))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

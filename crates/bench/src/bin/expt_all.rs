@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in one run (the EXPERIMENTS.md
+//! data). `HYDRA_EXPT_MODE=quick` shrinks the simulation windows.
+
+fn main() {
+    let rs = hydra_bench::RunSpec::from_env();
+    let t0 = std::time::Instant::now();
+    println!("{}", hydra_bench::expt_table1());
+    println!("{}", hydra_bench::expt_table2(&rs));
+    println!("{}", hydra_bench::expt_table4(&rs));
+    println!("{}", hydra_bench::expt_fig_repair(&rs));
+    println!("{}", hydra_bench::expt_fig_speedup(&rs));
+    println!("{}", hydra_bench::expt_fig_depth(&rs));
+    println!("{}", hydra_bench::expt_fig_budget(&rs));
+    println!("{}", hydra_bench::expt_fig_multipath(&rs));
+    println!("{}", hydra_bench::expt_fig_topk(&rs));
+    println!("{}", hydra_bench::expt_fig_analytical());
+    println!("{}", hydra_bench::expt_fig_frontend(&rs));
+    println!("{}", hydra_bench::expt_fig_jourdan(&rs));
+    eprintln!("total wall time: {:?}", t0.elapsed());
+}

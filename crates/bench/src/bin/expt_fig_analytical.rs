@@ -1,0 +1,6 @@
+//! Regenerates one evaluation artifact; see the crate docs of
+//! `hydra-bench` for sizing control (`HYDRA_EXPT_MODE=quick`).
+
+fn main() {
+    println!("{}", hydra_bench::expt_fig_analytical());
+}

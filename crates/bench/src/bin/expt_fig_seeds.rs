@@ -1,0 +1,7 @@
+//! Regenerates the multi-seed robustness table; see the crate docs of
+//! `hydra-bench` for sizing control (`HYDRA_EXPT_MODE=quick`).
+
+fn main() {
+    let rs = hydra_bench::RunSpec::from_env();
+    println!("{}", hydra_bench::expt_fig_seeds(&rs, &[12345, 777, 31337]));
+}

@@ -1,0 +1,7 @@
+//! Regenerates one evaluation artifact; see the crate docs of
+//! `hydra-bench` for sizing control (`HYDRA_EXPT_MODE=quick`).
+
+fn main() {
+    let rs = hydra_bench::RunSpec::from_env();
+    println!("{}", hydra_bench::expt_fig_topk(&rs));
+}

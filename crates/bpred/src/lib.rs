@@ -1,0 +1,50 @@
+//! Branch-prediction substrate for the HydraScalar reproduction.
+//!
+//! Implements the front-end prediction structures of the paper's baseline
+//! machine (Table 1, modeled loosely on the Alpha 21264):
+//!
+//! * [`HybridPredictor`] — a McFarling-style two-component hybrid
+//!   combining a 4K-entry GAg (global-history) predictor with a
+//!   1K × 10-bit PAg (local-history) predictor, arbitrated by a 4K-entry
+//!   chooser indexed by global history;
+//! * [`Btb`] — a decoupled branch target buffer that only allocates
+//!   entries for taken branches (Calder & Grunwald);
+//! * [`ConfidenceEstimator`] — a JRS-style miss-distance-counter table
+//!   used by the multipath core to decide *which* branches to fork;
+//! * [`SaturatingCounter`] — the n-bit counter primitive all of the above
+//!   are built from.
+//!
+//! Direction-predictor and BTB state are updated at commit (as in
+//! SimpleScalar), so wrong-path branches never pollute them; the
+//! return-address stack (crate `ras-core`) is the one front-end structure
+//! that *must* be updated speculatively at fetch, which is exactly why it
+//! needs repair.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_bpred::{HybridConfig, HybridPredictor};
+//! use hydra_isa::Addr;
+//!
+//! let mut p = HybridPredictor::new(HybridConfig::default());
+//! let pc = Addr::new(100);
+//! // Train: this branch is always taken.
+//! for _ in 0..32 {
+//!     let pred = p.predict(pc);
+//!     p.update(pc, &pred, true);
+//! }
+//! assert!(p.predict(pc).taken);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod confidence;
+mod counter;
+mod hybrid;
+
+pub use btb::{Btb, BtbConfig};
+pub use confidence::{ConfidenceConfig, ConfidenceEstimator};
+pub use counter::SaturatingCounter;
+pub use hybrid::{DirectionPrediction, HybridConfig, HybridPredictor};

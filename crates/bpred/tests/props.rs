@@ -1,0 +1,112 @@
+//! Property-based tests for the branch-prediction structures.
+
+use hydra_bpred::{
+    Btb, BtbConfig, ConfidenceConfig, ConfidenceEstimator, HybridConfig, HybridPredictor,
+    SaturatingCounter,
+};
+use hydra_isa::Addr;
+use proptest::prelude::*;
+
+proptest! {
+    /// A saturating counter never leaves its range under any op sequence.
+    #[test]
+    fn counter_stays_in_range(bits in 1u32..9, ops in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits, 0);
+        for up in ops {
+            c.train(up);
+            prop_assert!(c.value() <= c.max());
+        }
+    }
+
+    /// `is_high` flips exactly at the midpoint.
+    #[test]
+    fn counter_high_threshold(bits in 1u32..9) {
+        let max = ((1u16 << bits) - 1) as u8;
+        for v in 0..=max {
+            let c = SaturatingCounter::new(bits, v);
+            prop_assert_eq!(c.is_high(), u16::from(v) * 2 > u16::from(max));
+        }
+    }
+
+    /// Training any branch on a constant outcome converges: after enough
+    /// updates, the hybrid predicts that outcome.
+    #[test]
+    fn hybrid_converges_on_biased_branch(pc in 0u64..10_000, outcome in any::<bool>()) {
+        let mut p = HybridPredictor::new(HybridConfig::default());
+        let pc = Addr::new(pc);
+        for _ in 0..32 {
+            let pred = p.predict(pc);
+            p.update(pc, &pred, outcome);
+        }
+        prop_assert_eq!(p.predict(pc).taken, outcome);
+    }
+
+    /// Prediction is pure: repeated predicts without updates agree.
+    #[test]
+    fn prediction_is_pure(pc in 0u64..10_000, history in any::<u64>()) {
+        let p = HybridPredictor::new(HybridConfig::default());
+        let pc = Addr::new(pc);
+        let a = p.predict_with_history(pc, history);
+        let b = p.predict_with_history(pc, history);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A BTB update is immediately visible, and a set never holds more
+    /// entries than its associativity.
+    #[test]
+    fn btb_update_then_hit(
+        pcs in prop::collection::vec(0u64..4096, 1..100),
+        ways in 1usize..8,
+    ) {
+        let mut btb = Btb::new(BtbConfig { sets: 16, ways });
+        for (i, &pc) in pcs.iter().enumerate() {
+            let target = Addr::new(i as u64 + 1);
+            btb.update(Addr::new(pc), target);
+            prop_assert_eq!(btb.peek(Addr::new(pc)), Some(target));
+        }
+        // Thrash one set with more distinct tags than ways: the most
+        // recent update always survives.
+        let set_stride = 16u64;
+        for i in 0..(ways as u64 + 3) {
+            btb.update(Addr::new(i * set_stride), Addr::new(7777 + i));
+        }
+        let last = (ways as u64 + 2) * set_stride;
+        prop_assert_eq!(btb.peek(Addr::new(last)), Some(Addr::new(7777 + ways as u64 + 2)));
+    }
+
+    /// The confidence estimator is never confident immediately after a
+    /// miss, and becomes confident after `threshold` consecutive hits.
+    #[test]
+    fn confidence_reset_and_build(pc in 0u64..100_000, threshold in 1u8..15) {
+        let mut ce = ConfidenceEstimator::new(ConfidenceConfig {
+            entries: 256,
+            counter_bits: 4,
+            threshold,
+        });
+        let pc = Addr::new(pc);
+        for _ in 0..threshold {
+            ce.update(pc, true);
+        }
+        prop_assert!(ce.is_confident(pc));
+        ce.update(pc, false);
+        prop_assert!(!ce.is_confident(pc));
+    }
+
+    /// Local (PAg) history learns any short periodic pattern closely.
+    #[test]
+    fn hybrid_learns_short_periods(period in 2usize..6, pc in 0u64..1000) {
+        let mut p = HybridPredictor::new(HybridConfig::default());
+        let pc = Addr::new(pc);
+        let mut correct = 0u32;
+        let total = 600u32;
+        for i in 0..total {
+            let outcome = (i as usize).is_multiple_of(period);
+            let pred = p.predict(pc);
+            if pred.taken == outcome && i > 100 {
+                correct += 1;
+            }
+            p.update(pc, &pred, outcome);
+        }
+        prop_assert!(correct * 100 / (total - 101) > 85, "{correct}/{}", total - 101);
+    }
+}

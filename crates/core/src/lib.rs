@@ -1,0 +1,84 @@
+//! Return-address-stack repair mechanisms.
+//!
+//! This crate is the primary contribution of *"Improving Prediction for
+//! Procedure Returns with Return-Address-Stack Repair Mechanisms"*
+//! (Skadron, Ahuja, Martonosi, Clark — MICRO-31, 1998), implemented as a
+//! standalone library.
+//!
+//! # Background
+//!
+//! A return-address stack (RAS) predicts the target of procedure returns:
+//! each call pushes its return address at fetch, each return pops the
+//! predicted target at fetch. Because updates happen *speculatively* at
+//! fetch, instructions on a mispredicted path push and pop the stack too —
+//! and when that path is squashed, the stack is left corrupted. The paper
+//! evaluates mechanisms that repair this corruption:
+//!
+//! * [`RepairPolicy::None`] — no repair; corruption persists (baseline).
+//! * [`RepairPolicy::TosPointer`] — save/restore only the top-of-stack
+//!   pointer per predicted branch (the Cyrix-patent mechanism). Repairs
+//!   pops, but entries *overwritten* by wrong-path pushes stay corrupt.
+//! * [`RepairPolicy::TosPointerAndContents`] — the paper's proposal: also
+//!   save the top-of-stack *contents*. Nearly all single-branch corruption
+//!   is repaired; hit rates approach 100%.
+//! * [`RepairPolicy::TopContents`] — generalization saving the top *k*
+//!   entries (the paper's data for "how much is enough").
+//! * [`RepairPolicy::FullStack`] — checkpoint the whole stack per branch;
+//!   the upper limit of this style of repair.
+//! * [`RepairPolicy::ValidBits`] — the Pentium MMX/II-style mechanism:
+//!   the TOS pointer is restored with the branch's shadow fetch state,
+//!   and per-entry tags *detect* slots the wrong path overwrote; those
+//!   yield no prediction (the front end falls back to its BTB) rather
+//!   than a bogus wrong-path target, but the lost contents cannot be
+//!   recovered.
+//!
+//! For multipath processors the paper shows a unified stack is corrupted
+//! by contention between simultaneously-live paths even with full
+//! checkpointing, and that per-path stacks ([`MultipathStackPolicy`])
+//! eliminate the problem.
+//!
+//! The stack itself ([`ReturnAddressStack`]) is modeled exactly like the
+//! hardware structure: a circular buffer that silently wraps on overflow
+//! and underflow (as on the Alpha 21164), with saturating depth tracking
+//! used only for statistics.
+//!
+//! # Examples
+//!
+//! Repairing corruption from a squashed wrong path:
+//!
+//! ```
+//! use ras_core::{RepairPolicy, ReturnAddressStack};
+//!
+//! let mut ras = ReturnAddressStack::new(8);
+//! ras.push(0x40); // correct-path call
+//!
+//! // A branch is predicted; checkpoint per the paper's mechanism.
+//! let ckpt = ras.checkpoint(RepairPolicy::TosPointerAndContents);
+//!
+//! // Wrong path executes: pops the good entry, pushes garbage.
+//! ras.pop();
+//! ras.push(0xdead);
+//!
+//! // Branch resolves as mispredicted: repair.
+//! ras.restore(&ckpt);
+//! assert_eq!(ras.peek(), Some(0x40));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod jourdan;
+mod multipath;
+mod repair;
+mod stack;
+mod synth;
+mod trace;
+
+pub use budget::CheckpointBudget;
+pub use jourdan::{LinkCheckpoint, SelfCheckpointingStack};
+pub use multipath::MultipathStackPolicy;
+pub use repair::{RasCheckpoint, RepairPolicy};
+pub use stack::{RasStats, ReturnAddressStack};
+pub use synth::SyntheticTrace;
+pub use trace::{TraceEvent, TraceOutcome, TraceReplayer};

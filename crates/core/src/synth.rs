@@ -1,0 +1,347 @@
+//! Synthetic speculation-trace generation.
+//!
+//! [`TraceReplayer`](crate::TraceReplayer) evaluates repair policies on a
+//! fetch-order event trace. This module *generates* such traces from a
+//! small parametric model — call depth, call density, misprediction rate,
+//! wrong-path length and wrong-path call/return activity — so repair
+//! policies can be compared analytically in microseconds, without the
+//! cycle-level pipeline.
+//!
+//! The model captures the paper's core mechanics: the correct path keeps
+//! a perfectly nested call structure (so a perfect stack would always
+//! hit), while each misprediction splices in a burst of wrong-path pushes
+//! and pops that are later squashed. What a policy loses on such bursts
+//! is exactly what it loses in the full simulator, minus timing effects.
+//!
+//! # Examples
+//!
+//! ```
+//! use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
+//!
+//! let trace = SyntheticTrace::builder()
+//!     .events(20_000)
+//!     .mispredict_rate(0.1)
+//!     .seed(7)
+//!     .generate();
+//!
+//! let mut none = TraceReplayer::new(32, RepairPolicy::None);
+//! let mut repaired = TraceReplayer::new(32, RepairPolicy::TosPointerAndContents);
+//! none.replay(&trace);
+//! repaired.replay(&trace);
+//! assert!(repaired.outcome().hit_rate() >= none.outcome().hit_rate());
+//! ```
+
+use crate::TraceEvent;
+
+/// A tiny deterministic xorshift64* generator so this crate stays
+/// dependency-free.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Builder for synthetic speculation traces.
+///
+/// Defaults model a call-intensive integer program on a machine with a
+/// ~5% branch misprediction rate. All knobs are per-event probabilities
+/// or bounds; generation is deterministic in the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTrace {
+    events: usize,
+    call_density: f64,
+    branch_density: f64,
+    mispredict_rate: f64,
+    wrong_path_len: (usize, usize),
+    wrong_path_call_density: f64,
+    max_depth: usize,
+    seed: u64,
+}
+
+impl SyntheticTrace {
+    /// Starts a builder with the default model.
+    pub fn builder() -> SyntheticTrace {
+        SyntheticTrace {
+            events: 10_000,
+            call_density: 0.04,
+            branch_density: 0.15,
+            mispredict_rate: 0.05,
+            wrong_path_len: (4, 40),
+            wrong_path_call_density: 0.08,
+            max_depth: 24,
+            seed: 1,
+        }
+    }
+
+    /// Number of correct-path event slots to generate.
+    pub fn events(mut self, n: usize) -> Self {
+        self.events = n;
+        self
+    }
+
+    /// Probability an event slot is a call (matched by a later return).
+    pub fn call_density(mut self, p: f64) -> Self {
+        self.call_density = p;
+        self
+    }
+
+    /// Probability an event slot is a conditional branch.
+    pub fn branch_density(mut self, p: f64) -> Self {
+        self.branch_density = p;
+        self
+    }
+
+    /// Probability a branch mispredicts (and spawns a wrong path).
+    pub fn mispredict_rate(mut self, p: f64) -> Self {
+        self.mispredict_rate = p;
+        self
+    }
+
+    /// Bounds on wrong-path length, in event slots.
+    pub fn wrong_path_len(mut self, lo: usize, hi: usize) -> Self {
+        self.wrong_path_len = (lo, hi);
+        self
+    }
+
+    /// Probability a wrong-path slot is a call or return (each half).
+    pub fn wrong_path_call_density(mut self, p: f64) -> Self {
+        self.wrong_path_call_density = p;
+        self
+    }
+
+    /// Maximum correct-path call nesting.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d.max(1);
+        self
+    }
+
+    /// Generation seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// The returned events satisfy the correct-path invariant: every
+    /// `Return`'s `actual_target` matches its dynamically-enclosing
+    /// `Call`, so a perfect stack scores 100%.
+    pub fn generate(&self) -> Vec<TraceEvent> {
+        let mut rng = XorShift::new(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut out = Vec::with_capacity(self.events);
+        let mut shadow: Vec<u64> = Vec::new();
+        let mut next_addr: u64 = 0x1000;
+        let mut next_ckpt: u64 = 0;
+
+        for _ in 0..self.events {
+            let roll = rng.next_f64();
+            if roll < self.call_density && shadow.len() < self.max_depth {
+                next_addr += 4;
+                shadow.push(next_addr);
+                out.push(TraceEvent::Call {
+                    return_addr: next_addr,
+                });
+            } else if roll < self.call_density * 2.0 && !shadow.is_empty() {
+                let actual_target = shadow.pop().expect("checked non-empty");
+                out.push(TraceEvent::Return { actual_target });
+            } else if roll < self.call_density * 2.0 + self.branch_density {
+                let id = next_ckpt;
+                next_ckpt += 1;
+                out.push(TraceEvent::Predict { id });
+                if rng.next_f64() < self.mispredict_rate {
+                    // Wrong path: bounded burst of calls and returns that
+                    // will be squashed by the restore.
+                    let len = rng.range(self.wrong_path_len.0, self.wrong_path_len.1);
+                    let mut wrong_depth = 0usize;
+                    for _ in 0..len {
+                        let r = rng.next_f64();
+                        if r < self.wrong_path_call_density {
+                            next_addr += 4;
+                            out.push(TraceEvent::Call {
+                                return_addr: 0xdead_0000 + next_addr,
+                            });
+                            wrong_depth += 1;
+                        } else if r < self.wrong_path_call_density * 2.0
+                            && (wrong_depth > 0 || !shadow.is_empty())
+                        {
+                            // A wrong-path return pops whatever is there;
+                            // its "actual" target is never scored because
+                            // the event's prediction is squashed — but the
+                            // replayer scores every Return, so mark it
+                            // with a sentinel that cannot match.
+                            out.push(TraceEvent::Return {
+                                actual_target: u64::MAX,
+                            });
+                            wrong_depth = wrong_depth.saturating_sub(1);
+                        }
+                    }
+                    out.push(TraceEvent::ResolveWrong { id });
+                } else {
+                    out.push(TraceEvent::ResolveCorrect { id });
+                }
+            }
+            // Remaining probability mass: plain instructions (no event).
+        }
+        // Unwind the correct path so every call returns.
+        while let Some(actual_target) = shadow.pop() {
+            out.push(TraceEvent::Return { actual_target });
+        }
+        out
+    }
+
+    /// Counts the correct-path returns a generated trace will score
+    /// (wrong-path returns carry the `u64::MAX` sentinel).
+    pub fn correct_returns(trace: &[TraceEvent]) -> u64 {
+        trace
+            .iter()
+            .filter(
+                |e| matches!(e, TraceEvent::Return { actual_target } if *actual_target != u64::MAX),
+            )
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RepairPolicy, TraceReplayer};
+
+    fn default_trace(seed: u64) -> Vec<TraceEvent> {
+        SyntheticTrace::builder()
+            .events(30_000)
+            .seed(seed)
+            .generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(default_trace(5), default_trace(5));
+        assert_ne!(default_trace(5), default_trace(6));
+    }
+
+    #[test]
+    fn correct_path_is_perfectly_nested() {
+        // A huge stack with full repair must score 100% on the correct-
+        // path returns and miss only the wrong-path sentinels.
+        let trace = default_trace(5);
+        let mut r = TraceReplayer::new(4096, RepairPolicy::FullStack);
+        r.replay(&trace);
+        let expected = SyntheticTrace::correct_returns(&trace);
+        assert_eq!(r.outcome().hits, expected);
+    }
+
+    #[test]
+    fn policy_ladder_is_ordered_analytically() {
+        let trace = SyntheticTrace::builder()
+            .events(50_000)
+            .mispredict_rate(0.12)
+            .wrong_path_call_density(0.2)
+            .seed(9)
+            .generate();
+        let rate = |p| {
+            let mut r = TraceReplayer::new(32, p);
+            r.replay(&trace);
+            r.outcome().hit_rate()
+        };
+        let none = rate(RepairPolicy::None);
+        let ptr = rate(RepairPolicy::TosPointer);
+        let pc = rate(RepairPolicy::TosPointerAndContents);
+        let full = rate(RepairPolicy::FullStack);
+        assert!(none < ptr, "{none} vs {ptr}");
+        assert!(ptr < pc, "{ptr} vs {pc}");
+        assert!(pc <= full, "{pc} vs {full}");
+    }
+
+    #[test]
+    fn higher_mispredict_rate_hurts_unrepaired_stacks() {
+        let rate_at = |mr: f64| {
+            let trace = SyntheticTrace::builder()
+                .events(30_000)
+                .mispredict_rate(mr)
+                .seed(3)
+                .generate();
+            let mut r = TraceReplayer::new(32, RepairPolicy::None);
+            r.replay(&trace);
+            r.outcome().hit_rate()
+        };
+        assert!(rate_at(0.02) > rate_at(0.25));
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        let trace = SyntheticTrace::builder()
+            .events(10_000)
+            .call_density(0.4)
+            .max_depth(5)
+            .seed(2)
+            .generate();
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        for e in &trace {
+            match e {
+                TraceEvent::Call { return_addr } if *return_addr < 0xdead_0000 => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                TraceEvent::Return { actual_target } if *actual_target != u64::MAX => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "trace unwinds");
+        assert!(max_depth <= 5);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let t = SyntheticTrace::builder()
+            .events(7)
+            .call_density(0.5)
+            .branch_density(0.25)
+            .mispredict_rate(0.9)
+            .wrong_path_len(1, 2)
+            .wrong_path_call_density(0.3)
+            .max_depth(0)
+            .seed(11);
+        assert_eq!(t.events, 7);
+        assert_eq!(t.max_depth, 1, "clamped to at least one");
+        assert_eq!(t.seed, 11);
+        // Tiny trace generates without panicking.
+        let _ = t.generate();
+    }
+
+    #[test]
+    fn correct_returns_counts_sentinels_out() {
+        let trace = vec![
+            TraceEvent::Return { actual_target: 4 },
+            TraceEvent::Return {
+                actual_target: u64::MAX,
+            },
+        ];
+        assert_eq!(SyntheticTrace::correct_returns(&trace), 1);
+    }
+}

@@ -1,0 +1,578 @@
+//! Text assembly parsing.
+//!
+//! Parses the same syntax the [`Inst`] `Display` implementation prints,
+//! so disassembled programs round-trip. Useful for writing test kernels
+//! and debugging generated workloads by hand.
+//!
+//! ```text
+//! ; comment
+//! .data 16384          ; optional data-segment size (words)
+//! main:
+//!     li   r1, 5
+//! loop:
+//!     subi r1, r1, 1
+//!     bgt  r1, zero, loop
+//!     jal  leaf
+//!     halt
+//! leaf:
+//!     addi r2, r2, 1
+//!     ret
+//! ```
+//!
+//! Branch, jump and call targets may be labels or absolute byte
+//! addresses written as `0x..` (what the disassembler prints).
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_isa::{asm, Machine, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = asm::parse_program(
+//!     "li r1, 6\n\
+//!      muli r1, r1, 7\n\
+//!      halt\n",
+//! )?;
+//! let mut m = Machine::new(&program);
+//! m.run(10)?;
+//! assert_eq!(m.reg(Reg::R1), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Addr, AluOp, Cond, Inst, Program, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly parse error, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// A target that may be a label (resolved later) or an absolute address.
+#[derive(Debug, Clone)]
+enum Target {
+    Label(String),
+    Absolute(Addr),
+}
+
+/// An instruction with possibly unresolved targets.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Inst),
+    Branch {
+        cond: Cond,
+        rs: Reg,
+        rt: Reg,
+        target: Target,
+    },
+    Jump(Target),
+    Call(Target),
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    match s {
+        "zero" | "r0" => Ok(Reg::ZERO),
+        "ra" | "r31" => Ok(Reg::RA),
+        "sp" | "r29" => Ok(Reg::SP),
+        _ => {
+            let n: u8 = s
+                .strip_prefix('r')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| AsmError::new(line, format!("bad register `{s}`")))?;
+            if (n as usize) < Reg::COUNT {
+                Ok(Reg::gpr(n))
+            } else {
+                Err(AsmError::new(line, format!("register `{s}` out of range")))
+            }
+        }
+    }
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = match body.strip_prefix("0x") {
+        Some(hex) => i64::from_str_radix(hex, 16),
+        None => body.parse(),
+    }
+    .map_err(|_| AsmError::new(line, format!("bad immediate `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_target(s: &str, line: usize) -> Result<Target, AsmError> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        let byte = u64::from_str_radix(hex, 16)
+            .map_err(|_| AsmError::new(line, format!("bad address `{s}`")))?;
+        if byte % 4 != 0 {
+            return Err(AsmError::new(line, format!("unaligned address `{s}`")));
+        }
+        Ok(Target::Absolute(Addr::new(byte / 4)))
+    } else if s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.is_empty()
+    {
+        Ok(Target::Label(s.to_string()))
+    } else {
+        Err(AsmError::new(line, format!("bad target `{s}`")))
+    }
+}
+
+/// Parses `offset(base)` memory operands.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("bad memory operand `{s}`")))?;
+    let close = s
+        .strip_suffix(')')
+        .ok_or_else(|| AsmError::new(line, format!("bad memory operand `{s}`")))?;
+    let offset = parse_imm(&s[..open], line)?;
+    let base = parse_reg(&close[open + 1..], line)?;
+    Ok((offset, base))
+}
+
+fn alu_op(mnemonic: &str) -> Option<(AluOp, bool)> {
+    let (base, imm) = match mnemonic.strip_suffix('i') {
+        // `srli`/`slli`/`slti` keep a trailing l/t after stripping `i`.
+        Some(b) => (b, true),
+        None => (mnemonic, false),
+    };
+    let op = match base {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "slt" => AluOp::Slt,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn cond_op(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "ble" => Cond::Le,
+        "bgt" => Cond::Gt,
+        _ => None?,
+    })
+}
+
+/// Parses a program from assembly text.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, bad operands, duplicate or undefined labels, and
+/// empty programs.
+pub fn parse_program(source: &str) -> Result<Program, AsmError> {
+    let mut slots: Vec<(usize, Slot)> = Vec::new();
+    let mut labels: HashMap<String, Addr> = HashMap::new();
+    let mut data_words: u64 = 4096;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.split(';').next() {
+            Some(l) => l.trim(),
+            None => "",
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(AsmError::new(line_no, format!("bad label `{label}`")));
+            }
+            if labels
+                .insert(label.to_string(), Addr::new(slots.len() as u64))
+                .is_some()
+            {
+                return Err(AsmError::new(line_no, format!("duplicate label `{label}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(size) = rest.strip_prefix(".data") {
+            data_words = size
+                .trim()
+                .parse()
+                .map_err(|_| AsmError::new(line_no, "bad .data size"))?;
+            continue;
+        }
+
+        let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+            Some((m, o)) => (m, o),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = operands
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::new(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        let slot = match mnemonic {
+            "nop" => {
+                expect(0)?;
+                Slot::Ready(Inst::Nop)
+            }
+            "halt" => {
+                expect(0)?;
+                Slot::Ready(Inst::Halt)
+            }
+            "ret" => {
+                expect(0)?;
+                Slot::Ready(Inst::Return)
+            }
+            "li" => {
+                expect(2)?;
+                Slot::Ready(Inst::LoadImm {
+                    rd: parse_reg(ops[0], line_no)?,
+                    imm: parse_imm(ops[1], line_no)?,
+                })
+            }
+            "lw" => {
+                expect(2)?;
+                let (offset, base) = parse_mem_operand(ops[1], line_no)?;
+                Slot::Ready(Inst::Load {
+                    rd: parse_reg(ops[0], line_no)?,
+                    base,
+                    offset,
+                })
+            }
+            "sw" => {
+                expect(2)?;
+                let (offset, base) = parse_mem_operand(ops[1], line_no)?;
+                Slot::Ready(Inst::Store {
+                    rs: parse_reg(ops[0], line_no)?,
+                    base,
+                    offset,
+                })
+            }
+            "j" => {
+                expect(1)?;
+                Slot::Jump(parse_target(ops[0], line_no)?)
+            }
+            "jal" => {
+                expect(1)?;
+                Slot::Call(parse_target(ops[0], line_no)?)
+            }
+            "jalr" => {
+                expect(1)?;
+                Slot::Ready(Inst::CallIndirect {
+                    rs: parse_reg(ops[0], line_no)?,
+                })
+            }
+            "jr" => {
+                expect(1)?;
+                Slot::Ready(Inst::JumpIndirect {
+                    rs: parse_reg(ops[0], line_no)?,
+                })
+            }
+            m => {
+                if let Some(cond) = cond_op(m) {
+                    expect(3)?;
+                    Slot::Branch {
+                        cond,
+                        rs: parse_reg(ops[0], line_no)?,
+                        rt: parse_reg(ops[1], line_no)?,
+                        target: parse_target(ops[2], line_no)?,
+                    }
+                } else if let Some((op, imm)) = alu_op(m) {
+                    expect(3)?;
+                    let rd = parse_reg(ops[0], line_no)?;
+                    let rs = parse_reg(ops[1], line_no)?;
+                    if imm {
+                        Slot::Ready(Inst::AluImm {
+                            op,
+                            rd,
+                            rs,
+                            imm: parse_imm(ops[2], line_no)?,
+                        })
+                    } else {
+                        Slot::Ready(Inst::Alu {
+                            op,
+                            rd,
+                            rs,
+                            rt: parse_reg(ops[2], line_no)?,
+                        })
+                    }
+                } else {
+                    return Err(AsmError::new(line_no, format!("unknown mnemonic `{m}`")));
+                }
+            }
+        };
+        slots.push((line_no, slot));
+    }
+
+    if slots.is_empty() {
+        return Err(AsmError::new(0, "empty program"));
+    }
+
+    let resolve = |t: &Target, line: usize| -> Result<Addr, AsmError> {
+        match t {
+            Target::Absolute(a) => Ok(*a),
+            Target::Label(name) => labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::new(line, format!("undefined label `{name}`"))),
+        }
+    };
+    let mut instructions = Vec::with_capacity(slots.len());
+    for (line, slot) in slots {
+        instructions.push(match slot {
+            Slot::Ready(i) => i,
+            Slot::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target: resolve(&target, line)?,
+            },
+            Slot::Jump(t) => Inst::Jump {
+                target: resolve(&t, line)?,
+            },
+            Slot::Call(t) => Inst::Call {
+                target: resolve(&t, line)?,
+            },
+        });
+    }
+    Ok(Program::new(instructions, data_words))
+}
+
+/// Disassembles a program into text that [`parse_program`] accepts
+/// (absolute hex targets, one instruction per line).
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".data {}\n", program.data_words()));
+    for (_, inst) in program.iter() {
+        out.push_str(&inst.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    #[test]
+    fn parses_and_runs_countdown() {
+        let p = parse_program(
+            "    li r1, 5\n\
+             top: subi r1, r1, 1\n\
+             bgt r1, zero, top\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn parses_calls_and_memory() {
+        let p = parse_program(
+            "; a tiny program with a call and memory traffic\n\
+             .data 64\n\
+             main:\n\
+                 li sp, 0\n\
+                 li r2, 1234\n\
+                 sw r2, 5(sp)\n\
+                 lw r3, 5(sp)\n\
+                 jal leaf\n\
+                 halt\n\
+             leaf:\n\
+                 addi r4, r3, 1\n\
+                 ret\n",
+        )
+        .unwrap();
+        assert_eq!(p.data_words(), 64);
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::R3), 1234);
+        assert_eq!(m.reg(Reg::R4), 1235);
+    }
+
+    #[test]
+    fn absolute_targets_accepted() {
+        let p = parse_program("j 0x8\nnop\nhalt\n").unwrap();
+        assert_eq!(
+            p.fetch(Addr::ZERO),
+            Some(Inst::Jump {
+                target: Addr::new(2)
+            })
+        );
+    }
+
+    #[test]
+    fn named_registers() {
+        let p = parse_program("add sp, ra, zero\nhalt\n").unwrap();
+        assert_eq!(
+            p.fetch(Addr::ZERO),
+            Some(Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::SP,
+                rs: Reg::RA,
+                rt: Reg::ZERO
+            })
+        );
+    }
+
+    #[test]
+    fn error_cases_name_the_line() {
+        let cases = [
+            ("frobnicate r1, r2\nhalt\n", 1, "unknown mnemonic"),
+            ("nop\nli r99, 1\n", 2, "register"),
+            ("li r1\nhalt\n", 1, "expects 2 operands"),
+            ("beq r1, r2, nowhere\nhalt\n", 1, "undefined label"),
+            ("x: nop\nx: halt\n", 2, "duplicate label"),
+            ("j 0x3\nhalt\n", 1, "unaligned"),
+            ("lw r1, r2\nhalt\n", 1, "memory operand"),
+            ("li r1, banana\n", 1, "immediate"),
+        ];
+        for (src, line, needle) in cases {
+            let err = parse_program(src).unwrap_err();
+            assert_eq!(err.line(), line, "{src:?}");
+            assert!(err.to_string().contains(needle), "{err} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(parse_program("; nothing\n").is_err());
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = parse_program("li r1, -42\nli r2, 0x10\nhalt\n").unwrap();
+        assert_eq!(
+            p.fetch(Addr::ZERO),
+            Some(Inst::LoadImm {
+                rd: Reg::R1,
+                imm: -42
+            })
+        );
+        assert_eq!(
+            p.fetch(Addr::new(1)),
+            Some(Inst::LoadImm {
+                rd: Reg::R2,
+                imm: 16
+            })
+        );
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "li r1, 7\n\
+                   top: muli r1, r1, 3\n\
+                   slti r2, r1, 100\n\
+                   bne r2, zero, top\n\
+                   jal 0x18\n\
+                   halt\n\
+                   sll r3, r1, r2\n\
+                   ret\n";
+        let p = parse_program(src).unwrap();
+        let text = disassemble(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p, p2, "disassembly re-parses to the same program:\n{text}");
+    }
+
+    #[test]
+    fn all_mnemonics_round_trip() {
+        // One of everything, disassembled and re-parsed.
+        let mut b = crate::ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.bind(l).unwrap();
+        b.nop();
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Slt,
+        ] {
+            b.alu(op, Reg::R1, Reg::R2, Reg::R3);
+            b.alu_imm(op, Reg::R1, Reg::R2, -7);
+        }
+        b.load_imm(Reg::R4, 99);
+        b.load(Reg::R5, Reg::SP, 3);
+        b.store(Reg::R5, Reg::SP, -3);
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt] {
+            b.branch(cond, Reg::R1, Reg::ZERO, l);
+        }
+        b.jump(l);
+        b.call(l);
+        b.call_indirect(Reg::R6);
+        b.jump_indirect(Reg::R6);
+        b.ret();
+        b.halt();
+        let p = b.build().unwrap();
+        let p2 = parse_program(&disassemble(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+}

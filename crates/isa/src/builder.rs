@@ -1,0 +1,370 @@
+//! Label-based program assembly.
+
+use crate::{Addr, AluOp, Cond, Inst, Program, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// An opaque forward-referenceable code label.
+///
+/// Created with [`ProgramBuilder::fresh_label`] and bound to the current
+/// position with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors from [`ProgramBuilder::build`] and [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced by an instruction but never bound.
+    UnboundLabel(Label),
+    /// [`ProgramBuilder::bind`] was called twice for the same label.
+    LabelRebound(Label),
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(Label(n)) => write!(f, "label {n} was never bound"),
+            BuildError::LabelRebound(Label(n)) => write!(f, "label {n} bound more than once"),
+            BuildError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// Patch the `target` field of the control instruction at this index.
+    ControlTarget { index: usize, label: Label },
+    /// Patch the immediate of the `LoadImm` at this index to the label's
+    /// word address (for building call tables).
+    AddrImmediate { index: usize, label: Label },
+}
+
+/// An incremental assembler for [`Program`]s.
+///
+/// The builder is append-only: each emit method appends one instruction at
+/// the next address. Labels may be referenced before they are bound; all
+/// references are patched by [`ProgramBuilder::build`].
+///
+/// # Examples
+///
+/// A countdown loop:
+///
+/// ```
+/// use hydra_isa::{AluOp, Cond, Machine, ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::R1, 5);
+/// let top = b.fresh_label();
+/// b.bind(top)?;
+/// b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+/// b.branch(Cond::Gt, Reg::R1, Reg::ZERO, top);
+/// b.halt();
+/// let program = b.build()?;
+///
+/// let mut m = Machine::new(&program);
+/// m.run(1000)?;
+/// assert_eq!(m.reg(Reg::R1), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    bound: Vec<Option<Addr>>,
+    fixups: Vec<Fixup>,
+    data_words: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with a default 4096-word data segment.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            insts: Vec::new(),
+            bound: Vec::new(),
+            fixups: Vec::new(),
+            data_words: 4096,
+        }
+    }
+
+    /// Sets the data-segment size in words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn set_data_words(&mut self, words: u64) -> &mut Self {
+        assert!(words > 0, "data segment must be non-empty");
+        self.data_words = words;
+        self
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn here(&self) -> Addr {
+        Addr::new(self.insts.len() as u64)
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Creates a new, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::LabelRebound`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), BuildError> {
+        let slot = &mut self.bound[label.0];
+        if slot.is_some() {
+            return Err(BuildError::LabelRebound(label));
+        }
+        *slot = Some(Addr::new(self.insts.len() as u64));
+        Ok(())
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::Nop)
+    }
+
+    /// Emits a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// Emits `rd = rs op rt`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.emit(Inst::Alu { op, rd, rs, rt })
+    }
+
+    /// Emits `rd = rs op imm`.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::AluImm { op, rd, rs, imm })
+    }
+
+    /// Emits `rd = imm`.
+    pub fn load_imm(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst::LoadImm { rd, imm })
+    }
+
+    /// Emits `rd = <word address of label>`; used to build call tables for
+    /// indirect calls.
+    pub fn load_label_addr(&mut self, rd: Reg, label: Label) -> &mut Self {
+        self.fixups.push(Fixup::AddrImmediate {
+            index: self.insts.len(),
+            label,
+        });
+        self.emit(Inst::LoadImm { rd, imm: 0 })
+    }
+
+    /// Emits `rd = mem[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::Load { rd, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::Store { rs, base, offset })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> &mut Self {
+        self.fixups.push(Fixup::ControlTarget {
+            index: self.insts.len(),
+            label,
+        });
+        self.emit(Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target: Addr::ZERO,
+        })
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push(Fixup::ControlTarget {
+            index: self.insts.len(),
+            label,
+        });
+        self.emit(Inst::Jump { target: Addr::ZERO })
+    }
+
+    /// Emits a direct call to `label`.
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        self.fixups.push(Fixup::ControlTarget {
+            index: self.insts.len(),
+            label,
+        });
+        self.emit(Inst::Call { target: Addr::ZERO })
+    }
+
+    /// Emits an indirect call through `rs`.
+    pub fn call_indirect(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Inst::CallIndirect { rs })
+    }
+
+    /// Emits a non-return indirect jump through `rs`.
+    pub fn jump_indirect(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Inst::JumpIndirect { rs })
+    }
+
+    /// Emits a procedure return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Inst::Return)
+    }
+
+    /// Resolves all label references and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was
+    /// never bound, or [`BuildError::EmptyProgram`] for an empty builder.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if self.insts.is_empty() {
+            return Err(BuildError::EmptyProgram);
+        }
+        for fixup in &self.fixups {
+            match *fixup {
+                Fixup::ControlTarget { index, label } => {
+                    let addr = self.bound[label.0].ok_or(BuildError::UnboundLabel(label))?;
+                    match &mut self.insts[index] {
+                        Inst::Branch { target, .. }
+                        | Inst::Jump { target }
+                        | Inst::Call { target } => *target = addr,
+                        other => unreachable!("control fixup on non-control {other:?}"),
+                    }
+                }
+                Fixup::AddrImmediate { index, label } => {
+                    let addr = self.bound[label.0].ok_or(BuildError::UnboundLabel(label))?;
+                    match &mut self.insts[index] {
+                        Inst::LoadImm { imm, .. } => *imm = addr.word() as i64,
+                        other => unreachable!("immediate fixup on non-LoadImm {other:?}"),
+                    }
+                }
+            }
+        }
+        Ok(Program::new(self.insts, self.data_words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.fresh_label();
+        b.jump(fwd); // forward reference
+        b.nop();
+        b.bind(fwd).unwrap();
+        let back = b.fresh_label();
+        b.bind(back).unwrap();
+        b.branch(Cond::Eq, Reg::R1, Reg::R1, back); // backward reference
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.fetch(Addr::ZERO),
+            Some(Inst::Jump {
+                target: Addr::new(2)
+            })
+        );
+        match p.fetch(Addr::new(2)).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, Addr::new(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.call(l);
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel(Label(0))));
+    }
+
+    #[test]
+    fn rebinding_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.fresh_label();
+        b.bind(l).unwrap();
+        assert_eq!(b.bind(l), Err(BuildError::LabelRebound(Label(0))));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::EmptyProgram));
+    }
+
+    #[test]
+    fn load_label_addr_patches_immediate() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label();
+        b.load_label_addr(Reg::R2, f);
+        b.halt();
+        b.bind(f).unwrap();
+        b.ret();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.fetch(Addr::ZERO),
+            Some(Inst::LoadImm {
+                rd: Reg::R2,
+                imm: 2
+            })
+        );
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), Addr::ZERO);
+        assert!(b.is_empty());
+        b.nop().nop();
+        assert_eq!(b.here(), Addr::new(2));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn data_words_propagates() {
+        let mut b = ProgramBuilder::new();
+        b.set_data_words(77);
+        b.halt();
+        assert_eq!(b.build().unwrap().data_words(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_data_words_panics() {
+        ProgramBuilder::new().set_data_words(0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::UnboundLabel(Label(3)).to_string().contains('3'));
+        assert!(!BuildError::EmptyProgram.to_string().is_empty());
+        assert!(BuildError::LabelRebound(Label(1))
+            .to_string()
+            .contains("more than once"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Executable program images.
+
+use crate::{Addr, Inst};
+use serde::{Deserialize, Serialize};
+
+/// An executable program image: a flat word-addressed instruction memory
+/// plus the size of the data segment it expects.
+///
+/// Programs are immutable once built (see
+/// [`ProgramBuilder`](crate::ProgramBuilder)); the simulator fetches from
+/// the image by [`Addr`], including down mispredicted paths.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::{Addr, Inst, Program};
+///
+/// let p = Program::new(vec![Inst::Nop, Inst::Halt], 64);
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.fetch(Addr::new(1)), Some(Inst::Halt));
+/// assert_eq!(p.fetch(Addr::new(99)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instructions: Vec<Inst>,
+    data_words: u64,
+}
+
+impl Program {
+    /// Creates a program from an instruction list and a data-segment size
+    /// in words. Execution starts at [`Addr::ZERO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is empty or `data_words` is zero.
+    pub fn new(instructions: Vec<Inst>, data_words: u64) -> Self {
+        assert!(!instructions.is_empty(), "program must not be empty");
+        assert!(data_words > 0, "data segment must be non-empty");
+        Program {
+            instructions,
+            data_words,
+        }
+    }
+
+    /// Fetches the instruction at `addr`, or `None` past the image end.
+    ///
+    /// Wrong-path fetches past the end are possible in the simulator (a
+    /// corrupted return-address stack can produce wild targets); callers
+    /// treat `None` as a fetch of [`Inst::Nop`] that will be squashed.
+    pub fn fetch(&self, addr: Addr) -> Option<Inst> {
+        self.instructions.get(addr.word() as usize).copied()
+    }
+
+    /// Number of instructions in the image.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the image is empty (never true for a built program).
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Size of the data segment in words.
+    pub fn data_words(&self) -> u64 {
+        self.data_words
+    }
+
+    /// Iterates over `(address, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, Inst)> + '_ {
+        self.instructions
+            .iter()
+            .enumerate()
+            .map(|(i, &inst)| (Addr::new(i as u64), inst))
+    }
+
+    /// Counts instructions matching a predicate; handy for static workload
+    /// statistics.
+    pub fn count_matching(&self, mut pred: impl FnMut(&Inst) -> bool) -> usize {
+        self.instructions.iter().filter(|i| pred(i)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::new(vec![Inst::Nop, Inst::Return, Inst::Halt], 16);
+        assert_eq!(p.fetch(Addr::ZERO), Some(Inst::Nop));
+        assert_eq!(p.fetch(Addr::new(2)), Some(Inst::Halt));
+        assert_eq!(p.fetch(Addr::new(3)), None);
+        assert!(!p.is_empty());
+        assert_eq!(p.data_words(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_program_panics() {
+        let _ = Program::new(vec![], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_data_panics() {
+        let _ = Program::new(vec![Inst::Halt], 0);
+    }
+
+    #[test]
+    fn iter_yields_addresses_in_order() {
+        let p = Program::new(vec![Inst::Nop, Inst::Halt], 1);
+        let v: Vec<_> = p.iter().collect();
+        assert_eq!(v[0], (Addr::ZERO, Inst::Nop));
+        assert_eq!(v[1], (Addr::new(1), Inst::Halt));
+    }
+
+    #[test]
+    fn count_matching_counts() {
+        let p = Program::new(
+            vec![
+                Inst::Call {
+                    target: Addr::new(3),
+                },
+                Inst::Return,
+                Inst::Halt,
+                Inst::CallIndirect { rs: Reg::R1 },
+            ],
+            1,
+        );
+        assert_eq!(p.count_matching(|i| i.control_kind().is_call()), 2);
+        assert_eq!(p.count_matching(|i| i.control_kind().is_return()), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Pure, storage-independent instruction semantics.
+//!
+//! Both the functional [`Machine`](crate::Machine) and the out-of-order
+//! pipeline evaluate instructions through these functions, so speculative
+//! execution in the pipeline computes exactly the same values as the
+//! architectural golden model.
+
+use crate::{AluOp, Cond};
+
+/// Evaluates a two-operand ALU operation.
+///
+/// All arithmetic wraps; division by zero yields zero (the ISA has no
+/// arithmetic traps, which keeps wrong-path execution fault-free as in
+/// SimpleScalar's speculative mode).
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::semantics::alu;
+/// use hydra_isa::AluOp;
+///
+/// assert_eq!(alu(AluOp::Add, 2, 3), 5);
+/// assert_eq!(alu(AluOp::Div, 1, 0), 0);
+/// assert_eq!(alu(AluOp::Slt, -1, 0), 1);
+/// ```
+pub fn alu(op: AluOp, lhs: i64, rhs: i64) -> i64 {
+    match op {
+        AluOp::Add => lhs.wrapping_add(rhs),
+        AluOp::Sub => lhs.wrapping_sub(rhs),
+        AluOp::Mul => lhs.wrapping_mul(rhs),
+        AluOp::Div => {
+            if rhs == 0 {
+                0
+            } else {
+                lhs.wrapping_div(rhs)
+            }
+        }
+        AluOp::And => lhs & rhs,
+        AluOp::Or => lhs | rhs,
+        AluOp::Xor => lhs ^ rhs,
+        AluOp::Sll => ((lhs as u64) << (rhs as u64 & 63)) as i64,
+        AluOp::Srl => ((lhs as u64) >> (rhs as u64 & 63)) as i64,
+        AluOp::Slt => i64::from(lhs < rhs),
+    }
+}
+
+/// Evaluates a conditional-branch comparison.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::semantics::branch_taken;
+/// use hydra_isa::Cond;
+///
+/// assert!(branch_taken(Cond::Lt, -5, 0));
+/// assert!(!branch_taken(Cond::Eq, 1, 2));
+/// ```
+pub fn branch_taken(cond: Cond, lhs: i64, rhs: i64) -> bool {
+    match cond {
+        Cond::Eq => lhs == rhs,
+        Cond::Ne => lhs != rhs,
+        Cond::Lt => lhs < rhs,
+        Cond::Ge => lhs >= rhs,
+        Cond::Le => lhs <= rhs,
+        Cond::Gt => lhs > rhs,
+    }
+}
+
+/// Computes the effective data-memory word index for a load or store,
+/// wrapped into a data segment of `data_words` words.
+///
+/// Wrapping (rather than faulting) keeps wrong-path memory accesses benign
+/// while still exercising the cache with real addresses.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::semantics::effective_address;
+///
+/// assert_eq!(effective_address(10, 2, 16), 12);
+/// assert_eq!(effective_address(15, 3, 16), 2); // wraps
+/// assert_eq!(effective_address(-1, 0, 16), 15); // negative wraps
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data_words` is zero.
+pub fn effective_address(base: i64, offset: i64, data_words: u64) -> u64 {
+    assert!(data_words > 0, "data segment must be non-empty");
+    (base.wrapping_add(offset)).rem_euclid(data_words as i64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_arithmetic() {
+        assert_eq!(alu(AluOp::Add, i64::MAX, 1), i64::MIN); // wraps
+        assert_eq!(alu(AluOp::Sub, 5, 7), -2);
+        assert_eq!(alu(AluOp::Mul, 3, -4), -12);
+        assert_eq!(alu(AluOp::Div, 7, 2), 3);
+        assert_eq!(alu(AluOp::Div, 7, 0), 0);
+        assert_eq!(alu(AluOp::Div, i64::MIN, -1), i64::MIN); // wrapping_div
+    }
+
+    #[test]
+    fn alu_bitwise() {
+        assert_eq!(alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount() {
+        assert_eq!(alu(AluOp::Sll, 1, 4), 16);
+        assert_eq!(alu(AluOp::Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(alu(AluOp::Srl, -1, 63), 1); // logical shift
+    }
+
+    #[test]
+    fn alu_slt() {
+        assert_eq!(alu(AluOp::Slt, 1, 2), 1);
+        assert_eq!(alu(AluOp::Slt, 2, 2), 0);
+        assert_eq!(alu(AluOp::Slt, i64::MIN, i64::MAX), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Cond::Eq, 3, 3));
+        assert!(branch_taken(Cond::Ne, 3, 4));
+        assert!(branch_taken(Cond::Lt, 3, 4));
+        assert!(branch_taken(Cond::Ge, 4, 4));
+        assert!(branch_taken(Cond::Le, 4, 4));
+        assert!(branch_taken(Cond::Gt, 5, 4));
+        assert!(!branch_taken(Cond::Gt, 4, 4));
+    }
+
+    #[test]
+    fn effective_address_wraps_both_directions() {
+        assert_eq!(effective_address(0, 0, 8), 0);
+        assert_eq!(effective_address(7, 1, 8), 0);
+        assert_eq!(effective_address(-9, 0, 8), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn effective_address_empty_segment_panics() {
+        let _ = effective_address(0, 0, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the ISA: pure semantics laws and
+//! builder/machine robustness on randomized programs.
+
+use hydra_isa::semantics::{alu, branch_taken, effective_address};
+use hydra_isa::{AluOp, Cond, ExecError, Machine, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_and_bitwise_ops_commute(a in any::<i64>(), b in any::<i64>()) {
+        for op in [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Mul] {
+            prop_assert_eq!(alu(op, a, b), alu(op, b, a));
+        }
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(alu(AluOp::Sub, alu(AluOp::Add, a, b), b), a);
+    }
+
+    #[test]
+    fn xor_is_self_inverse(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(alu(AluOp::Xor, alu(AluOp::Xor, a, b), b), a);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero_never_panics(a in any::<i64>()) {
+        prop_assert_eq!(alu(AluOp::Div, a, 0), 0);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount(a in any::<i64>(), amt in 0i64..256) {
+        prop_assert_eq!(alu(AluOp::Sll, a, amt), alu(AluOp::Sll, a, amt & 63));
+        prop_assert_eq!(alu(AluOp::Srl, a, amt), alu(AluOp::Srl, a, amt & 63));
+    }
+
+    #[test]
+    fn slt_matches_comparison(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(alu(AluOp::Slt, a, b), i64::from(a < b));
+    }
+
+    /// Branch conditions partition: exactly one of {Lt, Eq, Gt} holds,
+    /// and the compound conditions agree with them.
+    #[test]
+    fn conditions_are_consistent(a in any::<i64>(), b in any::<i64>()) {
+        let lt = branch_taken(Cond::Lt, a, b);
+        let eq = branch_taken(Cond::Eq, a, b);
+        let gt = branch_taken(Cond::Gt, a, b);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        prop_assert_eq!(branch_taken(Cond::Le, a, b), lt || eq);
+        prop_assert_eq!(branch_taken(Cond::Ge, a, b), gt || eq);
+        prop_assert_eq!(branch_taken(Cond::Ne, a, b), !eq);
+    }
+
+    #[test]
+    fn effective_address_is_always_in_segment(
+        base in any::<i64>(),
+        offset in -1_000_000i64..1_000_000,
+        words in 1u64..100_000,
+    ) {
+        let ea = effective_address(base, offset, words);
+        prop_assert!(ea < words);
+    }
+
+    /// Randomized structured programs (nested calls + backward-bounded
+    /// loops + stores) always execute to halt without faults, and the
+    /// machine's retired count is exact.
+    #[test]
+    fn structured_programs_run_clean(
+        depth in 1usize..6,
+        loop_iters in 1i64..8,
+        store_base in 100i64..1000, // clear of the software stack at 0..depth
+    ) {
+        let mut b = ProgramBuilder::new();
+        let fns: Vec<_> = (0..depth).map(|_| b.fresh_label()).collect();
+        // main: set up, call the first function, halt.
+        b.load_imm(Reg::SP, 0);
+        b.call(fns[0]);
+        b.halt();
+        for (i, f) in fns.iter().enumerate() {
+            b.bind(*f).unwrap();
+            let is_leaf = i + 1 == fns.len();
+            if !is_leaf {
+                b.alu_imm(AluOp::Add, Reg::SP, Reg::SP, 1);
+                b.store(Reg::RA, Reg::SP, 0);
+            }
+            // A counted loop with a store per iteration.
+            b.load_imm(Reg::R1, loop_iters);
+            let top = b.fresh_label();
+            b.bind(top).unwrap();
+            b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 1);
+            b.store(Reg::R2, Reg::ZERO, store_base);
+            b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+            b.branch(Cond::Gt, Reg::R1, Reg::ZERO, top);
+            if !is_leaf {
+                b.call(fns[i + 1]);
+                b.load(Reg::RA, Reg::SP, 0);
+                b.alu_imm(AluOp::Sub, Reg::SP, Reg::SP, 1);
+            }
+            b.ret();
+        }
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        let n = m.run(1_000_000).unwrap();
+        prop_assert!(m.is_halted());
+        prop_assert_eq!(n, m.retired_count());
+        // r2 counted every loop iteration across all functions.
+        prop_assert_eq!(m.reg(Reg::R2), loop_iters * depth as i64);
+    }
+
+    /// Two machines over the same program execute identically.
+    #[test]
+    fn execution_is_deterministic(imms in prop::collection::vec(any::<i64>(), 1..20)) {
+        let mut b = ProgramBuilder::new();
+        for (i, v) in imms.iter().enumerate() {
+            b.load_imm(Reg::gpr(1 + (i % 7) as u8), *v);
+            b.alu(AluOp::Xor, Reg::R8, Reg::R8, Reg::gpr(1 + (i % 7) as u8));
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m1 = Machine::new(&p);
+        let mut m2 = Machine::new(&p);
+        m1.run(1_000).unwrap();
+        m2.run(1_000).unwrap();
+        for r in 0..32u8 {
+            prop_assert_eq!(m1.reg(Reg::gpr(r)), m2.reg(Reg::gpr(r)));
+        }
+    }
+
+    /// Stepping past halt is always an error, never a panic.
+    #[test]
+    fn step_after_halt_errors(pad in 0usize..10) {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..pad {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        prop_assert_eq!(m.step().unwrap_err(), ExecError::Halted);
+    }
+}

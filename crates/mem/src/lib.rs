@@ -1,0 +1,30 @@
+//! Two-level cache hierarchy for the HydraScalar reproduction.
+//!
+//! Models the paper's conventional memory system (Table 1): split
+//! first-level instruction and data caches backed by a unified L2 and a
+//! fixed-latency memory bus. The model is a *latency* model: each access
+//! walks the hierarchy, updates LRU/contents, and reports how many cycles
+//! the access costs. That is all the out-of-order core needs, and it
+//! captures the mis-speculation side effects the paper calls out —
+//! wrong-path fetches and loads really do install lines (prefetching) and
+//! evict useful ones (pollution).
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = mem.data_access(0x1000, false);
+//! let warm = mem.data_access(0x1000, false);
+//! assert!(cold > warm, "second access hits in L1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyConfig, MemoryHierarchy};

@@ -1,0 +1,90 @@
+//! Property-based tests for the cache hierarchy.
+
+use hydra_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..6, 1usize..8, 0u32..6).prop_map(|(sets_log, ways, line_log)| CacheConfig {
+        sets: 1 << sets_log,
+        ways,
+        line_words: 1 << line_log,
+    })
+}
+
+proptest! {
+    /// An access makes its line resident; the line survives until enough
+    /// conflicting accesses evict it.
+    #[test]
+    fn access_installs_line(cfg in config(), addr in 0u64..1_000_000) {
+        let mut c = Cache::new(cfg);
+        c.access(addr);
+        prop_assert!(c.probe(addr));
+        // Any word in the same line is also resident.
+        let line_start = addr / cfg.line_words * cfg.line_words;
+        prop_assert!(c.probe(line_start));
+        prop_assert!(c.probe(line_start + cfg.line_words - 1));
+    }
+
+    /// Up to `ways` distinct lines mapping to one set all stay resident.
+    #[test]
+    fn associativity_is_honored(cfg in config()) {
+        let mut c = Cache::new(cfg);
+        let set_stride = (cfg.sets as u64) * cfg.line_words;
+        for i in 0..cfg.ways as u64 {
+            c.access(i * set_stride);
+        }
+        for i in 0..cfg.ways as u64 {
+            prop_assert!(c.probe(i * set_stride), "way {i} evicted early");
+        }
+        // One more conflicting line evicts exactly one resident way.
+        c.access(cfg.ways as u64 * set_stride);
+        let resident = (0..=cfg.ways as u64)
+            .filter(|&i| c.probe(i * set_stride))
+            .count();
+        prop_assert_eq!(resident, cfg.ways);
+    }
+
+    /// Hit counting: re-accessing the same address always hits.
+    #[test]
+    fn repeated_access_hits(cfg in config(), addr in 0u64..1_000_000, n in 1usize..50) {
+        let mut c = Cache::new(cfg);
+        c.access(addr);
+        for _ in 0..n {
+            prop_assert!(c.access(addr));
+        }
+        prop_assert_eq!(c.stats().hits, n as u64);
+        prop_assert_eq!(c.stats().misses(), 1);
+    }
+
+    /// Hierarchy latencies always equal one of the three composed sums.
+    #[test]
+    fn hierarchy_latency_is_one_of_three(addrs in prop::collection::vec(0u64..200_000, 1..200)) {
+        let cfg = HierarchyConfig::default();
+        let l1 = cfg.l1_latency;
+        let l2 = l1 + cfg.l2_latency;
+        let mem = l2 + cfg.memory_latency;
+        let mut h = MemoryHierarchy::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let lat = if i % 2 == 0 {
+                h.inst_access(a)
+            } else {
+                h.data_access(a, i % 4 == 1)
+            };
+            prop_assert!(lat == l1 || lat == l2 || lat == mem, "latency {lat}");
+        }
+    }
+
+    /// Once warm, a repeated access stream is all L1 hits.
+    #[test]
+    fn warm_stream_hits_l1(addr in 0u64..100_000) {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::default());
+        h.data_access(addr, false);
+        h.reset_stats();
+        for _ in 0..10 {
+            prop_assert_eq!(h.data_access(addr, false), 1);
+        }
+        let (_, l1d, l2) = h.stats();
+        prop_assert_eq!(l1d.hits, 10);
+        prop_assert_eq!(l2.accesses, 0);
+    }
+}

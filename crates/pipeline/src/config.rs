@@ -1,0 +1,248 @@
+//! Core configuration.
+
+use hydra_bpred::{BtbConfig, ConfidenceConfig, HybridConfig};
+use hydra_mem::HierarchyConfig;
+use ras_core::{MultipathStackPolicy, RepairPolicy};
+use serde::{Deserialize, Serialize};
+
+/// How the front end predicts procedure-return targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReturnPredictor {
+    /// A return-address stack with the given repair policy (the paper's
+    /// subject). Returns do not occupy BTB entries.
+    Ras {
+        /// Stack capacity in entries.
+        entries: usize,
+        /// Repair mechanism applied on mispredictions.
+        repair: RepairPolicy,
+    },
+    /// The Jourdan-et-al. self-checkpointing stack: popped entries are
+    /// preserved and linked, so a saved TOS pointer repairs everything
+    /// that has not been recycled (the paper's closest related work; it
+    /// trades extra stack entries for one-word checkpoints).
+    SelfCheckpointing {
+        /// Stack capacity in entries (the mechanism wants more than a
+        /// conventional stack of equal architectural depth).
+        entries: usize,
+    },
+    /// No stack: returns are predicted from the BTB like any other
+    /// indirect jump (the paper's Table-4 configuration).
+    BtbOnly,
+    /// An oracle that always knows the return target; the upper bound.
+    Perfect,
+}
+
+impl ReturnPredictor {
+    /// The paper's baseline: a 32-entry stack with TOS-pointer+contents
+    /// repair.
+    pub fn baseline() -> Self {
+        ReturnPredictor::Ras {
+            entries: 32,
+            repair: RepairPolicy::TosPointerAndContents,
+        }
+    }
+}
+
+/// Multipath (eager) execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultipathConfig {
+    /// Maximum simultaneously live paths (the paper evaluates 2 and 4).
+    pub max_paths: usize,
+    /// Return-address-stack organization across paths.
+    pub stack_policy: MultipathStackPolicy,
+}
+
+/// Functional-unit latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuLatencies {
+    /// Simple integer ALU operations.
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide.
+    pub div: u64,
+    /// Branch/jump resolution.
+    pub branch: u64,
+    /// Address generation for loads/stores (cache latency is added on
+    /// top for loads).
+    pub agen: u64,
+}
+
+impl Default for FuLatencies {
+    fn default() -> Self {
+        FuLatencies {
+            alu: 1,
+            mul: 7,
+            div: 20,
+            branch: 1,
+            agen: 1,
+        }
+    }
+}
+
+/// Full machine configuration — the reproduction of the paper's Table 1
+/// baseline (loosely an Alpha 21264): 4-wide, 64-entry RUU, 32-entry LSQ,
+/// McFarling hybrid predictor, decoupled BTB, 32-entry RAS with
+/// TOS-pointer+contents repair, split L1 caches with unified L2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (per fetch block).
+    pub fetch_width: usize,
+    /// Instructions dispatched into the RUU per cycle.
+    pub dispatch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Register-update-unit (unified active list / issue queue) entries.
+    pub ruu_size: usize,
+    /// Load-store-queue entries.
+    pub lsq_size: usize,
+    /// Fetch-queue entries between fetch and dispatch.
+    pub fetch_queue: usize,
+    /// Front-end depth: cycles between fetch and earliest dispatch
+    /// (drives the minimum misprediction penalty).
+    pub decode_latency: u64,
+    /// Return-target prediction scheme.
+    pub return_predictor: ReturnPredictor,
+    /// Shadow-storage capacity for in-flight branch checkpoints;
+    /// `None` = unlimited. (The paper cites 4 on the R10000, 20 on the
+    /// 21264.) When the budget is exhausted a predicted branch is
+    /// speculated *without* a checkpoint, so it cannot repair the RAS.
+    pub checkpoint_budget: Option<usize>,
+    /// Direction-predictor geometry.
+    pub hybrid: HybridConfig,
+    /// BTB geometry.
+    pub btb: BtbConfig,
+    /// Confidence-estimator geometry (used when forking).
+    pub confidence: ConfidenceConfig,
+    /// Memory hierarchy.
+    pub mem: HierarchyConfig,
+    /// Functional-unit latencies.
+    pub latencies: FuLatencies,
+    /// Multipath execution; `None` = conventional single-path.
+    pub multipath: Option<MultipathConfig>,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            ruu_size: 64,
+            lsq_size: 32,
+            fetch_queue: 16,
+            decode_latency: 3,
+            return_predictor: ReturnPredictor::baseline(),
+            checkpoint_budget: None,
+            hybrid: HybridConfig::default(),
+            btb: BtbConfig::default(),
+            confidence: ConfidenceConfig::default(),
+            mem: HierarchyConfig::default(),
+            latencies: FuLatencies::default(),
+            multipath: None,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The paper's baseline single-path machine.
+    pub fn baseline() -> Self {
+        CoreConfig::default()
+    }
+
+    /// The baseline with a different return predictor — the knob every
+    /// single-path experiment turns.
+    pub fn with_return_predictor(return_predictor: ReturnPredictor) -> Self {
+        CoreConfig {
+            return_predictor,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// A multipath machine with `max_paths` contexts and the given stack
+    /// organization.
+    pub fn multipath(max_paths: usize, stack_policy: MultipathStackPolicy) -> Self {
+        CoreConfig {
+            multipath: Some(MultipathConfig {
+                max_paths,
+                stack_policy,
+            }),
+            ..CoreConfig::default()
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized structures or a multipath configuration with
+    /// fewer than two paths.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be > 0");
+        assert!(self.dispatch_width > 0, "dispatch width must be > 0");
+        assert!(self.issue_width > 0, "issue width must be > 0");
+        assert!(self.commit_width > 0, "commit width must be > 0");
+        assert!(self.ruu_size > 0, "RUU must be non-empty");
+        assert!(self.lsq_size > 0, "LSQ must be non-empty");
+        assert!(self.fetch_queue > 0, "fetch queue must be non-empty");
+        match self.return_predictor {
+            ReturnPredictor::Ras { entries, .. }
+            | ReturnPredictor::SelfCheckpointing { entries } => {
+                assert!(entries > 0, "RAS must have at least one entry");
+            }
+            _ => {}
+        }
+        if let Some(mp) = &self.multipath {
+            assert!(mp.max_paths >= 2, "multipath needs at least two paths");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_table1() {
+        let c = CoreConfig::baseline();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.ruu_size, 64);
+        assert_eq!(c.lsq_size, 32);
+        assert_eq!(
+            c.return_predictor,
+            ReturnPredictor::Ras {
+                entries: 32,
+                repair: RepairPolicy::TosPointerAndContents
+            }
+        );
+        c.validate();
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let c = CoreConfig::with_return_predictor(ReturnPredictor::BtbOnly);
+        assert_eq!(c.return_predictor, ReturnPredictor::BtbOnly);
+        let c = CoreConfig::multipath(2, MultipathStackPolicy::PerPath);
+        assert_eq!(c.multipath.unwrap().max_paths, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two paths")]
+    fn single_path_multipath_rejected() {
+        CoreConfig::multipath(1, MultipathStackPolicy::PerPath).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU must be non-empty")]
+    fn zero_ruu_rejected() {
+        let c = CoreConfig {
+            ruu_size: 0,
+            ..CoreConfig::default()
+        };
+        c.validate();
+    }
+}

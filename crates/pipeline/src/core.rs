@@ -1,0 +1,2140 @@
+//! The cycle-level out-of-order core.
+//!
+//! A SimpleScalar-`sim-outorder`-style machine with the two extensions
+//! HydraScalar added for the paper: **full wrong-path execution** (the
+//! fetch engine follows its predictions down mispredicted paths, and those
+//! instructions execute with whatever values renaming gives them, pushing
+//! and popping the return-address stack as they go) and **multipath
+//! execution** (forking at low-confidence branches).
+//!
+//! Stage order within [`Core::step`] is reverse-pipeline (commit,
+//! writeback/resolve, issue, dispatch, fetch), so results propagate with
+//! realistic one-cycle boundaries.
+//!
+//! Renaming happens at fetch: each path carries a map from architectural
+//! register to the sequence number of its latest in-flight producer, and
+//! forking a path copies the map. A source operand therefore either names
+//! an in-flight producer (`Src::Pending`) or falls back to the
+//! architectural register file at issue time — which is correct exactly
+//! because commit writes the register file in program order.
+
+use crate::config::{CoreConfig, ReturnPredictor};
+use crate::path::{PathId, PathTable};
+use crate::ptrace::PipeTrace;
+use crate::ras_unit::RasUnit;
+use crate::stats::{ReturnSource, SimStats};
+use crate::uop::{Src, Uop, UopState};
+use hydra_bpred::{Btb, ConfidenceEstimator, HybridPredictor};
+use hydra_isa::semantics::{alu, branch_taken, effective_address};
+use hydra_isa::{Addr, ControlKind, Inst, Program, Reg};
+use hydra_mem::MemoryHierarchy;
+use hydra_stats::Histogram;
+use std::collections::VecDeque;
+
+/// Cycles without a commit after which the simulator declares itself
+/// wedged (a simulator bug, not a program property).
+const DEADLOCK_HORIZON: u64 = 200_000;
+
+#[derive(Debug, Clone)]
+struct PathCtx {
+    fetch_pc: Addr,
+    stall_until: u64,
+    fetch_stopped: bool,
+    map: [Option<u64>; Reg::COUNT],
+    /// Speculative global branch history: shifted at fetch, repaired on
+    /// mispredictions (per-path, so forked arms see opposite last bits).
+    history: u64,
+}
+
+impl PathCtx {
+    fn new(pc: Addr) -> Self {
+        PathCtx {
+            fetch_pc: pc,
+            stall_until: 0,
+            fetch_stopped: false,
+            map: [None; Reg::COUNT],
+            history: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LsqEntry {
+    seq: u64,
+    path: PathId,
+    is_store: bool,
+    addr: Option<u64>,
+    value: Option<i64>,
+    squashed: bool,
+}
+
+/// An in-core architectural interpreter used for the optional golden
+/// check: at every commit the retiring micro-op is compared against this
+/// machine, which executes the same program with exact semantics.
+#[derive(Debug, Clone)]
+struct GoldenMachine {
+    regs: [i64; Reg::COUNT],
+    mem: Vec<i64>,
+    pc: Addr,
+}
+
+impl GoldenMachine {
+    fn new(program: &Program) -> Self {
+        GoldenMachine {
+            regs: [0; Reg::COUNT],
+            mem: vec![0; program.data_words() as usize],
+            pc: Addr::ZERO,
+        }
+    }
+
+    fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = v;
+        }
+    }
+
+    /// Executes the instruction at the golden PC; returns
+    /// `(dest_value, next_pc)`.
+    fn step(&mut self, inst: Inst, data_words: u64) -> (Option<i64>, Addr) {
+        let pc = self.pc;
+        let mut next = pc.next();
+        let mut dest_val = None;
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => next = pc,
+            Inst::Alu { op, rd, rs, rt } => {
+                let v = alu(op, self.reg(rs), self.reg(rt));
+                self.set_reg(rd, v);
+                dest_val = Some(v);
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                let v = alu(op, self.reg(rs), imm);
+                self.set_reg(rd, v);
+                dest_val = Some(v);
+            }
+            Inst::LoadImm { rd, imm } => {
+                self.set_reg(rd, imm);
+                dest_val = Some(imm);
+            }
+            Inst::Load { rd, base, offset } => {
+                let ea = effective_address(self.reg(base), offset, data_words);
+                let v = self.mem[ea as usize];
+                self.set_reg(rd, v);
+                dest_val = Some(v);
+            }
+            Inst::Store { rs, base, offset } => {
+                let ea = effective_address(self.reg(base), offset, data_words);
+                self.mem[ea as usize] = self.reg(rs);
+            }
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
+                if branch_taken(cond, self.reg(rs), self.reg(rt)) {
+                    next = target;
+                }
+            }
+            Inst::Jump { target } => next = target,
+            Inst::Call { target } => {
+                let ra = pc.next().word() as i64;
+                self.set_reg(Reg::RA, ra);
+                dest_val = Some(ra);
+                next = target;
+            }
+            Inst::CallIndirect { rs } => {
+                next = Addr::new(self.reg(rs) as u64);
+                let ra = pc.next().word() as i64;
+                self.set_reg(Reg::RA, ra);
+                dest_val = Some(ra);
+            }
+            Inst::JumpIndirect { rs } => next = Addr::new(self.reg(rs) as u64),
+            Inst::Return => next = Addr::new(self.reg(Reg::RA) as u64),
+        }
+        self.pc = next;
+        (dest_val, next)
+    }
+}
+
+/// The simulated processor.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::{AluOp, ProgramBuilder, Reg};
+/// use hydra_pipeline::{Core, CoreConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// let f = b.fresh_label();
+/// b.call(f);
+/// b.halt();
+/// b.bind(f)?;
+/// b.alu_imm(AluOp::Add, Reg::R1, Reg::ZERO, 5);
+/// b.ret();
+/// let program = b.build()?;
+///
+/// let mut core = Core::new(CoreConfig::baseline(), &program);
+/// let stats = core.run(1_000);
+/// assert!(core.is_halted());
+/// assert_eq!(stats.returns, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core {
+    config: CoreConfig,
+    program: Program,
+
+    // Architectural state.
+    regfile: [i64; Reg::COUNT],
+    mem_data: Vec<i64>,
+    halted: bool,
+
+    // Predictors and memory.
+    hybrid: HybridPredictor,
+    btb: Btb,
+    confidence: ConfidenceEstimator,
+    ras: RasUnit,
+    memory: MemoryHierarchy,
+
+    // Machine state.
+    cycle: u64,
+    next_seq: u64,
+    paths: PathTable,
+    path_ctx: Vec<PathCtx>,
+    fetch_rotor: usize,
+    fetch_queue: VecDeque<(u64, Uop)>,
+    ruu: VecDeque<Uop>,
+    lsq: VecDeque<LsqEntry>,
+
+    stats: SimStats,
+    /// Cycle count at the last statistics reset (warm-up boundary).
+    cycle_base: u64,
+    last_commit_cycle: u64,
+    golden: Option<GoldenMachine>,
+    ptrace: Option<PipeTrace>,
+    occupancy: Occupancy,
+}
+
+/// Per-cycle occupancy samples of the core's queues (see
+/// [`Core::occupancy`]).
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    /// RUU entries in use, sampled each cycle.
+    pub ruu: Histogram,
+    /// Load/store-queue entries in use, sampled each cycle.
+    pub lsq: Histogram,
+    /// Fetch-queue entries in use, sampled each cycle.
+    pub fetch_queue: Histogram,
+    /// Live execution paths, sampled each cycle.
+    pub live_paths: Histogram,
+}
+
+impl Occupancy {
+    fn new(config: &CoreConfig) -> Self {
+        let max_paths = config.multipath.map(|m| m.max_paths).unwrap_or(1);
+        Occupancy {
+            ruu: Histogram::with_cap(config.ruu_size + 1),
+            lsq: Histogram::with_cap(config.lsq_size + 1),
+            fetch_queue: Histogram::with_cap(config.fetch_queue + 1),
+            live_paths: Histogram::with_cap(max_paths + 1),
+        }
+    }
+}
+
+impl Core {
+    /// Creates a core at the program entry with cold predictors and
+    /// caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(config: CoreConfig, program: &Program) -> Self {
+        config.validate();
+        let max_paths = config.multipath.map(|m| m.max_paths).unwrap_or(1);
+        Core {
+            ras: RasUnit::new(&config),
+            hybrid: HybridPredictor::new(config.hybrid),
+            btb: Btb::new(config.btb),
+            confidence: ConfidenceEstimator::new(config.confidence),
+            memory: MemoryHierarchy::new(config.mem),
+            program: program.clone(),
+            regfile: [0; Reg::COUNT],
+            mem_data: vec![0; program.data_words() as usize],
+            halted: false,
+            cycle: 0,
+            next_seq: 1,
+            paths: PathTable::new(max_paths),
+            path_ctx: vec![PathCtx::new(Addr::ZERO)],
+            fetch_rotor: 0,
+            fetch_queue: VecDeque::new(),
+            ruu: VecDeque::new(),
+            lsq: VecDeque::new(),
+            stats: SimStats {
+                max_live_paths: 1,
+                ..SimStats::default()
+            },
+            cycle_base: 0,
+            last_commit_cycle: 0,
+            golden: None,
+            ptrace: None,
+            occupancy: Occupancy::new(&config),
+            config,
+        }
+    }
+
+    /// Enables the per-commit golden check: every retiring instruction is
+    /// compared against an architectural interpreter running alongside.
+    /// Slows simulation; intended for tests.
+    pub fn enable_golden_check(&mut self) {
+        self.golden = Some(GoldenMachine::new(&self.program));
+    }
+
+    /// Enables pipeline tracing: the lifetimes of the most recent
+    /// `capacity` micro-ops are recorded and can be rendered as a stage
+    /// chart with [`PipeTrace::render_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_pipe_trace(&mut self, capacity: usize) {
+        self.ptrace = Some(PipeTrace::new(capacity));
+    }
+
+    /// The pipeline trace, if tracing is enabled.
+    pub fn pipe_trace(&self) -> Option<&PipeTrace> {
+        self.ptrace.as_ref()
+    }
+
+    /// Per-cycle occupancy histograms of the RUU, LSQ, fetch queue and
+    /// live path count — the utilization picture behind the IPC numbers.
+    pub fn occupancy(&self) -> &Occupancy {
+        &self.occupancy
+    }
+
+    /// Whether a committed `halt` stopped the machine.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Reads an architectural (committed) register.
+    pub fn arch_reg(&self, r: Reg) -> i64 {
+        self.regfile[r.index() as usize]
+    }
+
+    /// Statistics gathered so far, with predictor/cache/RAS counters
+    /// folded in.
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle - self.cycle_base;
+        let r = self.ras.stats();
+        s.ras_pushes = r.pushes;
+        s.ras_pops = r.pops;
+        s.ras_overflows = r.overflows;
+        s.ras_underflows = r.underflows;
+        s.ras_restores = r.restores;
+        s.checkpoint_budget_misses = r.budget_misses;
+        let (l1i, l1d, _) = self.memory.stats();
+        s.l1i_accesses = l1i.accesses;
+        s.l1i_hits = l1i.hits;
+        s.l1d_accesses = l1d.accesses;
+        s.l1d_hits = l1d.hits;
+        s
+    }
+
+    /// Clears all statistics (committed counts, cache, RAS and predictor
+    /// event counters) while keeping the machine state — pipeline
+    /// contents, predictor tables, caches — warm. Call after a warm-up
+    /// run, as the paper does before its measurement window.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats {
+            max_live_paths: self.paths.live_count().max(1) as u64,
+            ..SimStats::default()
+        };
+        self.cycle_base = self.cycle;
+        self.memory.reset_stats();
+        self.ras.reset_stats();
+        self.occupancy = Occupancy::new(&self.config);
+    }
+
+    /// Runs until a `halt` commits or `max_commits` instructions have
+    /// committed; returns the final statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core wedges (no commit for an implausibly long
+    /// time) or, with the golden check enabled, if a committed
+    /// instruction diverges from the architectural interpreter — both
+    /// indicate simulator bugs.
+    pub fn run(&mut self, max_commits: u64) -> SimStats {
+        while !self.halted && self.stats.committed < max_commits {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.commit();
+        self.writeback();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.occupancy.ruu.record(self.ruu.len() as u64);
+        self.occupancy.lsq.record(self.lsq.len() as u64);
+        self.occupancy
+            .fetch_queue
+            .record(self.fetch_queue.len() as u64);
+        self.occupancy
+            .live_paths
+            .record(self.paths.live_count() as u64);
+        self.cycle += 1;
+        assert!(
+            self.cycle - self.last_commit_cycle < DEADLOCK_HORIZON,
+            "no commit in {DEADLOCK_HORIZON} cycles: simulator wedged at cycle {}",
+            self.cycle
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        let mut slots = self.config.commit_width;
+        while slots > 0 {
+            let Some(head) = self.ruu.front() else { break };
+            if head.squashed {
+                // Squashed entries drain through the RUU front consuming
+                // retire bandwidth, as the paper's footnote describes.
+                let seq = head.seq;
+                self.ruu.pop_front();
+                self.lsq.retain(|e| e.seq != seq);
+                if let Some(t) = &mut self.ptrace {
+                    t.on_retire(seq, self.cycle);
+                }
+                slots -= 1;
+                continue;
+            }
+            if !head.is_done() {
+                break;
+            }
+            if self.halted {
+                break;
+            }
+            let uop = self.ruu.pop_front().expect("checked non-empty");
+            self.lsq.retain(|e| e.seq != uop.seq);
+            if let Some(t) = &mut self.ptrace {
+                t.on_retire(uop.seq, self.cycle);
+            }
+            self.retire(&uop);
+            slots -= 1;
+        }
+    }
+
+    fn retire(&mut self, uop: &Uop) {
+        assert!(!uop.wild, "wild (out-of-image) micro-op reached commit");
+        if let Some(golden) = &mut self.golden {
+            assert_eq!(
+                golden.pc, uop.pc,
+                "commit diverged from golden machine at seq {}",
+                uop.seq
+            );
+            let (dest_val, next) = golden.step(uop.inst, self.program.data_words());
+            if let Some(v) = dest_val {
+                assert_eq!(
+                    uop.result,
+                    Some(v),
+                    "result diverged at {} ({})",
+                    uop.pc,
+                    uop.inst
+                );
+            }
+            if uop.is_control() {
+                assert_eq!(
+                    uop.actual_next_pc,
+                    Some(next),
+                    "control target diverged at {} ({})",
+                    uop.pc,
+                    uop.inst
+                );
+            }
+        }
+
+        // Architectural effects.
+        if let Some(dest) = uop.inst.dest() {
+            let value = uop.result.expect("done uop has result");
+            self.regfile[dest.index() as usize] = value;
+            // The producer is leaving the window: patch waiting consumers
+            // to the concrete value and clear rename-map entries that
+            // still name it, so later fetches read the register file.
+            let patch = |srcs: &mut [Src; 2]| {
+                for s in srcs.iter_mut() {
+                    if *s == Src::Pending(uop.seq) {
+                        *s = Src::Value(value);
+                    }
+                }
+            };
+            for u in self.ruu.iter_mut() {
+                patch(&mut u.srcs);
+            }
+            for (_, u) in self.fetch_queue.iter_mut() {
+                patch(&mut u.srcs);
+            }
+            for ctx in self.path_ctx.iter_mut() {
+                if ctx.map[dest.index() as usize] == Some(uop.seq) {
+                    ctx.map[dest.index() as usize] = None;
+                }
+            }
+        }
+        if uop.inst.is_store() {
+            let addr = uop.mem_addr.expect("store has address") as usize;
+            self.mem_data[addr] = uop.store_value.expect("store has value");
+        }
+
+        // Statistics and predictor training.
+        self.stats.committed += 1;
+        self.last_commit_cycle = self.cycle;
+        let kind = uop.inst.control_kind();
+        match kind {
+            ControlKind::Halt => self.halted = true,
+            ControlKind::CondBranch { .. } => {
+                let taken = uop.taken_actual.expect("resolved branch");
+                let pred = uop.dir_pred.expect("conditional branch was predicted");
+                let correct = pred.taken == taken;
+                self.stats.cond_branches += 1;
+                if !correct {
+                    self.stats.cond_mispredictions += 1;
+                }
+                self.hybrid.train(uop.pc, &pred, taken);
+                self.confidence.update(uop.pc, correct);
+            }
+            ControlKind::Call { .. } | ControlKind::IndirectCall => {
+                self.stats.calls += 1;
+                if kind == ControlKind::IndirectCall {
+                    let target = uop.actual_next_pc.expect("resolved call");
+                    self.btb.update(uop.pc, target);
+                    if uop.pred_next_pc != target {
+                        self.stats.target_mispredictions += 1;
+                    }
+                }
+            }
+            ControlKind::IndirectJump => {
+                let target = uop.actual_next_pc.expect("resolved jump");
+                self.btb.update(uop.pc, target);
+                if uop.pred_next_pc != target {
+                    self.stats.target_mispredictions += 1;
+                }
+            }
+            ControlKind::Return => {
+                let target = uop.actual_next_pc.expect("resolved return");
+                self.stats.returns += 1;
+                let hit = uop.pred_next_pc == target;
+                if hit {
+                    self.stats.return_hits += 1;
+                    match uop.return_source {
+                        Some(ReturnSource::Ras) | Some(ReturnSource::Oracle) => {
+                            self.stats.return_hits_ras += 1
+                        }
+                        Some(ReturnSource::Btb) => self.stats.return_hits_btb += 1,
+                        _ => {}
+                    }
+                } else {
+                    self.stats.target_mispredictions += 1;
+                }
+                if uop.return_source == Some(ReturnSource::Fallthrough) {
+                    self.stats.return_no_prediction += 1;
+                }
+                // Returns occupy BTB entries only when there is no stack.
+                if matches!(self.config.return_predictor, ReturnPredictor::BtbOnly) {
+                    self.btb.update(uop.pc, target);
+                }
+            }
+            ControlKind::Jump { .. } | ControlKind::Sequential => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback and control resolution
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        // Collect completions oldest-first so an older misprediction
+        // squashes younger control before it resolves.
+        let completed: Vec<u64> = self
+            .ruu
+            .iter()
+            .filter(|u| matches!(u.state, UopState::Issued { done_at } if done_at <= self.cycle))
+            .map(|u| u.seq)
+            .collect();
+        for seq in completed {
+            let Some(idx) = self.ruu_index(seq) else {
+                continue;
+            };
+            self.ruu[idx].state = UopState::Done;
+            if let Some(t) = &mut self.ptrace {
+                t.on_complete(seq, self.cycle);
+            }
+            let u = &self.ruu[idx];
+            if u.squashed || !u.is_control() || u.resolved {
+                continue;
+            }
+            self.resolve(seq);
+        }
+    }
+
+    fn resolve(&mut self, seq: u64) {
+        let idx = self.ruu_index(seq).expect("resolving an in-flight uop");
+        let (path, pred_next, actual_next, forked_child) = {
+            let u = &mut self.ruu[idx];
+            u.resolved = true;
+            (
+                u.path,
+                u.pred_next_pc,
+                u.actual_next_pc.expect("control uop executed"),
+                u.forked_child,
+            )
+        };
+        let correct = pred_next == actual_next;
+
+        if let Some(child) = forked_child {
+            if correct {
+                // The fetched (predicted) arm wins: the child subtree dies.
+                let killed = self.paths.kill_subtree(child);
+                self.squash_paths(&killed);
+            } else {
+                // The forked arm wins: squash the parent's continuation
+                // (strictly younger than the branch; the child forked at
+                // exactly `seq` survives) and stop the parent's fetch.
+                // The parent's stack is retained: if an even older branch
+                // on the parent later mispredicts, the parent is revived
+                // as the correct continuation.
+                self.squash_lineage(path, seq);
+                self.paths.retire_path(path);
+                self.path_ctx[path.index()].fetch_stopped = true;
+            }
+            return;
+        }
+
+        // Conventional speculation point.
+        let ckpt = self.ruu[idx].ras_ckpt.take();
+        if correct {
+            if let Some(handle) = ckpt {
+                self.ras.release(&handle);
+            }
+            return;
+        }
+
+        // Misprediction: squash the continuation, repair the stack and
+        // the speculative branch history, redirect fetch. The path may
+        // have been retired by a forked branch younger than this one —
+        // that fork (and the subtree that took over) is part of the
+        // squashed continuation, so this path fetches again: revive it.
+        self.squash_lineage(path, seq);
+        self.paths.revive(path);
+        if let Some(handle) = ckpt {
+            self.ras.restore(&handle);
+        }
+        let (history_at_fetch, taken_actual) = {
+            let u = &self.ruu[self.ruu_index(seq).expect("still in flight")];
+            (u.history_at_fetch, u.taken_actual)
+        };
+        let ctx = &mut self.path_ctx[path.index()];
+        ctx.fetch_pc = actual_next;
+        ctx.fetch_stopped = false;
+        ctx.stall_until = 0;
+        if let Some(h) = history_at_fetch {
+            // Conditional branches re-insert the now-known outcome; other
+            // speculation points (returns, indirect jumps) restore the
+            // pre-fetch history unchanged.
+            ctx.history = match taken_actual {
+                Some(t) => (h << 1) | u64::from(t),
+                None => h,
+            };
+        }
+        self.rebuild_map(path);
+    }
+
+    /// Squashes every micro-op on the continuation of `base` after
+    /// `min_seq`, kills paths forked out of that continuation, and flushes
+    /// matching fetch-queue entries.
+    fn squash_lineage(&mut self, base: PathId, min_seq: u64) {
+        // Kill paths whose fork chain leaves `base` strictly after
+        // `min_seq` — including paths that already stopped fetching
+        // (retired fork parents): their in-flight micro-ops are part of
+        // the squashed continuation too.
+        let doomed: Vec<PathId> = self
+            .paths
+            .all_paths()
+            .into_iter()
+            .filter(|&q| q != base && self.paths.on_lineage(q, u64::MAX, base, min_seq))
+            .collect();
+        let mut killed: Vec<PathId> = Vec::new();
+        for q in doomed {
+            for k in self.paths.kill_subtree(q) {
+                if !killed.contains(&k) {
+                    killed.push(k);
+                }
+            }
+        }
+        for &q in &killed {
+            self.ras.on_path_death(q);
+        }
+
+        let paths = &self.paths;
+        let should_squash = |u: &Uop| {
+            !u.squashed
+                && (paths.on_lineage(u.path, u.seq, base, min_seq) || killed.contains(&u.path))
+        };
+
+        let mut released = Vec::new();
+        let mut squashed_seqs = Vec::new();
+        for u in self.ruu.iter_mut() {
+            if should_squash(u) {
+                u.squashed = true;
+                squashed_seqs.push(u.seq);
+                self.stats.squashed_uops += 1;
+                if let Some(handle) = u.ras_ckpt.take() {
+                    released.push(handle);
+                }
+            }
+        }
+        for e in self.lsq.iter_mut() {
+            if paths.on_lineage(e.path, e.seq, base, min_seq) || killed.contains(&e.path) {
+                e.squashed = true;
+            }
+        }
+        // Flush matching fetch-queue entries entirely (front-end flush).
+        let mut kept = VecDeque::with_capacity(self.fetch_queue.len());
+        for (ready, u) in self.fetch_queue.drain(..) {
+            if should_squash(&u) {
+                squashed_seqs.push(u.seq);
+                self.stats.squashed_uops += 1;
+                if let Some(handle) = u.ras_ckpt {
+                    released.push(handle);
+                }
+            } else {
+                kept.push_back((ready, u));
+            }
+        }
+        self.fetch_queue = kept;
+        for handle in released {
+            self.ras.release(&handle);
+        }
+        if let Some(t) = &mut self.ptrace {
+            for seq in squashed_seqs {
+                t.on_squash(seq, self.cycle);
+            }
+        }
+    }
+
+    /// Squashes every micro-op belonging to the given (killed) paths.
+    fn squash_paths(&mut self, killed: &[PathId]) {
+        for &q in killed {
+            self.ras.on_path_death(q);
+        }
+        let mut released = Vec::new();
+        let mut squashed_seqs = Vec::new();
+        for u in self.ruu.iter_mut() {
+            if !u.squashed && killed.contains(&u.path) {
+                u.squashed = true;
+                squashed_seqs.push(u.seq);
+                self.stats.squashed_uops += 1;
+                if let Some(handle) = u.ras_ckpt.take() {
+                    released.push(handle);
+                }
+            }
+        }
+        for e in self.lsq.iter_mut() {
+            if killed.contains(&e.path) {
+                e.squashed = true;
+            }
+        }
+        let mut kept = VecDeque::with_capacity(self.fetch_queue.len());
+        for (ready, u) in self.fetch_queue.drain(..) {
+            if killed.contains(&u.path) {
+                squashed_seqs.push(u.seq);
+                self.stats.squashed_uops += 1;
+                if let Some(handle) = u.ras_ckpt {
+                    released.push(handle);
+                }
+            } else {
+                kept.push_back((ready, u));
+            }
+        }
+        self.fetch_queue = kept;
+        for handle in released {
+            self.ras.release(&handle);
+        }
+        if let Some(t) = &mut self.ptrace {
+            for seq in squashed_seqs {
+                t.on_squash(seq, self.cycle);
+            }
+        }
+    }
+
+    /// Rebuilds a path's rename map from the surviving in-flight
+    /// micro-ops after a squash.
+    fn rebuild_map(&mut self, path: PathId) {
+        let mut map = [None; Reg::COUNT];
+        let visible = |u: &Uop| !u.squashed && self.paths.visible(u.path, u.seq, path);
+        for u in self.ruu.iter() {
+            if visible(u) {
+                if let Some(dest) = u.inst.dest() {
+                    map[dest.index() as usize] = Some(u.seq);
+                }
+            }
+        }
+        for (_, u) in self.fetch_queue.iter() {
+            if visible(u) {
+                if let Some(dest) = u.inst.dest() {
+                    map[dest.index() as usize] = Some(u.seq);
+                }
+            }
+        }
+        self.path_ctx[path.index()].map = map;
+    }
+
+    // ------------------------------------------------------------------
+    // Issue and execution
+    // ------------------------------------------------------------------
+
+    fn ruu_index(&self, seq: u64) -> Option<usize> {
+        self.ruu.binary_search_by_key(&seq, |u| u.seq).ok()
+    }
+
+    fn src_value(&self, src: Src) -> Option<i64> {
+        match src {
+            Src::None => Some(0),
+            Src::Value(v) => Some(v),
+            Src::Pending(seq) => match self.ruu_index(seq) {
+                Some(idx) => {
+                    let p = &self.ruu[idx];
+                    if p.is_done() {
+                        Some(p.result.unwrap_or(0))
+                    } else {
+                        None
+                    }
+                }
+                // Producer already committed: the register file value was
+                // captured into Src::Value at dispatch; Pending producers
+                // cannot commit while a consumer is still waiting unless
+                // the consumer is squashed, in which case any value works.
+                None => Some(0),
+            },
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut slots = self.config.issue_width;
+        let seqs: Vec<u64> = self.ruu.iter().map(|u| u.seq).collect();
+        for seq in seqs {
+            if slots == 0 {
+                break;
+            }
+            let Some(idx) = self.ruu_index(seq) else {
+                continue;
+            };
+            if self.ruu[idx].squashed || self.ruu[idx].state != UopState::Waiting {
+                continue;
+            }
+            let (a, b) = {
+                let u = &self.ruu[idx];
+                (self.src_value(u.srcs[0]), self.src_value(u.srcs[1]))
+            };
+            let (Some(a), Some(b)) = (a, b) else { continue };
+            if self.try_execute(seq, a, b) {
+                slots -= 1;
+            }
+        }
+    }
+
+    /// Attempts to execute the micro-op `seq` with operand values `a`,
+    /// `b`. Returns false if it must keep waiting (memory ordering).
+    fn try_execute(&mut self, seq: u64, a: i64, b: i64) -> bool {
+        let idx = self.ruu_index(seq).expect("issuing an in-flight uop");
+        let inst = self.ruu[idx].inst;
+        let pc = self.ruu[idx].pc;
+        let path = self.ruu[idx].path;
+        let lat = &self.config.latencies;
+        let data_words = self.program.data_words();
+
+        let mut result = None;
+        let mut actual_next = None;
+        let mut taken_actual = None;
+        let mut latency = lat.alu;
+        let mut mem_addr = None;
+        let mut store_value = None;
+
+        match inst {
+            Inst::Nop | Inst::Halt => {
+                if matches!(inst, Inst::Halt) {
+                    actual_next = Some(pc);
+                }
+            }
+            Inst::Alu { op, .. } => {
+                result = Some(alu(op, a, b));
+                latency = match op {
+                    hydra_isa::AluOp::Mul => lat.mul,
+                    hydra_isa::AluOp::Div => lat.div,
+                    _ => lat.alu,
+                };
+            }
+            Inst::AluImm { op, imm, .. } => {
+                result = Some(alu(op, a, imm));
+                latency = match op {
+                    hydra_isa::AluOp::Mul => lat.mul,
+                    hydra_isa::AluOp::Div => lat.div,
+                    _ => lat.alu,
+                };
+            }
+            Inst::LoadImm { imm, .. } => result = Some(imm),
+            Inst::Load { offset, .. } => {
+                let ea = effective_address(a, offset, data_words);
+                // Conservative disambiguation: wait until every older
+                // visible store knows its address.
+                match self.load_forward(seq, path, ea) {
+                    LoadOutcome::NotReady => return false,
+                    LoadOutcome::Forwarded(v) => {
+                        result = Some(v);
+                        latency = lat.agen + self.memory.data_access(ea, false);
+                    }
+                    LoadOutcome::FromMemory => {
+                        result = Some(self.mem_data[ea as usize]);
+                        latency = lat.agen + self.memory.data_access(ea, false);
+                    }
+                }
+                mem_addr = Some(ea);
+            }
+            Inst::Store { offset, .. } => {
+                // srcs = [value (rs), base]; see dispatch.
+                let ea = effective_address(b, offset, data_words);
+                mem_addr = Some(ea);
+                store_value = Some(a);
+                latency = lat.agen + self.memory.data_access(ea, true);
+                if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+                    e.addr = Some(ea);
+                    e.value = Some(a);
+                }
+            }
+            Inst::Branch { cond, target, .. } => {
+                let t = branch_taken(cond, a, b);
+                taken_actual = Some(t);
+                actual_next = Some(if t { target } else { pc.next() });
+                latency = lat.branch;
+            }
+            Inst::Jump { target } => {
+                actual_next = Some(target);
+                latency = lat.branch;
+            }
+            Inst::Call { target } => {
+                result = Some(pc.next().word() as i64);
+                actual_next = Some(target);
+                latency = lat.branch;
+            }
+            Inst::CallIndirect { .. } => {
+                result = Some(pc.next().word() as i64);
+                actual_next = Some(Addr::new(a as u64));
+                latency = lat.branch;
+            }
+            Inst::JumpIndirect { .. } => {
+                actual_next = Some(Addr::new(a as u64));
+                latency = lat.branch;
+            }
+            Inst::Return => {
+                actual_next = Some(Addr::new(a as u64));
+                latency = lat.branch;
+            }
+        }
+
+        let u = &mut self.ruu[idx];
+        u.result = result;
+        u.actual_next_pc = actual_next;
+        u.taken_actual = taken_actual;
+        u.mem_addr = mem_addr;
+        u.store_value = store_value;
+        u.state = UopState::Issued {
+            done_at: self.cycle + latency.max(1),
+        };
+        if let Some(t) = &mut self.ptrace {
+            t.on_issue(seq, self.cycle);
+        }
+        true
+    }
+
+    fn load_forward(&self, seq: u64, path: PathId, ea: u64) -> LoadOutcome {
+        let mut forwarded = None;
+        for e in self.lsq.iter() {
+            if e.seq >= seq || !e.is_store || e.squashed {
+                continue;
+            }
+            if !self.paths.visible(e.path, e.seq, path) {
+                continue;
+            }
+            match e.addr {
+                None => return LoadOutcome::NotReady,
+                Some(addr) if addr == ea => {
+                    forwarded = Some(e.value.expect("executed store has value"));
+                }
+                Some(_) => {}
+            }
+        }
+        match forwarded {
+            Some(v) => LoadOutcome::Forwarded(v),
+            None => LoadOutcome::FromMemory,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut slots = self.config.dispatch_width;
+        while slots > 0 {
+            let Some((ready_at, _)) = self.fetch_queue.front() else {
+                break;
+            };
+            if *ready_at > self.cycle {
+                break;
+            }
+            if self.ruu.len() >= self.config.ruu_size {
+                break;
+            }
+            let needs_lsq = self.fetch_queue.front().expect("checked").1.inst.is_mem();
+            if needs_lsq && self.lsq.len() >= self.config.lsq_size {
+                break;
+            }
+            let (_, uop) = self.fetch_queue.pop_front().expect("checked non-empty");
+            if let Some(t) = &mut self.ptrace {
+                t.on_dispatch(uop.seq, self.cycle);
+            }
+            if needs_lsq {
+                self.lsq.push_back(LsqEntry {
+                    seq: uop.seq,
+                    path: uop.path,
+                    is_store: uop.inst.is_store(),
+                    addr: None,
+                    value: None,
+                    squashed: uop.squashed,
+                });
+            }
+            self.ruu.push_back(uop);
+            slots -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch (with fetch-time renaming and speculative RAS update)
+    // ------------------------------------------------------------------
+
+    /// Renames one source register on `path` at fetch time.
+    fn rename_src(&self, path: PathId, reg: Reg) -> Src {
+        if reg.is_zero() {
+            return Src::Value(0);
+        }
+        match self.path_ctx[path.index()].map[reg.index() as usize] {
+            Some(seq) => Src::Pending(seq),
+            None => Src::Value(self.regfile[reg.index() as usize]),
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.halted {
+            return;
+        }
+        // Round-robin path selection.
+        let alive = self.paths.alive_paths();
+        let candidates: Vec<PathId> = alive
+            .into_iter()
+            .filter(|&p| {
+                let ctx = &self.path_ctx[p.index()];
+                !ctx.fetch_stopped && ctx.stall_until <= self.cycle
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        self.fetch_rotor = (self.fetch_rotor + 1) % candidates.len();
+        let path = candidates[self.fetch_rotor];
+
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width && self.fetch_queue.len() < self.config.fetch_queue
+        {
+            let pc = self.path_ctx[path.index()].fetch_pc;
+            // Instruction-cache access; a miss stalls this path.
+            let lat = self.memory.inst_access(pc.word());
+            if lat > self.config.mem.l1_latency {
+                self.path_ctx[path.index()].stall_until = self.cycle + lat;
+                break;
+            }
+            let (inst, wild) = match self.program.fetch(pc) {
+                Some(i) => (i, false),
+                None => (Inst::Nop, true),
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut uop = Uop::new(seq, path, pc, inst, pc.next());
+            uop.wild = wild;
+
+            // Rename sources (operand order matters; see `try_execute`).
+            let srcs = inst.sources();
+            match inst {
+                Inst::Store { rs, base, .. } => {
+                    uop.srcs[0] = self.rename_src(path, rs);
+                    uop.srcs[1] = self.rename_src(path, base);
+                }
+                _ => {
+                    for (i, &r) in srcs.iter().take(2).enumerate() {
+                        uop.srcs[i] = self.rename_src(path, r);
+                    }
+                }
+            }
+
+            // Predict the next PC and update the RAS speculatively.
+            let mut stop_block = false;
+            let kind = inst.control_kind();
+            let next = match kind {
+                ControlKind::Sequential => pc.next(),
+                ControlKind::Halt => {
+                    self.path_ctx[path.index()].fetch_stopped = true;
+                    stop_block = true;
+                    pc
+                }
+                ControlKind::CondBranch { target } => {
+                    let history = self.path_ctx[path.index()].history;
+                    let pred = self.hybrid.predict_with_history(pc, history);
+                    uop.dir_pred = Some(pred);
+                    uop.history_at_fetch = Some(history);
+                    self.path_ctx[path.index()].history = (history << 1) | u64::from(pred.taken);
+                    let mut forked = false;
+                    if self.config.multipath.is_some() && !self.confidence.is_confident(pc) {
+                        if let Some(child) = self.paths.fork(path, seq) {
+                            // The child fetches the arm we are *not*
+                            // following.
+                            let other = if pred.taken { pc.next() } else { target };
+                            let parent_map = self.path_ctx[path.index()].map;
+                            let mut ctx = PathCtx::new(other);
+                            ctx.map = parent_map;
+                            // The child follows the other arm, so its
+                            // speculative history gets the opposite bit.
+                            ctx.history = (history << 1) | u64::from(!pred.taken);
+                            ctx.stall_until = self.cycle + 1;
+                            debug_assert_eq!(self.path_ctx.len(), child.index());
+                            self.path_ctx.push(ctx);
+                            self.ras.on_fork(path, child);
+                            uop.forked_child = Some(child);
+                            self.stats.forks += 1;
+                            self.stats.max_live_paths = self
+                                .stats
+                                .max_live_paths
+                                .max(self.paths.live_count() as u64);
+                            forked = true;
+                        }
+                    }
+                    if !forked {
+                        uop.ras_ckpt = self.ras.checkpoint(path);
+                    }
+                    if pred.taken {
+                        stop_block = true;
+                        target
+                    } else {
+                        pc.next()
+                    }
+                }
+                ControlKind::Jump { target } => {
+                    stop_block = true;
+                    target
+                }
+                ControlKind::Call { target } => {
+                    self.ras.push(path, pc.next().word());
+                    stop_block = true;
+                    target
+                }
+                ControlKind::IndirectCall => {
+                    self.ras.push(path, pc.next().word());
+                    uop.ras_ckpt = self.ras.checkpoint(path);
+                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    stop_block = true;
+                    self.btb.lookup(pc).unwrap_or_else(|| pc.next())
+                }
+                ControlKind::IndirectJump => {
+                    uop.ras_ckpt = self.ras.checkpoint(path);
+                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    stop_block = true;
+                    self.btb.lookup(pc).unwrap_or_else(|| pc.next())
+                }
+                ControlKind::Return => {
+                    let (target, source) = self.predict_return(path, pc);
+                    uop.return_source = Some(source);
+                    uop.ras_ckpt = self.ras.checkpoint(path);
+                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    stop_block = true;
+                    target
+                }
+            };
+            uop.pred_next_pc = next;
+            self.stats.fetched_uops += 1;
+            if let Some(t) = &mut self.ptrace {
+                t.on_fetch(seq, pc, inst, self.cycle);
+            }
+            self.update_fetch_map(path, &uop);
+            self.fetch_queue
+                .push_back((self.cycle + self.config.decode_latency, uop));
+            self.path_ctx[path.index()].fetch_pc = next;
+            fetched += 1;
+            if wild {
+                // Stop chasing instructions outside the image; an older
+                // misprediction will redirect us.
+                self.path_ctx[path.index()].fetch_stopped = true;
+                break;
+            }
+            if stop_block {
+                break;
+            }
+        }
+    }
+
+    fn update_fetch_map(&mut self, path: PathId, uop: &Uop) {
+        if let Some(dest) = uop.inst.dest() {
+            self.path_ctx[path.index()].map[dest.index() as usize] = Some(uop.seq);
+        }
+    }
+
+    fn predict_return(&mut self, path: PathId, pc: Addr) -> (Addr, ReturnSource) {
+        match self.config.return_predictor {
+            ReturnPredictor::Perfect => match self.ras.pop(path) {
+                Some(t) => (Addr::new(t), ReturnSource::Oracle),
+                None => (pc.next(), ReturnSource::Fallthrough),
+            },
+            ReturnPredictor::Ras { .. } | ReturnPredictor::SelfCheckpointing { .. } => {
+                match self.ras.pop(path) {
+                    Some(t) => (Addr::new(t), ReturnSource::Ras),
+                    // Invalidated entry (valid-bits) or stale slot: fall back
+                    // to the BTB, then to sequential.
+                    None => match self.btb.lookup(pc) {
+                        Some(t) => (t, ReturnSource::Btb),
+                        None => (pc.next(), ReturnSource::Fallthrough),
+                    },
+                }
+            }
+            ReturnPredictor::BtbOnly => match self.btb.lookup(pc) {
+                Some(t) => (t, ReturnSource::Btb),
+                None => (pc.next(), ReturnSource::Fallthrough),
+            },
+        }
+    }
+}
+
+enum LoadOutcome {
+    NotReady,
+    Forwarded(i64),
+    FromMemory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FuLatencies, MultipathConfig};
+    use hydra_isa::{AluOp, Cond, ProgramBuilder};
+    use ras_core::{MultipathStackPolicy, RepairPolicy};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new();
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    fn run_golden(config: CoreConfig, program: &Program, max: u64) -> (Core, SimStats) {
+        let mut core = Core::new(config, program);
+        core.enable_golden_check();
+        let stats = core.run(max);
+        (core, stats)
+    }
+
+    #[test]
+    fn straight_line_program_commits_in_order() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 6);
+            b.load_imm(Reg::R2, 7);
+            b.alu(AluOp::Mul, Reg::R3, Reg::R1, Reg::R2);
+            b.alu_imm(AluOp::Add, Reg::R4, Reg::R3, 1);
+            b.halt();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 100);
+        assert!(core.is_halted());
+        assert_eq!(stats.committed, 5);
+        assert_eq!(core.arch_reg(Reg::R3), 42);
+        assert_eq!(core.arch_reg(Reg::R4), 43);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn dependent_chain_respects_latency() {
+        // 10 dependent multiplies: cycles must exceed 10 * mul latency.
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 1);
+            for _ in 0..10 {
+                b.alu_imm(AluOp::Mul, Reg::R1, Reg::R1, 3);
+            }
+            b.halt();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 100);
+        assert_eq!(core.arch_reg(Reg::R1), 3i64.pow(10));
+        assert!(
+            stats.cycles >= 10 * FuLatencies::default().mul,
+            "cycles {}",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn independent_ops_exploit_width() {
+        // A predictable loop of independent adds: once caches and the
+        // predictor are warm, a 4-wide core must sustain IPC > 1.
+        let p = build(|b| {
+            let top = b.fresh_label();
+            b.load_imm(Reg::R7, 500);
+            b.bind(top).unwrap();
+            for i in 0..8i64 {
+                b.alu_imm(AluOp::Add, Reg::gpr(1 + (i % 6) as u8), Reg::ZERO, i);
+            }
+            b.alu_imm(AluOp::Sub, Reg::R7, Reg::R7, 1);
+            b.branch(Cond::Gt, Reg::R7, Reg::ZERO, top);
+            b.halt();
+        });
+        let (_, stats) = run_golden(CoreConfig::baseline(), &p, 100_000);
+        assert!(stats.ipc() > 1.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn loads_and_stores_forward_correctly() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 1234);
+            b.load_imm(Reg::R2, 100);
+            b.store(Reg::R1, Reg::R2, 0);
+            b.load(Reg::R3, Reg::R2, 0); // must forward 1234
+            b.alu_imm(AluOp::Add, Reg::R4, Reg::R3, 1);
+            b.halt();
+        });
+        let (core, _) = run_golden(CoreConfig::baseline(), &p, 200);
+        assert_eq!(core.arch_reg(Reg::R4), 1235);
+    }
+
+    #[test]
+    fn call_return_round_trip() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            b.call(f);
+            b.load_imm(Reg::R2, 9);
+            b.halt();
+            b.bind(f).unwrap();
+            b.load_imm(Reg::R1, 5);
+            b.ret();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 100);
+        assert_eq!(core.arch_reg(Reg::R1), 5);
+        assert_eq!(core.arch_reg(Reg::R2), 9);
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.returns, 1);
+        assert_eq!(stats.return_hits, 1, "RAS predicts the return");
+    }
+
+    #[test]
+    fn mispredicted_branch_recovers() {
+        // A data-dependent branch the cold predictor gets wrong at least
+        // once; correctness must be unaffected.
+        let p = build(|b| {
+            let els = b.fresh_label();
+            let done = b.fresh_label();
+            b.load_imm(Reg::R1, 1);
+            b.branch(Cond::Ne, Reg::R1, Reg::ZERO, els); // taken; cold predicts NT
+            b.load_imm(Reg::R2, 111); // wrong path
+            b.jump(done);
+            b.bind(els).unwrap();
+            b.load_imm(Reg::R2, 222);
+            b.bind(done).unwrap();
+            b.halt();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 100);
+        assert_eq!(core.arch_reg(Reg::R2), 222);
+        assert_eq!(stats.cond_mispredictions, 1);
+        assert!(stats.squashed_uops > 0, "wrong path was fetched");
+    }
+
+    #[test]
+    fn wrong_path_execution_corrupts_unrepaired_ras() {
+        // Loop: call f; branch that mispredicts into a region with a
+        // return (pops the stack wrongly). With RepairPolicy::None some
+        // returns mispredict; with TosPointerAndContents none should.
+        fn workload() -> Program {
+            build(|b| {
+                let f = b.fresh_label();
+                let g = b.fresh_label();
+                let loop_top = b.fresh_label();
+                let after = b.fresh_label();
+                b.load_imm(Reg::R5, 200); // loop counter
+                b.load_imm(Reg::R6, 0);
+                b.bind(loop_top).unwrap();
+                b.call(f);
+                // alternating branch: mispredicts while cold
+                b.alu_imm(AluOp::Xor, Reg::R6, Reg::R6, 1);
+                b.branch(Cond::Eq, Reg::R6, Reg::ZERO, after);
+                // "then" side contains a call+return pair so the wrong
+                // path pops/pushes the RAS when control goes the other way
+                b.call(g);
+                b.bind(after).unwrap();
+                b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+                b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+                b.halt();
+                b.bind(f).unwrap();
+                b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+                b.ret();
+                b.bind(g).unwrap();
+                b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 1);
+                b.ret();
+            })
+        }
+        let p = workload();
+        let none = {
+            let cfg = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+                entries: 32,
+                repair: RepairPolicy::None,
+            });
+            let (_, s) = run_golden(cfg, &p, 20_000);
+            s
+        };
+        let repaired = {
+            let cfg = CoreConfig::baseline();
+            let (_, s) = run_golden(cfg, &p, 20_000);
+            s
+        };
+        assert!(none.returns > 100);
+        assert!(
+            repaired.return_hit_rate().value() >= none.return_hit_rate().value(),
+            "repair must not hurt: {} vs {}",
+            repaired.return_hit_rate(),
+            none.return_hit_rate()
+        );
+        assert!(
+            repaired.return_hit_rate().percent() > 99.0,
+            "ptr+contents repairs everything here: {}",
+            repaired.return_hit_rate()
+        );
+    }
+
+    #[test]
+    fn recursion_with_software_stack() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let base = b.fresh_label();
+            b.load_imm(Reg::R1, 6);
+            b.call(f);
+            b.halt();
+            b.bind(f).unwrap();
+            b.branch(Cond::Le, Reg::R1, Reg::ZERO, base);
+            b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+            b.alu_imm(AluOp::Add, Reg::SP, Reg::SP, 1);
+            b.store(Reg::RA, Reg::SP, 0);
+            b.call(f);
+            b.load(Reg::RA, Reg::SP, 0);
+            b.alu_imm(AluOp::Sub, Reg::SP, Reg::SP, 1);
+            b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 1);
+            b.bind(base).unwrap();
+            b.ret();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 10_000);
+        assert_eq!(core.arch_reg(Reg::R2), 6);
+        assert_eq!(stats.calls, 7);
+        assert_eq!(stats.returns, 7);
+    }
+
+    #[test]
+    fn indirect_call_resolves_via_btb_training() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let loop_top = b.fresh_label();
+            b.load_imm(Reg::R5, 50);
+            b.load_label_addr(Reg::R4, f);
+            b.bind(loop_top).unwrap();
+            b.call_indirect(Reg::R4);
+            b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+            b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+            b.halt();
+            b.bind(f).unwrap();
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+            b.ret();
+        });
+        let (core, stats) = run_golden(CoreConfig::baseline(), &p, 10_000);
+        assert_eq!(core.arch_reg(Reg::R1), 50);
+        assert_eq!(stats.calls, 50);
+        // After BTB warm-up the indirect target predicts correctly, so
+        // only the first few mispredict.
+        assert!(stats.target_mispredictions < 10);
+    }
+
+    #[test]
+    fn btb_only_returns_are_poor_with_two_callers() {
+        // One function called from two sites alternately: BTB-only return
+        // prediction must do badly; a RAS must be near-perfect.
+        fn program() -> Program {
+            build(|b| {
+                let f = b.fresh_label();
+                let loop_top = b.fresh_label();
+                b.load_imm(Reg::R5, 100);
+                b.bind(loop_top).unwrap();
+                b.call(f); // site A
+                b.call(f); // site B
+                b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+                b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+                b.halt();
+                b.bind(f).unwrap();
+                b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+                b.ret();
+            })
+        }
+        let p = program();
+        let (_, btb_stats) = run_golden(
+            CoreConfig::with_return_predictor(ReturnPredictor::BtbOnly),
+            &p,
+            50_000,
+        );
+        let (_, ras_stats) = run_golden(CoreConfig::baseline(), &p, 50_000);
+        assert!(
+            btb_stats.return_hit_rate().percent() < 40.0,
+            "alternating callers thrash the BTB: {}",
+            btb_stats.return_hit_rate()
+        );
+        assert!(
+            ras_stats.return_hit_rate().percent() > 98.0,
+            "RAS pairs calls with returns: {}",
+            ras_stats.return_hit_rate()
+        );
+    }
+
+    #[test]
+    fn perfect_return_predictor_never_misses() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let loop_top = b.fresh_label();
+            b.load_imm(Reg::R5, 60);
+            b.bind(loop_top).unwrap();
+            b.call(f);
+            b.call(f);
+            b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+            b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+            b.halt();
+            b.bind(f).unwrap();
+            b.ret();
+        });
+        let (_, stats) = run_golden(
+            CoreConfig::with_return_predictor(ReturnPredictor::Perfect),
+            &p,
+            50_000,
+        );
+        assert_eq!(stats.return_hits, stats.returns);
+    }
+
+    #[test]
+    fn deep_recursion_overflows_small_stack() {
+        // Recursion depth 16 over a 4-entry stack: overflow wraps, the
+        // deep returns mispredict, but execution stays correct.
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let base = b.fresh_label();
+            b.load_imm(Reg::R1, 16);
+            b.call(f);
+            b.halt();
+            b.bind(f).unwrap();
+            b.branch(Cond::Le, Reg::R1, Reg::ZERO, base);
+            b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+            b.alu_imm(AluOp::Add, Reg::SP, Reg::SP, 1);
+            b.store(Reg::RA, Reg::SP, 0);
+            b.call(f);
+            b.load(Reg::RA, Reg::SP, 0);
+            b.alu_imm(AluOp::Sub, Reg::SP, Reg::SP, 1);
+            b.bind(base).unwrap();
+            b.ret();
+        });
+        let cfg = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+            entries: 4,
+            repair: RepairPolicy::TosPointerAndContents,
+        });
+        let (core, stats) = run_golden(cfg, &p, 10_000);
+        assert!(core.is_halted());
+        assert!(stats.ras_overflows > 0);
+        assert!(stats.return_hits < stats.returns);
+    }
+
+    #[test]
+    fn multipath_forks_and_stays_correct() {
+        // Hard-to-predict alternation drives low confidence and forking.
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let after = b.fresh_label();
+            let loop_top = b.fresh_label();
+            b.load_imm(Reg::R5, 300);
+            b.load_imm(Reg::R6, 0);
+            b.bind(loop_top).unwrap();
+            b.alu_imm(AluOp::Xor, Reg::R6, Reg::R6, 1);
+            b.branch(Cond::Eq, Reg::R6, Reg::ZERO, after);
+            b.call(f);
+            b.bind(after).unwrap();
+            b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+            b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+            b.halt();
+            b.bind(f).unwrap();
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+            b.ret();
+        });
+        let cfg = CoreConfig {
+            multipath: Some(MultipathConfig {
+                max_paths: 2,
+                stack_policy: MultipathStackPolicy::PerPath,
+            }),
+            ..CoreConfig::default()
+        };
+        let (core, stats) = run_golden(cfg, &p, 50_000);
+        assert!(core.is_halted());
+        assert_eq!(core.arch_reg(Reg::R1), 150);
+        assert!(stats.forks > 0, "low-confidence branches forked");
+        assert_eq!(stats.max_live_paths, 2);
+    }
+
+    #[test]
+    fn multipath_four_paths_correct() {
+        let p = build(|b| {
+            let after1 = b.fresh_label();
+            let after2 = b.fresh_label();
+            let loop_top = b.fresh_label();
+            b.load_imm(Reg::R5, 200);
+            b.load_imm(Reg::R6, 0);
+            b.bind(loop_top).unwrap();
+            b.alu_imm(AluOp::Xor, Reg::R6, Reg::R6, 1);
+            b.branch(Cond::Eq, Reg::R6, Reg::ZERO, after1);
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+            b.bind(after1).unwrap();
+            b.alu_imm(AluOp::Xor, Reg::R7, Reg::R7, 1);
+            b.branch(Cond::Ne, Reg::R7, Reg::ZERO, after2);
+            b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 1);
+            b.bind(after2).unwrap();
+            b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+            b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+            b.halt();
+        });
+        let cfg = CoreConfig::multipath(4, MultipathStackPolicy::PerPath);
+        let (core, stats) = run_golden(cfg, &p, 50_000);
+        assert!(core.is_halted());
+        assert_eq!(core.arch_reg(Reg::R1), 100);
+        assert_eq!(core.arch_reg(Reg::R2), 100);
+        assert!(stats.forks > 0);
+    }
+
+    #[test]
+    fn checkpoint_budget_limits_repair() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 1);
+            b.halt();
+        });
+        let cfg = CoreConfig {
+            checkpoint_budget: Some(4),
+            ..CoreConfig::default()
+        };
+        let core = Core::new(cfg, &p);
+        assert_eq!(core.config().checkpoint_budget, Some(4));
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let p = build(|b| {
+            b.halt();
+        });
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        assert!(!core.is_halted());
+        let s = core.run(10);
+        assert!(core.is_halted());
+        assert_eq!(s.committed, 1);
+        assert!(core.cycle() > 0);
+    }
+}
+
+/// Regression tests for multipath corner cases found by property testing.
+#[cfg(test)]
+mod multipath_regressions {
+    use super::*;
+    use hydra_workloads::{Workload, WorkloadSpec};
+    use ras_core::MultipathStackPolicy;
+
+    /// The workload shape that exposed both bugs: all-leaf functions,
+    /// easy-biased branches, tiny main loop — producing dense chains of
+    /// forks where fork parents retire and must later be squashed or
+    /// revived by older branches.
+    fn nasty_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "regression".to_string(),
+            functions: 6,
+            call_depth: 1,
+            filler: (1, 4),
+            segments: (1, 4),
+            call_prob: 0.0,
+            indirect_frac: 0.0,
+            hard_branch_prob: 0.0,
+            hard_branch_takenness: 0.5,
+            easy_branch_prob: 0.24113697913807106,
+            loop_prob: 0.0,
+            loop_iters: (2, 5),
+            mem_prob: 0.0,
+            recursion_depth: 0,
+            mutual_recursion: false,
+            outer_iterations: 20,
+            calls_in_main: 2,
+            call_table_slots: 4,
+            data_words: 16_384,
+        }
+    }
+
+    /// Bug 1: a path retired by a younger fork must be *revived* when an
+    /// older branch on it mispredicts (otherwise no path fetches and the
+    /// core wedges).
+    ///
+    /// Bug 2: a retired path inside a killed subtree must still have its
+    /// in-flight micro-ops squashed (`kill_subtree` must return subtree
+    /// membership, not just live paths), or wrong-path micro-ops commit.
+    #[test]
+    fn retired_fork_parents_are_revived_and_squashed_correctly() {
+        for (seed, paths) in [(10u64, 3usize), (10, 2), (10, 4), (491, 3), (7, 4)] {
+            let w = Workload::generate(&nasty_spec(), seed).unwrap();
+            let mut core = Core::new(
+                CoreConfig::multipath(paths, MultipathStackPolicy::PerPath),
+                w.program(),
+            );
+            core.enable_golden_check();
+            let stats = core.run(3_000_000);
+            assert!(core.is_halted(), "seed {seed} paths {paths}");
+            assert!(stats.committed > 500, "seed {seed} paths {paths}");
+        }
+    }
+
+    /// The go-like workload that wedged the original multipath
+    /// implementation (dense forking under a unified stack).
+    #[test]
+    fn dense_forking_with_unified_stack_makes_progress() {
+        let spec = WorkloadSpec::by_name("go").unwrap();
+        let w = Workload::generate(&spec, 12345).unwrap();
+        let mut core = Core::new(
+            CoreConfig::multipath(
+                2,
+                MultipathStackPolicy::Unified {
+                    repair: ras_core::RepairPolicy::None,
+                },
+            ),
+            w.program(),
+        );
+        let stats = core.run(120_000);
+        // run() finishes the commit group in flight, so it may overshoot
+        // by up to commit_width - 1.
+        assert!(stats.committed >= 120_000);
+        assert!(stats.forks > 0);
+    }
+}
+
+/// Focused tests of memory ordering, structural stalls and front-end
+/// behaviour.
+#[cfg(test)]
+mod microarch_tests {
+    use super::*;
+    use hydra_isa::{AluOp, Cond, ProgramBuilder};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new();
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn store_load_aliasing_chain_is_exact() {
+        // A chain of stores and loads to aliasing addresses; forwarding
+        // and memory ordering must produce exact values.
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 100); // base
+            for i in 0..8i64 {
+                b.alu_imm(AluOp::Add, Reg::R2, Reg::ZERO, 10 + i);
+                b.store(Reg::R2, Reg::R1, i % 3); // addresses 100..102, reused
+                b.load(Reg::R3, Reg::R1, i % 3); // must see the store
+                b.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R3);
+            }
+            b.halt();
+        });
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.enable_golden_check();
+        core.run(1_000);
+        // sum of 10..=17
+        assert_eq!(core.arch_reg(Reg::R4), (10..18).sum::<i64>());
+    }
+
+    #[test]
+    fn lsq_pressure_stalls_but_stays_correct() {
+        // More memory ops in flight than LSQ entries.
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 500);
+            for i in 0..64i64 {
+                b.store(Reg::R1, Reg::ZERO, 200 + i);
+                b.load(Reg::R2, Reg::ZERO, 200 + i);
+            }
+            b.halt();
+        });
+        let cfg = CoreConfig {
+            lsq_size: 2,
+            ..CoreConfig::baseline()
+        };
+        let mut core = Core::new(cfg, &p);
+        core.enable_golden_check();
+        let stats = core.run(10_000);
+        assert!(core.is_halted());
+        assert_eq!(stats.committed, 130);
+    }
+
+    #[test]
+    fn ruu_of_one_serializes_execution() {
+        let p = build(|b| {
+            for i in 0..10 {
+                b.load_imm(Reg::R1, i);
+            }
+            b.halt();
+        });
+        let cfg = CoreConfig {
+            ruu_size: 1,
+            ..CoreConfig::baseline()
+        };
+        let mut core = Core::new(cfg, &p);
+        core.enable_golden_check();
+        let stats = core.run(100);
+        assert!(core.is_halted());
+        assert!(
+            stats.ipc() < 1.0,
+            "single-entry RUU serializes: {}",
+            stats.ipc()
+        );
+    }
+
+    #[test]
+    fn wrong_path_loads_do_not_corrupt_architectural_memory() {
+        // A mispredicted branch guards a store; the wrong path executes
+        // the store speculatively but it must never reach memory.
+        let p = build(|b| {
+            let skip = b.fresh_label();
+            b.load_imm(Reg::R1, 1);
+            b.load_imm(Reg::R2, 0xbad);
+            // Cold predictor predicts not-taken; branch is taken, so the
+            // store below is wrong-path work.
+            b.branch(Cond::Ne, Reg::R1, Reg::ZERO, skip);
+            b.store(Reg::R2, Reg::ZERO, 300);
+            b.bind(skip).unwrap();
+            b.load(Reg::R3, Reg::ZERO, 300);
+            b.halt();
+        });
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.enable_golden_check();
+        core.run(100);
+        assert_eq!(core.arch_reg(Reg::R3), 0, "speculative store squashed");
+    }
+
+    #[test]
+    fn fetch_queue_flush_discards_wrong_path() {
+        // A tight mispredicting loop: squashed fetch-queue entries must
+        // not dispatch. Golden check enforces correctness; this test
+        // additionally confirms wrong-path uops were actually fetched.
+        let p = build(|b| {
+            let top = b.fresh_label();
+            b.load_imm(Reg::R1, 64);
+            b.load_imm(Reg::R2, 0);
+            b.bind(top).unwrap();
+            b.alu_imm(AluOp::Xor, Reg::R2, Reg::R2, 1);
+            // Alternates every iteration: mispredicts often while cold.
+            let skip = b.fresh_label();
+            b.branch(Cond::Eq, Reg::R2, Reg::ZERO, skip);
+            b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+            b.bind(skip).unwrap();
+            b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+            b.branch(Cond::Gt, Reg::R1, Reg::ZERO, top);
+            b.halt();
+        });
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.enable_golden_check();
+        let stats = core.run(10_000);
+        assert!(core.is_halted());
+        assert_eq!(core.arch_reg(Reg::R3), 32);
+        assert!(stats.squashed_uops > 0);
+    }
+
+    #[test]
+    fn narrow_machine_matches_wide_machine_architecturally() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            let top = b.fresh_label();
+            b.load_imm(Reg::R5, 30);
+            b.bind(top).unwrap();
+            b.call(f);
+            b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+            b.branch(Cond::Gt, Reg::R5, Reg::ZERO, top);
+            b.halt();
+            b.bind(f).unwrap();
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 3);
+            b.ret();
+        });
+        let run_width = |w: usize| {
+            let cfg = CoreConfig {
+                fetch_width: w,
+                dispatch_width: w,
+                issue_width: w,
+                commit_width: w,
+                ..CoreConfig::baseline()
+            };
+            let mut core = Core::new(cfg, &p);
+            core.enable_golden_check();
+            let s = core.run(10_000);
+            (core.arch_reg(Reg::R1), s.cycles)
+        };
+        let (r1_narrow, cyc_narrow) = run_width(1);
+        let (r1_wide, cyc_wide) = run_width(8);
+        assert_eq!(r1_narrow, 90);
+        assert_eq!(r1_wide, 90);
+        assert!(cyc_narrow > cyc_wide, "wider machine is faster");
+    }
+
+    #[test]
+    fn cold_icache_misses_slow_fetch() {
+        let p = build(|b| {
+            for i in 0..100 {
+                b.load_imm(Reg::R1, i);
+            }
+            b.halt();
+        });
+        let run_with_mem = |slow: bool| {
+            let mut cfg = CoreConfig::baseline();
+            if slow {
+                cfg.mem.memory_latency = 500;
+            }
+            let mut core = Core::new(cfg, &p);
+            core.run(1_000).cycles
+        };
+        assert!(run_with_mem(true) > run_with_mem(false));
+    }
+}
+
+/// Tests for the Jourdan self-checkpointing configuration.
+#[cfg(test)]
+mod jourdan_tests {
+    use super::*;
+    use hydra_isa::{AluOp, Cond, ProgramBuilder};
+
+    fn mispredicting_call_workload() -> Program {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label();
+        let g = b.fresh_label();
+        let loop_top = b.fresh_label();
+        let after = b.fresh_label();
+        b.load_imm(Reg::R5, 300);
+        b.load_imm(Reg::R6, 0);
+        b.bind(loop_top).unwrap();
+        b.call(f);
+        b.alu_imm(AluOp::Xor, Reg::R6, Reg::R6, 1);
+        b.branch(Cond::Eq, Reg::R6, Reg::ZERO, after);
+        b.call(g);
+        b.bind(after).unwrap();
+        b.alu_imm(AluOp::Sub, Reg::R5, Reg::R5, 1);
+        b.branch(Cond::Gt, Reg::R5, Reg::ZERO, loop_top);
+        b.halt();
+        b.bind(f).unwrap();
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.ret();
+        b.bind(g).unwrap();
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 1);
+        b.ret();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn self_checkpointing_stack_is_near_perfect_with_headroom() {
+        let p = mispredicting_call_workload();
+        let cfg =
+            CoreConfig::with_return_predictor(ReturnPredictor::SelfCheckpointing { entries: 64 });
+        let mut core = Core::new(cfg, &p);
+        core.enable_golden_check();
+        let stats = core.run(50_000);
+        assert!(core.is_halted());
+        assert!(stats.returns > 300);
+        assert!(
+            stats.return_hit_rate().percent() > 99.0,
+            "pointer-only repair with preserved entries: {}",
+            stats.return_hit_rate()
+        );
+    }
+
+    #[test]
+    fn self_checkpointing_degrades_when_entries_recycle() {
+        // With very few entries, wrong-path pushes recycle live chain
+        // slots and accuracy drops below the roomy configuration.
+        let p = mispredicting_call_workload();
+        let run = |entries| {
+            let cfg =
+                CoreConfig::with_return_predictor(ReturnPredictor::SelfCheckpointing { entries });
+            let mut core = Core::new(cfg, &p);
+            core.run(50_000).return_hit_rate().value()
+        };
+        let tiny = run(2);
+        let roomy = run(64);
+        assert!(roomy >= tiny, "more entries cannot hurt: {tiny} vs {roomy}");
+    }
+
+    #[test]
+    fn self_checkpointing_matches_golden_under_multipath() {
+        let p = mispredicting_call_workload();
+        let cfg = CoreConfig {
+            return_predictor: ReturnPredictor::SelfCheckpointing { entries: 48 },
+            multipath: Some(crate::config::MultipathConfig {
+                max_paths: 2,
+                stack_policy: ras_core::MultipathStackPolicy::PerPath,
+            }),
+            ..CoreConfig::default()
+        };
+        let mut core = Core::new(cfg, &p);
+        core.enable_golden_check();
+        core.run(50_000);
+        assert!(core.is_halted());
+    }
+}
+
+/// End-to-end tests of the pipeline tracer against a real run.
+#[cfg(test)]
+mod ptrace_tests {
+    use super::*;
+    use hydra_isa::{AluOp, Cond, ProgramBuilder};
+
+    #[test]
+    fn trace_records_every_stage_of_a_real_run() {
+        let mut b = ProgramBuilder::new();
+        let top = b.fresh_label();
+        b.load_imm(Reg::R1, 20);
+        b.load_imm(Reg::R2, 0);
+        b.bind(top).unwrap();
+        b.alu_imm(AluOp::Xor, Reg::R2, Reg::R2, 1);
+        let skip = b.fresh_label();
+        b.branch(Cond::Eq, Reg::R2, Reg::ZERO, skip);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.bind(skip).unwrap();
+        b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+        b.branch(Cond::Gt, Reg::R1, Reg::ZERO, top);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.enable_pipe_trace(10_000);
+        core.enable_golden_check();
+        let stats = core.run(10_000);
+        assert!(core.is_halted());
+
+        let trace = core.pipe_trace().expect("enabled");
+        assert!(!trace.is_empty());
+        let mut committed = 0u64;
+        let mut squashed = 0u64;
+        for r in trace.records() {
+            // Stage timestamps are monotone when present.
+            let f = r.fetched_at;
+            if let Some(d) = r.dispatched_at {
+                assert!(d >= f, "dispatch after fetch");
+                if let Some(i) = r.issued_at {
+                    assert!(i >= d);
+                    if let Some(x) = r.completed_at {
+                        assert!(x > i, "results take at least a cycle");
+                    }
+                }
+            }
+            if let Some(ret) = r.retired_at {
+                assert!(ret >= f);
+            }
+            if r.squashed_at.is_some() {
+                squashed += 1;
+            } else if r.retired_at.is_some() {
+                committed += 1;
+            }
+        }
+        // Every fetched uop was traced: committed + squashed + still in
+        // flight at halt account for the totals.
+        assert_eq!(committed, stats.committed);
+        assert!(squashed > 0, "the alternating branch mispredicted");
+        let first = trace.records().next().expect("non-empty").fetched_at;
+        let rendered = trace.render_window(first, 80);
+        assert!(rendered.contains('F'));
+        assert!(rendered.contains('C'));
+    }
+
+    #[test]
+    fn disabled_trace_is_absent() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.run(10);
+        assert!(core.pipe_trace().is_none());
+    }
+}
+
+#[cfg(test)]
+mod occupancy_tests {
+    use super::*;
+    use hydra_isa::{AluOp, ProgramBuilder};
+
+    #[test]
+    fn occupancy_is_sampled_every_cycle() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..40 {
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, i);
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        let stats = core.run(1_000);
+        let occ = core.occupancy();
+        assert_eq!(occ.ruu.total(), stats.cycles);
+        assert_eq!(occ.live_paths.total(), stats.cycles);
+        assert!(occ.ruu.mean() > 0.0, "the window was used");
+        assert!(occ.ruu.max().unwrap() <= 64);
+        assert_eq!(occ.live_paths.max(), Some(1), "single-path run");
+    }
+
+    #[test]
+    fn reset_stats_clears_occupancy() {
+        let mut b = ProgramBuilder::new();
+        let spin = b.fresh_label();
+        b.bind(spin).unwrap();
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch(hydra_isa::Cond::Ge, Reg::R1, Reg::ZERO, spin);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut core = Core::new(CoreConfig::baseline(), &p);
+        core.run(500);
+        core.reset_stats();
+        assert_eq!(core.occupancy().ruu.total(), 0);
+        core.run(1_000);
+        assert!(core.occupancy().ruu.total() > 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Execution-path bookkeeping for multipath (and single-path) execution.
+//!
+//! Paths form a tree: forking at a low-confidence branch creates a child
+//! path whose `fork_seq` is the forking branch's fetch sequence number.
+//! Two questions drive all squash and rename logic, both answered here:
+//!
+//! * **lineage** — is micro-op *U* part of the continuation of path *P*
+//!   after sequence *S*? (Those are the micro-ops a misprediction at
+//!   `(P, S)` must squash.)
+//! * **visibility** — can path *P* observe micro-op *U*'s result? (*U*
+//!   must be on *P* itself, or on an ancestor *before* the fork point
+//!   leading toward *P*.)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one execution path within a simulation.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The initial (architectural) path.
+    pub const ROOT: PathId = PathId(0);
+
+    /// Index form, for dense per-path tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PathInfo {
+    parent: Option<PathId>,
+    fork_seq: u64,
+    alive: bool,
+}
+
+/// The path tree: creation, death, lineage and visibility queries.
+///
+/// Paths are never recycled within a simulation (identifiers are dense
+/// and monotone), but only up to `max_live` may be alive at once.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_pipeline::{PathId, PathTable};
+///
+/// let mut t = PathTable::new(2);
+/// let child = t.fork(PathId::ROOT, 10).expect("context free");
+/// assert!(t.is_alive(child));
+/// assert_eq!(t.fork(child, 11), None); // both contexts in use
+/// t.kill_subtree(child);
+/// assert!(!t.is_alive(child));
+/// assert_eq!(t.live_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathTable {
+    paths: Vec<PathInfo>,
+    max_live: usize,
+}
+
+impl PathTable {
+    /// Creates a table with the root path alive and room for `max_live`
+    /// simultaneous paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_live` is zero.
+    pub fn new(max_live: usize) -> Self {
+        assert!(max_live > 0, "need at least one live path");
+        PathTable {
+            paths: vec![PathInfo {
+                parent: None,
+                fork_seq: 0,
+                alive: true,
+            }],
+            max_live,
+        }
+    }
+
+    /// Number of currently live paths.
+    pub fn live_count(&self) -> usize {
+        self.paths.iter().filter(|p| p.alive).count()
+    }
+
+    /// Whether `path` is alive (may fetch and fork).
+    pub fn is_alive(&self, path: PathId) -> bool {
+        self.paths[path.index()].alive
+    }
+
+    /// Live paths in creation order.
+    pub fn alive_paths(&self) -> Vec<PathId> {
+        (0..self.paths.len() as u32)
+            .map(PathId)
+            .filter(|&p| self.is_alive(p))
+            .collect()
+    }
+
+    /// The parent of `path`, if it has one.
+    pub fn parent(&self, path: PathId) -> Option<PathId> {
+        self.paths[path.index()].parent
+    }
+
+    /// The fetch sequence of the branch that forked `path` (0 for root).
+    pub fn fork_seq(&self, path: PathId) -> u64 {
+        self.paths[path.index()].fork_seq
+    }
+
+    /// Forks a child of `parent` at branch sequence `seq`. Returns `None`
+    /// when all path contexts are in use or the parent is dead.
+    pub fn fork(&mut self, parent: PathId, seq: u64) -> Option<PathId> {
+        if !self.is_alive(parent) || self.live_count() >= self.max_live {
+            return None;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(PathInfo {
+            parent: Some(parent),
+            fork_seq: seq,
+            alive: true,
+        });
+        Some(id)
+    }
+
+    /// Whether `descendant` is `ancestor` or transitively forked from it.
+    pub fn in_subtree(&self, descendant: PathId, ancestor: PathId) -> bool {
+        let mut cur = Some(descendant);
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Kills `root` and every path forked from it (transitively).
+    /// Returns **all** subtree members, including paths that were already
+    /// dead (e.g. retired parents whose fork lost): a squash triggered at
+    /// the subtree root must discard their in-flight micro-ops too.
+    pub fn kill_subtree(&mut self, root: PathId) -> Vec<PathId> {
+        let ids: Vec<PathId> = (0..self.paths.len() as u32)
+            .map(PathId)
+            .filter(|&p| self.in_subtree(p, root))
+            .collect();
+        for &p in &ids {
+            self.paths[p.index()].alive = false;
+        }
+        ids
+    }
+
+    /// Every path ever created, in creation order.
+    pub fn all_paths(&self) -> Vec<PathId> {
+        (0..self.paths.len() as u32).map(PathId).collect()
+    }
+
+    /// Marks a single path dead without touching its descendants (used
+    /// when a forked branch resolves *against* the parent: the parent's
+    /// fetch stops but the surviving child subtree lives on).
+    pub fn retire_path(&mut self, path: PathId) {
+        self.paths[path.index()].alive = false;
+    }
+
+    /// Brings a retired path back to life. Needed when a branch *older*
+    /// than the fork that retired the path mispredicts: the squash kills
+    /// the subtree that had taken over, and the retired path is the
+    /// correct continuation again.
+    pub fn revive(&mut self, path: PathId) {
+        self.paths[path.index()].alive = true;
+    }
+
+    /// **Lineage**: is a micro-op at `(uop_path, uop_seq)` part of the
+    /// continuation of `base` after sequence `min_seq`?
+    ///
+    /// True when the micro-op is on `base` itself with `uop_seq >
+    /// min_seq`, or on a path whose chain of forks leaves `base` strictly
+    /// after `min_seq`. A child forked *exactly at* `min_seq` is the
+    /// alternate arm of the resolving branch itself and is **not**
+    /// lineage (it survives when the branch resolves against `base`).
+    pub fn on_lineage(&self, uop_path: PathId, uop_seq: u64, base: PathId, min_seq: u64) -> bool {
+        if uop_path == base {
+            return uop_seq > min_seq;
+        }
+        // Walk up from uop_path to find the link that leaves `base`.
+        let mut cur = uop_path;
+        loop {
+            match self.parent(cur) {
+                Some(p) if p == base => return self.fork_seq(cur) > min_seq,
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// **Visibility**: the ancestor horizons of `path` — pairs
+    /// `(ancestor, horizon)` meaning micro-ops on `ancestor` with
+    /// `seq <= horizon` are visible to `path`. The path itself appears
+    /// with horizon `u64::MAX`.
+    pub fn visibility(&self, path: PathId) -> Vec<(PathId, u64)> {
+        let mut out = vec![(path, u64::MAX)];
+        let mut cur = path;
+        let mut horizon = u64::MAX;
+        while let Some(parent) = self.parent(cur) {
+            horizon = horizon.min(self.fork_seq(cur));
+            out.push((parent, horizon));
+            cur = parent;
+        }
+        out
+    }
+
+    /// Whether a micro-op at `(uop_path, uop_seq)` is visible to `path`.
+    pub fn visible(&self, uop_path: PathId, uop_seq: u64, path: PathId) -> bool {
+        self.visibility(path)
+            .iter()
+            .any(|&(p, h)| p == uop_path && uop_seq <= h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_alive() {
+        let t = PathTable::new(4);
+        assert!(t.is_alive(PathId::ROOT));
+        assert_eq!(t.live_count(), 1);
+        assert_eq!(t.parent(PathId::ROOT), None);
+        assert_eq!(t.alive_paths(), vec![PathId::ROOT]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_live_panics() {
+        let _ = PathTable::new(0);
+    }
+
+    #[test]
+    fn fork_respects_capacity() {
+        let mut t = PathTable::new(2);
+        let a = t.fork(PathId::ROOT, 5).unwrap();
+        assert_eq!(t.fork(PathId::ROOT, 6), None);
+        t.kill_subtree(a);
+        assert!(t.fork(PathId::ROOT, 7).is_some());
+    }
+
+    #[test]
+    fn fork_from_dead_parent_fails() {
+        let mut t = PathTable::new(4);
+        let a = t.fork(PathId::ROOT, 5).unwrap();
+        t.kill_subtree(a);
+        assert_eq!(t.fork(a, 9), None);
+    }
+
+    #[test]
+    fn kill_subtree_is_transitive() {
+        let mut t = PathTable::new(8);
+        let a = t.fork(PathId::ROOT, 1).unwrap();
+        let b = t.fork(a, 2).unwrap();
+        let c = t.fork(PathId::ROOT, 3).unwrap();
+        let killed = t.kill_subtree(a);
+        assert!(killed.contains(&a) && killed.contains(&b));
+        assert!(!killed.contains(&c));
+        assert!(t.is_alive(c));
+        assert!(t.is_alive(PathId::ROOT));
+    }
+
+    #[test]
+    fn lineage_same_path_uses_seq() {
+        let t = PathTable::new(2);
+        assert!(t.on_lineage(PathId::ROOT, 11, PathId::ROOT, 10));
+        assert!(!t.on_lineage(PathId::ROOT, 10, PathId::ROOT, 10));
+        assert!(!t.on_lineage(PathId::ROOT, 9, PathId::ROOT, 10));
+    }
+
+    #[test]
+    fn lineage_excludes_fork_at_exact_seq() {
+        // A branch at seq 10 forks child c. A misprediction resolution of
+        // that very branch against ROOT must squash ROOT's younger uops
+        // but NOT the child (which becomes the correct continuation).
+        let mut t = PathTable::new(4);
+        let c = t.fork(PathId::ROOT, 10).unwrap();
+        assert!(!t.on_lineage(c, 12, PathId::ROOT, 10));
+        // But an older misprediction (seq 5) squashes the child too.
+        assert!(t.on_lineage(c, 12, PathId::ROOT, 5));
+    }
+
+    #[test]
+    fn lineage_transitive_chain() {
+        let mut t = PathTable::new(8);
+        let a = t.fork(PathId::ROOT, 20).unwrap();
+        let b = t.fork(a, 30).unwrap();
+        // b hangs off ROOT through a fork at 20.
+        assert!(t.on_lineage(b, 35, PathId::ROOT, 10));
+        assert!(!t.on_lineage(b, 35, PathId::ROOT, 20));
+        // Relative to a, b forked at 30.
+        assert!(t.on_lineage(b, 35, a, 25));
+        assert!(!t.on_lineage(b, 35, a, 30));
+    }
+
+    #[test]
+    fn visibility_horizons() {
+        let mut t = PathTable::new(8);
+        let a = t.fork(PathId::ROOT, 20).unwrap();
+        let b = t.fork(a, 30).unwrap();
+        // b sees: itself fully, a up to 30, root up to 20.
+        assert!(t.visible(b, 999, b));
+        assert!(t.visible(a, 30, b));
+        assert!(!t.visible(a, 31, b));
+        assert!(t.visible(PathId::ROOT, 20, b));
+        assert!(!t.visible(PathId::ROOT, 21, b));
+        // a does not see b at all.
+        assert!(!t.visible(b, 1, a));
+        // Root doesn't see children.
+        assert!(!t.visible(a, 1, PathId::ROOT));
+    }
+
+    #[test]
+    fn retire_path_keeps_descendants() {
+        let mut t = PathTable::new(4);
+        let a = t.fork(PathId::ROOT, 1).unwrap();
+        t.retire_path(PathId::ROOT);
+        assert!(!t.is_alive(PathId::ROOT));
+        assert!(t.is_alive(a));
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(PathId::ROOT.to_string(), "path0");
+        assert_eq!(PathId::ROOT.index(), 0);
+    }
+}

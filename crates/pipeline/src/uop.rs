@@ -1,0 +1,142 @@
+//! In-flight micro-op representation.
+
+use crate::path::PathId;
+use crate::ras_unit::CkptHandle;
+use crate::stats::ReturnSource;
+use hydra_bpred::DirectionPrediction;
+use hydra_isa::{Addr, Inst};
+
+/// Execution state of a micro-op in the RUU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UopState {
+    /// Dispatched; waiting for operands or an issue slot.
+    Waiting,
+    /// Issued to a functional unit; completes at the given cycle.
+    Issued {
+        /// Cycle at which the result becomes available.
+        done_at: u64,
+    },
+    /// Result available; control instructions have been resolved.
+    Done,
+}
+
+/// A source operand after renaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// No operand in this slot.
+    None,
+    /// Value known at dispatch (architectural, immediate-like, or an
+    /// already-completed producer).
+    Value(i64),
+    /// Waiting on the in-flight producer with this sequence number.
+    Pending(u64),
+}
+
+/// One in-flight micro-op: an instruction plus everything the pipeline
+/// learned about it at fetch (predictions, checkpoints, path) and during
+/// execution (values, resolved control flow).
+#[derive(Debug, Clone)]
+pub(crate) struct Uop {
+    /// Global fetch sequence number (unique, monotone).
+    pub seq: u64,
+    /// The execution path that fetched this micro-op.
+    pub path: PathId,
+    /// Instruction address.
+    pub pc: Addr,
+    /// The instruction (a `Nop` stand-in when `wild`).
+    pub inst: Inst,
+    /// Fetched from outside the program image (a wild wrong-path fetch
+    /// after severe RAS corruption); must never commit.
+    pub wild: bool,
+    /// The next PC fetch predicted after this instruction.
+    pub pred_next_pc: Addr,
+    /// Direction-predictor state recorded at fetch (conditional branches).
+    pub dir_pred: Option<DirectionPrediction>,
+    /// The path's speculative global history before this instruction
+    /// shifted it (speculation points only; used for history repair).
+    pub history_at_fetch: Option<u64>,
+    /// Return-address-stack checkpoint taken at this speculation point.
+    pub ras_ckpt: Option<CkptHandle>,
+    /// Where the return-target prediction came from (returns only).
+    pub return_source: Option<ReturnSource>,
+    /// Child path forked at this branch (multipath).
+    pub forked_child: Option<PathId>,
+    /// Renamed source operands.
+    pub srcs: [Src; 2],
+    /// Execution state.
+    pub state: UopState,
+    /// Destination value (once executed).
+    pub result: Option<i64>,
+    /// Resolved next PC (control instructions, once executed).
+    pub actual_next_pc: Option<Addr>,
+    /// Resolved direction (conditional branches, once executed).
+    pub taken_actual: Option<bool>,
+    /// Effective address (loads/stores, once address-generated).
+    pub mem_addr: Option<u64>,
+    /// Value to store (stores, once executed).
+    pub store_value: Option<i64>,
+    /// Squashed by a misprediction or a losing path; drains without
+    /// committing.
+    pub squashed: bool,
+    /// Control resolution already handled (guards double resolution).
+    pub resolved: bool,
+}
+
+impl Uop {
+    /// Creates a freshly fetched micro-op with no execution state.
+    pub fn new(seq: u64, path: PathId, pc: Addr, inst: Inst, pred_next_pc: Addr) -> Self {
+        Uop {
+            seq,
+            path,
+            pc,
+            inst,
+            wild: false,
+            pred_next_pc,
+            dir_pred: None,
+            history_at_fetch: None,
+            ras_ckpt: None,
+            return_source: None,
+            forked_child: None,
+            srcs: [Src::None, Src::None],
+            state: UopState::Waiting,
+            result: None,
+            actual_next_pc: None,
+            taken_actual: None,
+            mem_addr: None,
+            store_value: None,
+            squashed: false,
+            resolved: false,
+        }
+    }
+
+    /// Whether this micro-op's result is available.
+    pub fn is_done(&self) -> bool {
+        self.state == UopState::Done
+    }
+
+    /// Whether this is a control transfer needing resolution.
+    pub fn is_control(&self) -> bool {
+        self.inst.control_kind().is_control()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_uop_defaults() {
+        let u = Uop::new(1, PathId::ROOT, Addr::new(4), Inst::Nop, Addr::new(5));
+        assert_eq!(u.state, UopState::Waiting);
+        assert!(!u.is_done());
+        assert!(!u.is_control());
+        assert!(!u.squashed);
+        assert_eq!(u.srcs, [Src::None, Src::None]);
+    }
+
+    #[test]
+    fn control_classification() {
+        let u = Uop::new(1, PathId::ROOT, Addr::new(4), Inst::Return, Addr::new(9));
+        assert!(u.is_control());
+    }
+}

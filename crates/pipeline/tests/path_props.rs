@@ -1,0 +1,162 @@
+//! Property-based tests for the path tree: lineage and visibility are
+//! the load-bearing predicates of multipath squashing and renaming.
+
+use hydra_pipeline::{PathId, PathTable};
+use proptest::prelude::*;
+
+/// A random fork/kill schedule.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Fork from the path with this index (mod live paths) at this seq.
+    Fork(usize, u64),
+    /// Kill the subtree of the path with this index (mod paths).
+    Kill(usize),
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..8, 1u64..10_000).prop_map(|(p, s)| Action::Fork(p, s)),
+            (0usize..8).prop_map(Action::Kill),
+        ],
+        0..40,
+    )
+}
+
+fn build(max_live: usize, schedule: &[Action]) -> (PathTable, Vec<PathId>) {
+    let mut t = PathTable::new(max_live);
+    let mut all = vec![PathId::ROOT];
+    let mut seq = 0u64;
+    for a in schedule {
+        match *a {
+            Action::Fork(idx, step) => {
+                seq += step;
+                let parent = all[idx % all.len()];
+                if let Some(child) = t.fork(parent, seq) {
+                    all.push(child);
+                }
+            }
+            Action::Kill(idx) => {
+                let victim = all[idx % all.len()];
+                if victim != PathId::ROOT {
+                    t.kill_subtree(victim);
+                }
+            }
+        }
+    }
+    (t, all)
+}
+
+proptest! {
+    /// Live count never exceeds the context limit.
+    #[test]
+    fn live_count_bounded(max_live in 1usize..6, schedule in actions()) {
+        let mut t = PathTable::new(max_live);
+        let mut all = vec![PathId::ROOT];
+        let mut seq = 0u64;
+        for a in &schedule {
+            match *a {
+                Action::Fork(idx, step) => {
+                    seq += step;
+                    let parent = all[idx % all.len()];
+                    if let Some(child) = t.fork(parent, seq) {
+                        all.push(child);
+                    }
+                }
+                Action::Kill(idx) => {
+                    let victim = all[idx % all.len()];
+                    if victim != PathId::ROOT {
+                        t.kill_subtree(victim);
+                    }
+                }
+            }
+            prop_assert!(t.live_count() <= max_live);
+        }
+    }
+
+    /// Kill is transitive and idempotent: after killing a subtree, no
+    /// path in it is alive, and killing again changes nothing.
+    #[test]
+    fn kill_subtree_transitive(schedule in actions()) {
+        let (mut t, all) = build(8, &schedule);
+        for &victim in &all {
+            if victim == PathId::ROOT {
+                continue;
+            }
+            let killed = t.kill_subtree(victim);
+            for &k in &killed {
+                prop_assert!(!t.is_alive(k));
+                prop_assert!(t.in_subtree(k, victim));
+            }
+            let again = t.kill_subtree(victim);
+            prop_assert_eq!(killed, again, "subtree membership is stable");
+        }
+    }
+
+    /// Visibility is downward-only: a child sees ancestors' early uops;
+    /// an ancestor never sees a descendant's uops.
+    #[test]
+    fn visibility_is_downward(schedule in actions()) {
+        let (t, all) = build(8, &schedule);
+        for &a in &all {
+            for &b in &all {
+                if a == b {
+                    prop_assert!(t.visible(a, u64::MAX, a), "self always visible");
+                    continue;
+                }
+                if t.in_subtree(b, a) {
+                    // a is an ancestor of b: b sees a's uops up to the
+                    // fork horizon, never beyond; a never sees b.
+                    prop_assert!(!t.visible(b, 0, a), "{a} must not see descendant {b}");
+                    let horizon = t
+                        .visibility(b)
+                        .iter()
+                        .find(|&&(p, _)| p == a)
+                        .map(|&(_, h)| h)
+                        .expect("ancestor appears in visibility");
+                    prop_assert!(t.visible(a, horizon, b));
+                    if horizon < u64::MAX {
+                        prop_assert!(!t.visible(a, horizon + 1, b));
+                    }
+                } else if !t.in_subtree(a, b) {
+                    // Unrelated paths see nothing of each other beyond
+                    // common ancestors (which are separate entries).
+                    prop_assert!(!t.visible(b, u64::MAX, a) || b == a);
+                }
+            }
+        }
+    }
+
+    /// Lineage and visibility interlock: a uop on the post-fork lineage
+    /// of (base, s) is exactly one that base's *pre-s* state cannot keep:
+    /// it is never visible to any path that forked off base at or before s.
+    #[test]
+    fn lineage_excludes_prior_forks(schedule in actions()) {
+        let (t, all) = build(8, &schedule);
+        for &child in &all {
+            let Some(parent) = t.parent(child) else { continue };
+            let fork = t.fork_seq(child);
+            // The child itself is never on the parent's lineage at the
+            // fork branch (it is the surviving alternate arm)...
+            prop_assert!(!t.on_lineage(child, u64::MAX, parent, fork));
+            // ...but is on the lineage of any strictly older point.
+            if fork > 0 {
+                prop_assert!(t.on_lineage(child, u64::MAX, parent, fork - 1));
+            }
+        }
+    }
+
+    /// Revive restores exactly the one path.
+    #[test]
+    fn revive_restores_single_path(schedule in actions()) {
+        let (mut t, all) = build(8, &schedule);
+        for &p in &all {
+            if !t.is_alive(p) {
+                t.revive(p);
+                prop_assert!(t.is_alive(p));
+                t.retire_path(p);
+                prop_assert!(!t.is_alive(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Histograms over small unsigned-integer domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram over `u64` sample values.
+///
+/// Used for call-depth distributions, live-path counts, and RUU occupancy.
+/// Buckets are exact values up to a configurable cap; everything at or above
+/// the cap lands in a single overflow bucket so the structure stays small
+/// even for pathological inputs.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_stats::Histogram;
+///
+/// let mut depths = Histogram::with_cap(8);
+/// for d in [0u64, 1, 1, 2, 3, 100] {
+///     depths.record(d);
+/// }
+/// assert_eq!(depths.count(1), 2);
+/// assert_eq!(depths.overflow(), 1);
+/// assert_eq!(depths.total(), 6);
+/// assert_eq!(depths.max(), Some(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u128,
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with exact buckets for values `0..cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero; a histogram needs at least one exact bucket.
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap > 0, "histogram cap must be at least 1");
+        Histogram {
+            buckets: vec![0; cap],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+            max: None,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples that had exactly `value` (zero for values at or
+    /// above the cap; those are in [`Histogram::overflow`]).
+    pub fn count(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of samples at or above the cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded samples, or zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample seen, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// The exact-bucket cap this histogram was built with.
+    pub fn cap(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over `(value, count)` pairs for the exact buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().map(|(v, &c)| (v as u64, c))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_cap(64)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram(total={}, mean={:.2}, max={})",
+            self.total,
+            self.mean(),
+            self.max.map_or_else(|| "-".to_string(), |m| m.to_string())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::with_cap(4);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 1")]
+    fn zero_cap_panics() {
+        let _ = Histogram::with_cap(0);
+    }
+
+    #[test]
+    fn records_exact_and_overflow() {
+        let mut h = Histogram::with_cap(2);
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(2); // at cap -> overflow
+        h.record(999);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut h = Histogram::with_cap(16);
+        for v in [2u64, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.max(), Some(6));
+    }
+
+    #[test]
+    fn iter_walks_buckets_in_order() {
+        let mut h = Histogram::with_cap(3);
+        h.record(2);
+        h.record(2);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let h = Histogram::with_cap(1);
+        assert!(!format!("{h}").is_empty());
+    }
+}

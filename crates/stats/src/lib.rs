@@ -1,0 +1,42 @@
+//! Statistics gathering and report rendering for the HydraScalar
+//! reproduction.
+//!
+//! The simulator and experiment harness need three things:
+//!
+//! * event [`Counter`]s and derived [`Ratio`]s (hit rates, IPC, ...),
+//! * [`Histogram`]s over small integer domains (call depths, path counts),
+//! * fixed-width [`Table`] rendering so every experiment binary prints the
+//!   same style of report the paper's tables use.
+//!
+//! Everything here is plain data: no interior mutability, no globals, and
+//! deterministic output formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_stats::{Counter, Ratio};
+//!
+//! let mut hits = Counter::new();
+//! let mut total = Counter::new();
+//! for i in 0..100u64 {
+//!     total.add(1);
+//!     if i % 4 != 0 {
+//!         hits.add(1);
+//!     }
+//! }
+//! let rate = Ratio::of(hits.value(), total.value());
+//! assert_eq!(rate.percent(), 75.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+mod summary;
+mod table;
+
+pub use counter::{Counter, Ratio};
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::{Align, Cell, Table};

@@ -1,0 +1,253 @@
+//! Fixed-width text tables for experiment reports.
+
+use std::fmt;
+
+/// Horizontal alignment of a table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// One rendered table cell.
+///
+/// Cells are plain strings; the convenience constructors format the common
+/// value kinds the experiment harness reports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cell(String);
+
+impl Cell {
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Self {
+        Cell(s.into())
+    }
+
+    /// An integer cell.
+    pub fn int(v: u64) -> Self {
+        Cell(v.to_string())
+    }
+
+    /// A fixed-point cell with `places` decimal places.
+    pub fn fixed(v: f64, places: usize) -> Self {
+        Cell(format!("{v:.places$}"))
+    }
+
+    /// A percentage cell with two decimal places.
+    pub fn percent(v: f64) -> Self {
+        Cell(format!("{v:.2}%"))
+    }
+
+    fn width(&self) -> usize {
+        self.0.chars().count()
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::text(s)
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell(s)
+    }
+}
+
+/// A fixed-width text table in the style of the paper's result tables.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_stats::{Align, Cell, Table};
+///
+/// let mut t = Table::new(vec!["bench", "hit rate"]);
+/// t.set_align(1, Align::Right);
+/// t.add_row(vec![Cell::text("gcc"), Cell::percent(99.12)]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("gcc"));
+/// assert!(rendered.contains("99.12%"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: Option<String>,
+    header: Vec<Cell>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. All columns default
+    /// to left alignment.
+    pub fn new<H: Into<Cell>>(header: Vec<H>) -> Self {
+        let header: Vec<Cell> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Table {
+            title: None,
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an optional title rendered above the table.
+    pub fn set_title(&mut self, title: impl Into<String>) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn set_align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not have exactly one cell per column.
+    pub fn add_row(&mut self, row: Vec<Cell>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells but table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string with a header rule and aligned
+    /// columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(Cell::width).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.width());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let emit_row = |out: &mut String, cells: &[Cell], aligns: &[Align]| {
+            for col in 0..ncols {
+                if col > 0 {
+                    out.push_str("  ");
+                }
+                let text = cells[col].to_string();
+                let pad = widths[col].saturating_sub(cells[col].width());
+                match aligns[col] {
+                    Align::Left => {
+                        out.push_str(&text);
+                        if col + 1 != ncols {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(&text);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.header, &vec![Align::Left; ncols]);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.extend(std::iter::repeat_n('-', rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(&mut out, row, &self.aligns);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name", "ipc"]);
+        t.set_align(1, Align::Right);
+        t.add_row(vec![Cell::text("compress"), Cell::fixed(1.234, 3)]);
+        t.add_row(vec![Cell::text("go"), Cell::fixed(0.9, 3)]);
+        t
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let r = sample().render();
+        assert!(r.contains("compress"));
+        assert!(r.contains("1.234"));
+        assert!(r.contains("0.900"));
+        assert_eq!(sample().row_count(), 2);
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let r = sample().render();
+        let line = r.lines().last().unwrap();
+        // "go" row: ipc column right-aligned to the width of "1.234".
+        assert!(line.ends_with("0.900"));
+    }
+
+    #[test]
+    fn title_is_rendered_first() {
+        let mut t = sample();
+        t.set_title("Table 1: demo");
+        assert!(t.render().starts_with("Table 1: demo\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = sample();
+        t.add_row(vec![Cell::int(1)]);
+    }
+
+    #[test]
+    fn cell_constructors() {
+        assert_eq!(Cell::int(5).to_string(), "5");
+        assert_eq!(Cell::percent(12.345).to_string(), "12.35%");
+        assert_eq!(Cell::fixed(2.5, 1).to_string(), "2.5");
+        assert_eq!(Cell::from("x").to_string(), "x");
+        assert_eq!(Cell::from(String::from("y")).to_string(), "y");
+    }
+
+    #[test]
+    fn header_rule_spans_columns() {
+        let r = sample().render();
+        let rule = r.lines().nth(1).unwrap();
+        assert!(rule.chars().all(|c| c == '-'));
+        assert!(rule.len() >= "name  ipc".len());
+    }
+}

@@ -1,0 +1,58 @@
+//! Synthetic SPECint95-like workloads for the HydraScalar reproduction.
+//!
+//! The paper evaluates on the SPECint95 reference binaries, which this
+//! reproduction cannot ship. Instead, this crate *generates* real
+//! [`hydra_isa`] programs whose control-flow character is tuned per
+//! benchmark to the properties that drive return-address-stack behaviour:
+//!
+//! * **call/return density** — how many instructions separate call sites;
+//! * **call-graph shape** — fan-out, fan-in (multiple callers per callee,
+//!   which is what defeats BTB-based return prediction), depth, direct
+//!   and mutual recursion, and indirect calls through function-pointer
+//!   tables;
+//! * **conditional-branch predictability** — a mix of loop back-edges and
+//!   biased branches (predictable) with branches on in-program
+//!   pseudo-random data (hard), mixed per benchmark to land near the
+//!   SPECint95 prediction accuracies the paper reports (go worst at
+//!   ~75%, vortex best at ~98%);
+//! * **memory traffic** — loads and stores over a global region plus the
+//!   software stack that spills return addresses, exactly like compiled
+//!   code.
+//!
+//! Branch outcomes are *computed by the program itself* (a linear
+//! congruential generator advanced in registers), so the workloads are
+//! ordinary deterministic programs: the cycle-level simulator speculates
+//! down their wrong paths and corrupts its return-address stack the same
+//! way it would running compiled C.
+//!
+//! The eight profiles ([`WorkloadSpec::spec95_suite`]) are named after the
+//! SPECint95 members they stand in for. The mapping is a modeling choice,
+//! not a claim of binary equivalence; DESIGN.md discusses the
+//! substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_workloads::{Workload, WorkloadSpec};
+//! use hydra_isa::Machine;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = WorkloadSpec::test_small();
+//! let w = Workload::generate(&spec, 42)?;
+//! let mut m = Machine::new(w.program());
+//! let retired = m.run(2_000_000)?;
+//! assert!(retired > 1_000, "the program does real work");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod profile;
+mod spec;
+
+pub use gen::{GenError, Workload};
+pub use profile::DynamicProfile;
+pub use spec::WorkloadSpec;

@@ -1,0 +1,40 @@
+//! Quickstart: build a workload, simulate it, read the paper's headline
+//! metric.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hydrascalar::{Core, CoreConfig, Workload, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small deterministic benchmark (use `WorkloadSpec::spec95_suite()`
+    // for the full SPECint95-like suite).
+    let workload = Workload::generate(&WorkloadSpec::test_small(), 42)?;
+    println!(
+        "workload `{}`: {} static instructions",
+        workload.name(),
+        workload.program().len()
+    );
+
+    // The paper's baseline machine: 4-wide out-of-order core, hybrid
+    // branch predictor, 32-entry return-address stack repaired with the
+    // proposed TOS-pointer+contents mechanism.
+    let mut core = Core::new(CoreConfig::baseline(), workload.program());
+    let stats = core.run(200_000);
+
+    println!("committed instructions : {}", stats.committed);
+    println!("cycles                 : {}", stats.cycles);
+    println!("IPC                    : {:.3}", stats.ipc());
+    println!("branch accuracy        : {}", stats.branch_accuracy());
+    println!(
+        "returns                : {} ({} predicted correctly)",
+        stats.returns, stats.return_hits
+    );
+    println!("return hit rate        : {}", stats.return_hit_rate());
+    println!(
+        "RAS events             : {} pushes, {} pops, {} repairs",
+        stats.ras_pushes, stats.ras_pops, stats.ras_restores
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+#!/bin/bash
+# Runs the experiments added after the main suite was launched.
+while pgrep -x expt_all > /dev/null; do sleep 15; done
+cd /root/repo
+target/release/expt_fig_jourdan >> expt_full_output.txt 2>> expt_full_err.txt
+target/release/expt_fig_seeds >> expt_full_output.txt 2>> expt_full_err.txt
+echo "EXTRA DONE" >> expt_full_err.txt

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Splice measured experiment artifacts into EXPERIMENTS.md.
+
+Reads expt_full_output.txt (the output of `expt_all` followed by
+`expt_fig_jourdan` and `expt_fig_seeds`) and replaces the <<PLACEHOLDER>>
+markers in EXPERIMENTS.md with the corresponding rendered tables.
+"""
+
+import re
+import sys
+
+MARKERS = {
+    "<<TABLE1>>": "Table 1: baseline machine model",
+    "<<TABLE2>>": "Table 2: benchmark characteristics",
+    "<<TABLE4>>": "Table 4: return prediction from the BTB",
+    "<<FIGREPAIR>>": "Figure (repair):",
+    "<<FIGSPEEDUP>>": "Figure (speedup):",
+    "<<FIGDEPTH>>": "Figure (depth):",
+    "<<FIGBUDGET>>": "Figure (budget):",
+    "<<FIGMULTIPATH>>": "Figure (multipath):",
+    "<<FIGTOPK>>": "Ablation (top-k):",
+    "<<FIGANALYTICAL>>": "Ablation (analytical):",
+    "<<FIGFRONTEND>>": "Ablation (front end):",
+    "<<FIGJOURDAN>>": "Extension (Jourdan):",
+    "<<FIGSEEDS>>": "Robustness: repair comparison",
+}
+
+
+def extract_artifacts(text: str) -> dict:
+    """Split the experiment output into title-keyed blocks."""
+    blocks = {}
+    current_title = None
+    current: list[str] = []
+    for line in text.splitlines():
+        is_title = any(line.startswith(t.split(":")[0]) and t.split(":")[0] for t in [])
+        # A new artifact starts at a line beginning with a known prefix.
+        started = None
+        for marker, prefix in MARKERS.items():
+            if line.startswith(prefix):
+                started = marker
+                break
+        if started:
+            if current_title:
+                blocks[current_title] = "\n".join(current).rstrip()
+            current_title = started
+            current = [line]
+        elif current_title is not None:
+            if line.strip() == "" and current and current[-1].strip() == "":
+                continue
+            current.append(line)
+    if current_title:
+        blocks[current_title] = "\n".join(current).rstrip()
+    return blocks
+
+
+def main() -> int:
+    out = open("expt_full_output.txt").read()
+    doc = open("EXPERIMENTS.md").read()
+    blocks = extract_artifacts(out)
+    missing = []
+    for marker in MARKERS:
+        if marker not in doc:
+            continue
+        if marker in blocks:
+            doc = doc.replace(marker, blocks[marker])
+        else:
+            missing.append(marker)
+    open("EXPERIMENTS.md", "w").write(doc)
+    if missing:
+        print(f"WARNING: no data found for {missing}", file=sys.stderr)
+        return 1
+    leftovers = re.findall(r"<<[A-Z0-9]+>>", doc)
+    if leftovers:
+        print(f"WARNING: unspliced markers remain: {leftovers}", file=sys.stderr)
+        return 1
+    print("EXPERIMENTS.md spliced")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,430 @@
+//! `hydrasim` — command-line driver for the HydraScalar reproduction.
+//!
+//! Runs one workload on one machine configuration and reports the
+//! statistics the paper's evaluation reports.
+//!
+//! ```sh
+//! hydrasim --workload gcc --instructions 1000000
+//! hydrasim --workload li --repair none --ras-entries 8
+//! hydrasim --workload vortex --multipath 2 --stack per-path
+//! hydrasim --workload perl --return-predictor btb
+//! hydrasim --list-workloads
+//! ```
+
+use hydrascalar::ras::{MultipathStackPolicy, RepairPolicy};
+use hydrascalar::{Core, CoreConfig, DynamicProfile, ReturnPredictor, Workload, WorkloadSpec};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    workload: String,
+    seed: u64,
+    warmup: u64,
+    instructions: u64,
+    predictor: PredictorChoice,
+    ras_entries: usize,
+    budget: Option<usize>,
+    multipath: Option<usize>,
+    stack: StackChoice,
+    profile: bool,
+    golden: bool,
+    list: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredictorChoice {
+    Ras(RepairPolicy),
+    SelfCheckpointing,
+    BtbOnly,
+    Perfect,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StackChoice {
+    Unified,
+    UnifiedCkpt,
+    PerPath,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: "gcc".to_string(),
+            seed: 12345,
+            warmup: 100_000,
+            instructions: 1_000_000,
+            predictor: PredictorChoice::Ras(RepairPolicy::TosPointerAndContents),
+            ras_entries: 32,
+            budget: None,
+            multipath: None,
+            stack: StackChoice::PerPath,
+            profile: false,
+            golden: false,
+            list: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+hydrasim — cycle-level simulation of return-address-stack repair
+
+USAGE:
+    hydrasim [OPTIONS]
+
+OPTIONS:
+    --workload NAME          benchmark to run (default: gcc); see --list-workloads
+    --seed N                 workload generation seed (default: 12345)
+    --warmup N               committed instructions before measurement (default: 100000)
+    --instructions N         committed instructions to measure (default: 1000000)
+    --return-predictor KIND  ras | self-ckpt | btb | perfect (default: ras)
+    --repair POLICY          none | valid-bits | tos-pointer | tos-pointer-contents |
+                             top-K (e.g. top-4) | full   (default: tos-pointer-contents)
+    --ras-entries N          stack capacity (default: 32)
+    --budget N               shadow-checkpoint budget (default: unlimited)
+    --multipath N            fork at low-confidence branches, N path contexts
+    --stack ORG              unified | unified-ckpt | per-path (default: per-path)
+    --profile                also print the workload's architectural profile
+    --golden                 lockstep-check every commit against the interpreter
+    --list-workloads         list available benchmarks and exit
+    --help                   show this help
+";
+
+/// Parses a repair-policy name.
+fn parse_repair(s: &str) -> Result<RepairPolicy, String> {
+    match s {
+        "none" => Ok(RepairPolicy::None),
+        "valid-bits" => Ok(RepairPolicy::ValidBits),
+        "tos-pointer" => Ok(RepairPolicy::TosPointer),
+        "tos-pointer-contents" => Ok(RepairPolicy::TosPointerAndContents),
+        "full" => Ok(RepairPolicy::FullStack),
+        other => match other.strip_prefix("top-") {
+            Some(k) => {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("bad top-k repair `{other}`"))?;
+                Ok(RepairPolicy::TopContents { k })
+            }
+            None => Err(format!("unknown repair policy `{other}`")),
+        },
+    }
+}
+
+/// Parses the argument list (without the program name).
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut repair = RepairPolicy::TosPointerAndContents;
+    let mut predictor_kind = "ras".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workload" => o.workload = value("--workload")?,
+            "--seed" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--warmup" => {
+                o.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "bad --warmup".to_string())?
+            }
+            "--instructions" => {
+                o.instructions = value("--instructions")?
+                    .parse()
+                    .map_err(|_| "bad --instructions".to_string())?
+            }
+            "--return-predictor" => predictor_kind = value("--return-predictor")?,
+            "--repair" => repair = parse_repair(&value("--repair")?)?,
+            "--ras-entries" => {
+                o.ras_entries = value("--ras-entries")?
+                    .parse()
+                    .map_err(|_| "bad --ras-entries".to_string())?
+            }
+            "--budget" => {
+                o.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| "bad --budget".to_string())?,
+                )
+            }
+            "--multipath" => {
+                o.multipath = Some(
+                    value("--multipath")?
+                        .parse()
+                        .map_err(|_| "bad --multipath".to_string())?,
+                )
+            }
+            "--stack" => {
+                o.stack = match value("--stack")?.as_str() {
+                    "unified" => StackChoice::Unified,
+                    "unified-ckpt" => StackChoice::UnifiedCkpt,
+                    "per-path" => StackChoice::PerPath,
+                    other => return Err(format!("unknown stack organization `{other}`")),
+                }
+            }
+            "--profile" => o.profile = true,
+            "--golden" => o.golden = true,
+            "--list-workloads" => o.list = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    o.predictor = match predictor_kind.as_str() {
+        "ras" => PredictorChoice::Ras(repair),
+        "self-ckpt" => PredictorChoice::SelfCheckpointing,
+        "btb" => PredictorChoice::BtbOnly,
+        "perfect" => PredictorChoice::Perfect,
+        other => return Err(format!("unknown return predictor `{other}`")),
+    };
+    Ok(o)
+}
+
+/// Builds the machine configuration from options.
+fn build_config(o: &Options) -> CoreConfig {
+    let return_predictor = match o.predictor {
+        PredictorChoice::Ras(repair) => ReturnPredictor::Ras {
+            entries: o.ras_entries,
+            repair,
+        },
+        PredictorChoice::SelfCheckpointing => ReturnPredictor::SelfCheckpointing {
+            entries: o.ras_entries,
+        },
+        PredictorChoice::BtbOnly => ReturnPredictor::BtbOnly,
+        PredictorChoice::Perfect => ReturnPredictor::Perfect,
+    };
+    let mut config = CoreConfig {
+        return_predictor,
+        checkpoint_budget: o.budget,
+        ..CoreConfig::baseline()
+    };
+    if let Some(paths) = o.multipath {
+        let stack_policy = match o.stack {
+            StackChoice::Unified => MultipathStackPolicy::Unified {
+                repair: RepairPolicy::None,
+            },
+            StackChoice::UnifiedCkpt => MultipathStackPolicy::Unified {
+                repair: RepairPolicy::TosPointerAndContents,
+            },
+            StackChoice::PerPath => MultipathStackPolicy::PerPath,
+        };
+        config.multipath = Some(hydrascalar::MultipathConfig {
+            max_paths: paths,
+            stack_policy,
+        });
+    }
+    config
+}
+
+fn run(o: &Options) -> Result<(), String> {
+    if o.list {
+        println!("available workloads:");
+        for spec in WorkloadSpec::spec95_suite() {
+            println!("  {}", spec.name);
+        }
+        println!("  test-small (via the library API)");
+        return Ok(());
+    }
+
+    let spec = WorkloadSpec::by_name(&o.workload)
+        .ok_or_else(|| format!("unknown workload `{}`; try --list-workloads", o.workload))?;
+    let workload =
+        Workload::generate(&spec, o.seed).map_err(|e| format!("generation failed: {e}"))?;
+
+    if o.profile {
+        let p = DynamicProfile::measure(&workload, o.warmup + o.instructions);
+        println!("profile: {p}");
+    }
+
+    let config = build_config(o);
+    let mut core = Core::new(config, workload.program());
+    if o.golden {
+        core.enable_golden_check();
+    }
+    let t0 = std::time::Instant::now();
+    core.run(o.warmup);
+    core.reset_stats();
+    let stats = core.run(o.instructions);
+    let elapsed = t0.elapsed();
+
+    println!("workload            : {} (seed {})", o.workload, o.seed);
+    println!("committed           : {}", stats.committed);
+    println!("cycles              : {}", stats.cycles);
+    println!("IPC                 : {:.4}", stats.ipc());
+    println!("branch accuracy     : {}", stats.branch_accuracy());
+    println!(
+        "returns             : {} ({} hits, rate {})",
+        stats.returns,
+        stats.return_hits,
+        stats.return_hit_rate()
+    );
+    println!(
+        "RAS                 : {} pushes, {} pops, {} overflows, {} underflows, {} repairs",
+        stats.ras_pushes,
+        stats.ras_pops,
+        stats.ras_overflows,
+        stats.ras_underflows,
+        stats.ras_restores
+    );
+    if stats.checkpoint_budget_misses > 0 {
+        println!("budget misses       : {}", stats.checkpoint_budget_misses);
+    }
+    if o.multipath.is_some() {
+        println!(
+            "multipath           : {} forks, {} peak live paths",
+            stats.forks, stats.max_live_paths
+        );
+    }
+    println!(
+        "wrong-path activity : {} of {} fetched uops squashed ({})",
+        stats.squashed_uops,
+        stats.fetched_uops,
+        stats.squash_fraction()
+    );
+    let occ = core.occupancy();
+    println!(
+        "occupancy (mean)    : RUU {:.1}/{}, LSQ {:.1}/{}, fetchq {:.1}/{}",
+        occ.ruu.mean(),
+        core.config().ruu_size,
+        occ.lsq.mean(),
+        core.config().lsq_size,
+        occ.fetch_queue.mean(),
+        core.config().fetch_queue,
+    );
+    println!(
+        "simulation speed    : {:.0} commits/sec",
+        stats.committed as f64 / elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(o) => {
+            if let Err(e) = run(&o) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_single_path_line() {
+        let o = parse(&[
+            "--workload",
+            "li",
+            "--seed",
+            "7",
+            "--instructions",
+            "5000",
+            "--repair",
+            "tos-pointer",
+            "--ras-entries",
+            "8",
+            "--budget",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(o.workload, "li");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.instructions, 5_000);
+        assert_eq!(o.predictor, PredictorChoice::Ras(RepairPolicy::TosPointer));
+        assert_eq!(o.ras_entries, 8);
+        assert_eq!(o.budget, Some(4));
+    }
+
+    #[test]
+    fn multipath_line() {
+        let o = parse(&["--multipath", "4", "--stack", "unified-ckpt"]).unwrap();
+        assert_eq!(o.multipath, Some(4));
+        assert_eq!(o.stack, StackChoice::UnifiedCkpt);
+        let cfg = build_config(&o);
+        assert_eq!(cfg.multipath.unwrap().max_paths, 4);
+    }
+
+    #[test]
+    fn top_k_repair_parses() {
+        assert_eq!(
+            parse_repair("top-4").unwrap(),
+            RepairPolicy::TopContents { k: 4 }
+        );
+        assert!(parse_repair("top-x").is_err());
+        assert!(parse_repair("bogus").is_err());
+    }
+
+    #[test]
+    fn predictor_kinds() {
+        let o = parse(&["--return-predictor", "btb"]).unwrap();
+        assert_eq!(o.predictor, PredictorChoice::BtbOnly);
+        let o = parse(&["--return-predictor", "perfect"]).unwrap();
+        assert_eq!(o.predictor, PredictorChoice::Perfect);
+        assert!(parse(&["--return-predictor", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_are_errors() {
+        assert!(parse(&["--instructions"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--stack", "spaghetti"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn flags_toggle() {
+        let o = parse(&["--profile", "--golden", "--list-workloads"]).unwrap();
+        assert!(o.profile && o.golden && o.list);
+    }
+
+    #[test]
+    fn config_for_btb_only() {
+        let o = parse(&["--return-predictor", "btb"]).unwrap();
+        assert_eq!(build_config(&o).return_predictor, ReturnPredictor::BtbOnly);
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        // Exercise the whole driver path on a tiny run.
+        let o = parse(&[
+            "--workload",
+            "compress",
+            "--warmup",
+            "1000",
+            "--instructions",
+            "5000",
+            "--golden",
+        ])
+        .unwrap();
+        run(&o).unwrap();
+    }
+}

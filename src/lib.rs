@@ -1,0 +1,62 @@
+//! HydraScalar reproduction — return-address-stack repair mechanisms.
+//!
+//! This is the facade crate of a from-scratch Rust reproduction of
+//! *"Improving Prediction for Procedure Returns with Return-Address-Stack
+//! Repair Mechanisms"* (Skadron, Ahuja, Martonosi, Clark — MICRO-31,
+//! 1998). It re-exports the workspace's crates:
+//!
+//! * [`ras`] (`ras-core`) — the paper's contribution: the return-address
+//!   stack and its repair mechanisms;
+//! * [`isa`] (`hydra-isa`) — the MIPS-like virtual ISA, program builder,
+//!   and functional emulator;
+//! * [`bpred`] (`hydra-bpred`) — hybrid direction predictor, BTB,
+//!   confidence estimation;
+//! * [`mem`] (`hydra-mem`) — the two-level cache hierarchy;
+//! * [`pipeline`] (`hydra-pipeline`) — the cycle-level out-of-order core
+//!   with wrong-path execution and multipath forking;
+//! * [`workloads`] (`hydra-workloads`) — the SPECint95-like synthetic
+//!   benchmark suite;
+//! * [`stats`] (`hydra-stats`) — counters and report tables.
+//!
+//! The most commonly used types are also re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hydrascalar::{Core, CoreConfig, ReturnPredictor, Workload, WorkloadSpec};
+//! use hydrascalar::ras::RepairPolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a benchmark and run it on two machines: an unrepaired
+//! // stack and the paper's TOS-pointer+contents repair.
+//! let workload = Workload::generate(&WorkloadSpec::test_small(), 42)?;
+//!
+//! let ras = |repair| CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+//!     entries: 32,
+//!     repair,
+//! });
+//!
+//! let broken = Core::new(ras(RepairPolicy::None), workload.program()).run(50_000);
+//! let repaired = Core::new(ras(RepairPolicy::TosPointerAndContents), workload.program())
+//!     .run(50_000);
+//!
+//! assert!(repaired.return_hit_rate().value() >= broken.return_hit_rate().value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hydra_bpred as bpred;
+pub use hydra_isa as isa;
+pub use hydra_mem as mem;
+pub use hydra_pipeline as pipeline;
+pub use hydra_stats as stats;
+pub use hydra_workloads as workloads;
+pub use ras_core as ras;
+
+pub use hydra_isa::{Addr, Inst, Machine, Program, ProgramBuilder, Reg};
+pub use hydra_pipeline::{Core, CoreConfig, MultipathConfig, ReturnPredictor, SimStats};
+pub use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
+pub use ras_core::{MultipathStackPolicy, RepairPolicy, ReturnAddressStack};

@@ -1,0 +1,42 @@
+//! Cross-crate round-trip: every generated workload disassembles to text
+//! that re-parses to the identical program — and the re-parsed program
+//! executes identically.
+
+use hydrascalar::isa::asm;
+use hydrascalar::{Machine, Reg, Workload, WorkloadSpec};
+
+#[test]
+fn suite_programs_roundtrip_through_text_assembly() {
+    for w in Workload::spec95_suite(9).unwrap() {
+        let text = asm::disassemble(w.program());
+        let reparsed = asm::parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: disassembly failed to parse: {e}", w.name()));
+        assert_eq!(
+            w.program(),
+            &reparsed,
+            "{}: round-trip changed the program",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn reparsed_program_executes_identically() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 33).unwrap();
+    let reparsed = asm::parse_program(&asm::disassemble(w.program())).unwrap();
+
+    let mut a = Machine::new(w.program());
+    let mut b = Machine::new(&reparsed);
+    for _ in 0..200_000 {
+        if a.is_halted() {
+            break;
+        }
+        let ra = a.step().unwrap();
+        let rb = b.step().unwrap();
+        assert_eq!(ra, rb, "execution diverged");
+    }
+    assert_eq!(a.is_halted(), b.is_halted());
+    for r in 0..32u8 {
+        assert_eq!(a.reg(Reg::gpr(r)), b.reg(Reg::gpr(r)));
+    }
+}

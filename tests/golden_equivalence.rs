@@ -1,0 +1,121 @@
+//! The strongest end-to-end invariant: the out-of-order core — with all
+//! its speculation, wrong-path execution, squashing, and stack repair —
+//! must retire exactly the instruction stream the architectural
+//! interpreter produces, and leave identical architectural state.
+
+use hydrascalar::ras::RepairPolicy;
+use hydrascalar::{
+    Core, CoreConfig, Machine, MultipathStackPolicy, Reg, ReturnPredictor, Workload, WorkloadSpec,
+};
+
+/// Runs a workload to completion on both machines and compares final
+/// architectural register state.
+fn assert_architecturally_equal(config: CoreConfig, limit: u64) {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 99).unwrap();
+
+    let mut golden = Machine::new(w.program());
+    golden.run(limit).expect("functional run completes");
+
+    let mut core = Core::new(config, w.program());
+    core.enable_golden_check(); // per-commit lockstep comparison
+    let stats = core.run(limit);
+
+    assert!(core.is_halted(), "pipeline reached halt");
+    assert_eq!(stats.committed, golden.retired_count());
+    for i in 0..32 {
+        let r = Reg::gpr(i);
+        assert_eq!(core.arch_reg(r), golden.reg(r), "register {r} differs");
+    }
+}
+
+#[test]
+fn baseline_machine_matches_functional_interpreter() {
+    assert_architecturally_equal(CoreConfig::baseline(), 2_000_000);
+}
+
+#[test]
+fn unrepaired_stack_is_slower_but_still_correct() {
+    let cfg = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+        entries: 32,
+        repair: RepairPolicy::None,
+    });
+    assert_architecturally_equal(cfg, 2_000_000);
+}
+
+#[test]
+fn btb_only_machine_matches() {
+    assert_architecturally_equal(
+        CoreConfig::with_return_predictor(ReturnPredictor::BtbOnly),
+        2_000_000,
+    );
+}
+
+#[test]
+fn tiny_structures_machine_matches() {
+    // Stress structural stalls: tiny RUU/LSQ/fetch queue.
+    let cfg = CoreConfig {
+        ruu_size: 8,
+        lsq_size: 4,
+        fetch_queue: 4,
+        fetch_width: 2,
+        dispatch_width: 2,
+        issue_width: 2,
+        commit_width: 2,
+        ..CoreConfig::baseline()
+    };
+    assert_architecturally_equal(cfg, 2_000_000);
+}
+
+#[test]
+fn one_entry_stack_machine_matches() {
+    let cfg = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+        entries: 1,
+        repair: RepairPolicy::TosPointerAndContents,
+    });
+    assert_architecturally_equal(cfg, 2_000_000);
+}
+
+#[test]
+fn multipath_two_paths_matches() {
+    assert_architecturally_equal(
+        CoreConfig::multipath(2, MultipathStackPolicy::PerPath),
+        2_000_000,
+    );
+}
+
+#[test]
+fn multipath_four_paths_unified_matches() {
+    assert_architecturally_equal(
+        CoreConfig::multipath(
+            4,
+            MultipathStackPolicy::Unified {
+                repair: RepairPolicy::TosPointerAndContents,
+            },
+        ),
+        2_000_000,
+    );
+}
+
+#[test]
+fn golden_check_holds_across_the_suite_prefix() {
+    // Every suite benchmark, golden-checked for a window.
+    for w in Workload::spec95_suite(5).unwrap() {
+        let mut core = Core::new(CoreConfig::baseline(), w.program());
+        core.enable_golden_check();
+        let stats = core.run(150_000);
+        assert!(stats.committed >= 150_000, "{} too short", w.name());
+    }
+}
+
+#[test]
+fn golden_check_holds_under_multipath_across_suite_prefix() {
+    for w in Workload::spec95_suite(6).unwrap() {
+        let mut core = Core::new(
+            CoreConfig::multipath(2, MultipathStackPolicy::PerPath),
+            w.program(),
+        );
+        core.enable_golden_check();
+        let stats = core.run(80_000);
+        assert!(stats.committed >= 80_000, "{} too short", w.name());
+    }
+}

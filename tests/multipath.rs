@@ -1,0 +1,111 @@
+//! Integration tests for the paper's Section 5: return-address stacks
+//! under multipath (eager) execution.
+
+use hydrascalar::ras::{MultipathStackPolicy, RepairPolicy};
+use hydrascalar::{Core, CoreConfig, SimStats, Workload, WorkloadSpec};
+
+fn run_multipath(w: &Workload, paths: usize, policy: MultipathStackPolicy, n: u64) -> SimStats {
+    let mut core = Core::new(CoreConfig::multipath(paths, policy), w.program());
+    core.run(20_000);
+    core.reset_stats();
+    core.run(n)
+}
+
+const UNIFIED: MultipathStackPolicy = MultipathStackPolicy::Unified {
+    repair: RepairPolicy::None,
+};
+const UNIFIED_CKPT: MultipathStackPolicy = MultipathStackPolicy::Unified {
+    repair: RepairPolicy::TosPointerAndContents,
+};
+
+#[test]
+fn forking_actually_happens() {
+    let w = Workload::generate(&WorkloadSpec::by_name("gcc").unwrap(), 21).unwrap();
+    let s = run_multipath(&w, 2, MultipathStackPolicy::PerPath, 150_000);
+    assert!(s.forks > 100, "low-confidence branches fork: {}", s.forks);
+    assert_eq!(s.max_live_paths, 2);
+}
+
+#[test]
+fn four_paths_use_more_contexts_than_two() {
+    let w = Workload::generate(&WorkloadSpec::by_name("gcc").unwrap(), 21).unwrap();
+    let two = run_multipath(&w, 2, MultipathStackPolicy::PerPath, 150_000);
+    let four = run_multipath(&w, 4, MultipathStackPolicy::PerPath, 150_000);
+    assert_eq!(four.max_live_paths, 4);
+    assert!(
+        four.forks >= two.forks,
+        "more contexts, at least as many forks"
+    );
+}
+
+#[test]
+fn per_path_stacks_eliminate_contention_on_every_benchmark() {
+    for w in Workload::spec95_suite(21).unwrap() {
+        let name = w.name();
+        let unified = run_multipath(&w, 2, UNIFIED, 120_000);
+        let per_path = run_multipath(&w, 2, MultipathStackPolicy::PerPath, 120_000);
+        assert!(
+            per_path.return_hit_rate().value() > 0.97,
+            "{name}: per-path stacks near-perfect: {}",
+            per_path.return_hit_rate()
+        );
+        assert!(
+            per_path.return_hit_rate().value() >= unified.return_hit_rate().value(),
+            "{name}: per-path at least as accurate as unified"
+        );
+    }
+}
+
+#[test]
+fn unified_stack_suffers_contention_on_call_heavy_benchmarks() {
+    for name in ["li", "gcc", "vortex"] {
+        let w = Workload::generate(&WorkloadSpec::by_name(name).unwrap(), 21).unwrap();
+        let unified = run_multipath(&w, 2, UNIFIED, 150_000);
+        assert!(
+            unified.return_hit_rate().value() < 0.95,
+            "{name}: contention corrupts the unified stack: {}",
+            unified.return_hit_rate()
+        );
+    }
+}
+
+#[test]
+fn checkpointing_cannot_rescue_a_unified_stack() {
+    // The paper: "corruption is almost certain, even with full-stack
+    // checkpointing" — the repaired unified stack stays far from the
+    // per-path organization.
+    for name in ["li", "vortex"] {
+        let w = Workload::generate(&WorkloadSpec::by_name(name).unwrap(), 21).unwrap();
+        let ckpt = run_multipath(&w, 2, UNIFIED_CKPT, 150_000);
+        let per_path = run_multipath(&w, 2, MultipathStackPolicy::PerPath, 150_000);
+        assert!(
+            per_path.return_hit_rate().value() > ckpt.return_hit_rate().value() + 0.02,
+            "{name}: per-path clearly beats unified+ckpt ({} vs {})",
+            per_path.return_hit_rate(),
+            ckpt.return_hit_rate()
+        );
+    }
+}
+
+#[test]
+fn per_path_stacks_improve_performance() {
+    for name in ["li", "gcc", "vortex", "m88ksim"] {
+        let w = Workload::generate(&WorkloadSpec::by_name(name).unwrap(), 21).unwrap();
+        let unified = run_multipath(&w, 2, UNIFIED, 150_000);
+        let per_path = run_multipath(&w, 2, MultipathStackPolicy::PerPath, 150_000);
+        assert!(
+            per_path.ipc() > unified.ipc(),
+            "{name}: per-path IPC {} vs unified {}",
+            per_path.ipc(),
+            unified.ipc()
+        );
+    }
+}
+
+#[test]
+fn multipath_is_deterministic() {
+    let w = Workload::generate(&WorkloadSpec::by_name("perl").unwrap(), 21).unwrap();
+    let a = run_multipath(&w, 4, MultipathStackPolicy::PerPath, 100_000);
+    let b = run_multipath(&w, 4, MultipathStackPolicy::PerPath, 100_000);
+    assert_eq!(a, b);
+}

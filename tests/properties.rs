@@ -1,0 +1,129 @@
+//! Property-based cross-crate tests: for randomized workload
+//! configurations, the generator must emit well-formed programs and the
+//! pipeline must stay architecturally equivalent to the functional
+//! interpreter.
+
+use hydrascalar::ras::RepairPolicy;
+use hydrascalar::{
+    Core, CoreConfig, Machine, MultipathStackPolicy, Reg, ReturnPredictor, Workload, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+/// A constrained random workload spec that generates quickly and halts
+/// within a bounded number of instructions.
+fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2usize..12,    // functions
+        1usize..4,     // call_depth
+        0.0f64..0.5,   // call weight
+        0.0f64..0.4,   // hard branch weight
+        0.0f64..0.4,   // easy branch weight
+        0.0f64..0.3,   // loop weight
+        0.0f64..0.4,   // mem weight
+        0u64..6,       // recursion depth
+        any::<bool>(), // mutual recursion
+        0.0f64..0.5,   // indirect fraction
+        20u64..120,    // outer iterations
+    )
+        .prop_map(
+            |(functions, call_depth, call, hard, easy, lp, mem, rec, mutual, indirect, iters)| {
+                WorkloadSpec {
+                    name: "prop".to_string(),
+                    functions,
+                    call_depth,
+                    filler: (1, 4),
+                    segments: (1, 4),
+                    call_prob: call,
+                    indirect_frac: indirect,
+                    hard_branch_prob: hard,
+                    hard_branch_takenness: 0.5,
+                    easy_branch_prob: easy,
+                    loop_prob: lp,
+                    loop_iters: (2, 5),
+                    mem_prob: mem,
+                    recursion_depth: rec,
+                    mutual_recursion: mutual,
+                    outer_iterations: iters,
+                    calls_in_main: 2,
+                    call_table_slots: 4,
+                    data_words: 16_384,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated program halts on the functional machine and keeps
+    /// calls and returns balanced.
+    #[test]
+    fn generated_programs_halt_with_balanced_calls(spec in small_spec(), seed in 0u64..1000) {
+        let w = Workload::generate(&spec, seed).unwrap();
+        let mut m = Machine::new(w.program());
+        let mut depth = 0i64;
+        while !m.is_halted() {
+            let r = m.step().expect("no faults");
+            let ck = r.inst.control_kind();
+            if ck.is_call() {
+                depth += 1;
+            } else if ck.is_return() {
+                depth -= 1;
+            }
+            prop_assert!(depth >= 0, "return without call");
+            prop_assert!(m.retired_count() < 3_000_000, "runaway program");
+        }
+        prop_assert_eq!(depth, 0, "unbalanced calls at halt");
+    }
+
+    /// The pipeline commits exactly the architectural execution for any
+    /// generated program, under a randomly chosen repair policy.
+    #[test]
+    fn pipeline_matches_interpreter(spec in small_spec(), seed in 0u64..1000, policy_idx in 0usize..5) {
+        let w = Workload::generate(&spec, seed).unwrap();
+
+        let mut golden = Machine::new(w.program());
+        golden.run(3_000_000).unwrap();
+
+        let policy = RepairPolicy::EVALUATED[policy_idx];
+        let cfg = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+            entries: 8,
+            repair: policy,
+        });
+        let mut core = Core::new(cfg, w.program());
+        core.enable_golden_check();
+        let stats = core.run(3_000_000);
+
+        prop_assert!(core.is_halted());
+        prop_assert_eq!(stats.committed, golden.retired_count());
+        for i in 0..32u8 {
+            prop_assert_eq!(core.arch_reg(Reg::gpr(i)), golden.reg(Reg::gpr(i)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Multipath execution is architecturally invisible too.
+    #[test]
+    fn multipath_matches_interpreter(spec in small_spec(), seed in 0u64..100, paths in 2usize..5) {
+        let w = Workload::generate(&spec, seed).unwrap();
+
+        let mut golden = Machine::new(w.program());
+        golden.run(3_000_000).unwrap();
+
+        let mut core = Core::new(
+            CoreConfig::multipath(paths, MultipathStackPolicy::PerPath),
+            w.program(),
+        );
+        core.enable_golden_check();
+        let stats = core.run(3_000_000);
+
+        prop_assert!(core.is_halted());
+        prop_assert_eq!(stats.committed, golden.retired_count());
+        for i in 0..32u8 {
+            prop_assert_eq!(core.arch_reg(Reg::gpr(i)), golden.reg(Reg::gpr(i)));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's qualitative claims, asserted as invariants on real
+//! simulations: the repair-mechanism ladder is ordered, the proposed
+//! mechanism is near-perfect, and everything is deterministic.
+
+use hydrascalar::ras::RepairPolicy;
+use hydrascalar::{Core, CoreConfig, ReturnPredictor, Workload, WorkloadSpec};
+
+fn hit_rate(w: &Workload, rp: ReturnPredictor, n: u64) -> f64 {
+    let mut core = Core::new(CoreConfig::with_return_predictor(rp), w.program());
+    core.run(10_000);
+    core.reset_stats();
+    core.run(n).return_hit_rate().value()
+}
+
+fn ras(entries: usize, repair: RepairPolicy) -> ReturnPredictor {
+    ReturnPredictor::Ras { entries, repair }
+}
+
+#[test]
+fn repair_ladder_is_ordered_on_every_benchmark() {
+    // Allow small noise between adjacent rungs but require the overall
+    // staircase: none < {ptr, ptr+contents} <= full == ~perfect.
+    for w in Workload::spec95_suite(11).unwrap() {
+        let n = 80_000;
+        let none = hit_rate(&w, ras(32, RepairPolicy::None), n);
+        let ptr = hit_rate(&w, ras(32, RepairPolicy::TosPointer), n);
+        let pc = hit_rate(&w, ras(32, RepairPolicy::TosPointerAndContents), n);
+        let full = hit_rate(&w, ras(32, RepairPolicy::FullStack), n);
+        let perfect = hit_rate(&w, ReturnPredictor::Perfect, n);
+
+        let name = w.name();
+        assert!(ptr >= none - 0.02, "{name}: ptr {ptr} vs none {none}");
+        assert!(pc >= ptr - 0.02, "{name}: p+c {pc} vs ptr {ptr}");
+        assert!(full >= pc - 0.005, "{name}: full {full} vs p+c {pc}");
+        assert!(perfect > 0.999, "{name}: perfect {perfect}");
+        assert!(
+            full > 0.995,
+            "{name}: full-stack checkpointing repairs everything: {full}"
+        );
+        assert!(
+            pc > 0.85,
+            "{name}: the paper's mechanism is close to perfect: {pc}"
+        );
+    }
+}
+
+#[test]
+fn valid_bits_sit_between_none_and_contents_repair() {
+    for name in ["gcc", "li", "vortex"] {
+        let w = Workload::generate(&WorkloadSpec::by_name(name).unwrap(), 11).unwrap();
+        let n = 100_000;
+        let none = hit_rate(&w, ras(32, RepairPolicy::None), n);
+        let vbits = hit_rate(&w, ras(32, RepairPolicy::ValidBits), n);
+        let pc = hit_rate(&w, ras(32, RepairPolicy::TosPointerAndContents), n);
+        assert!(vbits >= none - 0.02, "{name}: vbits {vbits} vs none {none}");
+        assert!(pc >= vbits - 0.02, "{name}: p+c {pc} vs vbits {vbits}");
+    }
+}
+
+#[test]
+fn repair_improves_ipc_on_call_heavy_benchmarks() {
+    for name in ["li", "perl", "vortex", "gcc"] {
+        let w = Workload::generate(&WorkloadSpec::by_name(name).unwrap(), 11).unwrap();
+        let run = |rp| {
+            let mut core = Core::new(CoreConfig::with_return_predictor(rp), w.program());
+            core.run(10_000);
+            core.reset_stats();
+            core.run(100_000).ipc()
+        };
+        let broken = run(ras(32, RepairPolicy::None));
+        let repaired = run(ras(32, RepairPolicy::TosPointerAndContents));
+        assert!(
+            repaired > broken,
+            "{name}: repair speeds up ({repaired:.3} vs {broken:.3})"
+        );
+    }
+}
+
+#[test]
+fn small_stacks_overflow_and_lose_accuracy() {
+    let w = Workload::generate(&WorkloadSpec::by_name("li").unwrap(), 11).unwrap();
+    let small = hit_rate(&w, ras(4, RepairPolicy::TosPointerAndContents), 150_000);
+    let large = hit_rate(&w, ras(64, RepairPolicy::TosPointerAndContents), 150_000);
+    assert!(
+        large > small + 0.05,
+        "deep recursion needs a deep stack: {small} vs {large}"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let w = Workload::generate(&WorkloadSpec::by_name("compress").unwrap(), 3).unwrap();
+    let run = || {
+        let mut core = Core::new(CoreConfig::baseline(), w.program());
+        core.run(100_000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical configs produce identical statistics");
+}
+
+#[test]
+fn different_seeds_change_the_program_not_the_conclusions() {
+    // The qualitative result must be seed-robust.
+    for seed in [1u64, 2, 3] {
+        let w = Workload::generate(&WorkloadSpec::by_name("gcc").unwrap(), seed).unwrap();
+        let none = hit_rate(&w, ras(32, RepairPolicy::None), 120_000);
+        let pc = hit_rate(&w, ras(32, RepairPolicy::TosPointerAndContents), 120_000);
+        assert!(pc > none, "seed {seed}: {pc} vs {none}");
+        assert!(pc > 0.9, "seed {seed}: repaired stack near-perfect: {pc}");
+    }
+}
+
+#[test]
+fn checkpoint_budget_degrades_gracefully() {
+    let w = Workload::generate(&WorkloadSpec::by_name("perl").unwrap(), 11).unwrap();
+    let run = |budget| {
+        let cfg = CoreConfig {
+            checkpoint_budget: budget,
+            ..CoreConfig::baseline()
+        };
+        let mut core = Core::new(cfg, w.program());
+        core.run(20_000);
+        core.reset_stats();
+        core.run(150_000)
+    };
+    let tiny = run(Some(1));
+    let r10k = run(Some(4));
+    let unlimited = run(None);
+    assert!(tiny.checkpoint_budget_misses > 0);
+    assert_eq!(unlimited.checkpoint_budget_misses, 0);
+    assert!(
+        unlimited.return_hit_rate().value() >= tiny.return_hit_rate().value(),
+        "more shadow state cannot hurt"
+    );
+    assert!(
+        r10k.return_hit_rate().value() >= tiny.return_hit_rate().value() - 0.02,
+        "4 checkpoints beat 1"
+    );
+}
