@@ -1,12 +1,13 @@
 //! Criterion bench for the analytical trace-model ablation: prints the
-//! artifact, then times trace generation + replay.
+//! artifact via the experiment registry, then times trace replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::expt_fig_analytical;
+use hydra_bench::{find, run_experiment, RunSpec};
 use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", expt_fig_analytical());
+    let e = find("fig-analytical").expect("registered experiment");
+    println!("{}", run_experiment(e.as_ref(), &RunSpec::quick(), 1).table);
 
     let trace = SyntheticTrace::builder().events(20_000).seed(3).generate();
     c.bench_function("fig_analytical/replay_20k_events", |b| {

@@ -1,20 +1,22 @@
-//! Criterion bench for the top-k ablation: prints the reproduced artifact at reduced
-//! size, then times a representative simulation kernel.
+//! Criterion bench for the top-k ablation: prints the reproduced artifact at
+//! reduced size via the experiment registry, then times a representative
+//! simulation kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::{expt_fig_topk, run_one, suite, RunSpec};
+use hydra_bench::{find, run_experiment, run_one, suite, RunSpec};
 use hydra_pipeline::CoreConfig;
 
 fn bench(c: &mut Criterion) {
     let rs = RunSpec::quick();
-    println!("{}", expt_fig_topk(&rs));
+    let e = find("fig-topk").expect("registered experiment");
+    println!("{}", run_experiment(e.as_ref(), &rs, 1).table);
 
     let w = &suite(&rs)[1]; // m88ksim: the fastest-running benchmark
-    let kernel = RunSpec {
-        seed: rs.seed,
-        warmup: 2_000,
-        measure: 10_000,
-    };
+    let kernel = RunSpec::builder()
+        .seed(rs.seed)
+        .fast_forward(2_000)
+        .horizon(10_000)
+        .build();
     let mut g = c.benchmark_group("fig_topk");
     g.sample_size(10);
     g.bench_function("m88ksim_10k_baseline", |b| {

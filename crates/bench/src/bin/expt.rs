@@ -1,0 +1,131 @@
+//! The unified experiment runner.
+//!
+//! ```text
+//! expt --list              list every experiment
+//! expt table1              run one experiment
+//! expt fig-repair table4   run several, in the order given
+//! expt all --jobs 8        run everything on 8 worker threads
+//! ```
+//!
+//! Tables go to **stdout** and are byte-identical for any `--jobs`
+//! value; engine timing summaries go to **stderr**. Sizing comes from
+//! the environment (`HYDRA_EXPT_MODE=quick`, plus `HYDRA_EXPT_SEED` /
+//! `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON` overrides); see the
+//! `hydra-bench` crate docs.
+
+use hydra_bench::{find, registry, run_experiment, EngineReport, Experiment, RunSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: expt --list | expt <name>... [--jobs N] | expt all [--jobs N]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("expt: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Cli {
+    list: bool,
+    jobs: Option<usize>,
+    names: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        list: false,
+        jobs: None,
+        names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" | "-l" => cli.list = true,
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = Some(parse_jobs(v)?);
+            }
+            a if a.starts_with("--jobs=") => {
+                cli.jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
+            }
+            "--help" | "-h" => {
+                cli.list = true; // --help shows the list too
+            }
+            a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|e| format!("--jobs: cannot parse {v:?}: {e}"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(n)
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let cli = parse(&args)?;
+
+    if cli.list {
+        println!("{USAGE}");
+        println!();
+        println!("experiments:");
+        for e in registry() {
+            println!("  {:<16} {}", e.name(), e.title());
+        }
+        println!("  {:<16} every experiment above, in order", "all");
+        return Ok(());
+    }
+    if cli.names.is_empty() {
+        return Err("name an experiment, or use --list / all".into());
+    }
+
+    let selected: Vec<Box<dyn Experiment>> = if cli.names.iter().any(|n| n == "all") {
+        if cli.names.len() > 1 {
+            return Err("'all' cannot be combined with experiment names".into());
+        }
+        registry()
+    } else {
+        cli.names
+            .iter()
+            .map(|n| find(n).ok_or_else(|| format!("unknown experiment {n:?} (try --list)")))
+            .collect::<Result<_, _>>()?
+    };
+
+    let rs = RunSpec::from_env().map_err(|e| e.to_string())?;
+    let workers = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+
+    let mut aggregate = EngineReport::default();
+    let many = selected.len() > 1;
+    for e in &selected {
+        let result = run_experiment(e.as_ref(), &rs, workers);
+        println!("{}", result.table);
+        println!();
+        eprintln!(
+            "{}",
+            result.report.to_table(format!("engine: {}", e.name()))
+        );
+        eprintln!();
+        aggregate.absorb(&result.report);
+    }
+    if many {
+        eprintln!(
+            "{}",
+            aggregate.to_table(format!("engine: {} experiments total", selected.len()))
+        );
+    }
+    Ok(())
+}

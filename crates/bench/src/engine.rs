@@ -1,0 +1,451 @@
+//! The parallel experiment-execution engine.
+//!
+//! Every experiment decomposes into independent [`SimJob`] units — one
+//! workload × configuration × seed simulation (or profile / trace-replay)
+//! each. [`execute`] fans the units out over a hand-rolled worker pool
+//! and merges results **deterministically**: output slot `i` always holds
+//! the result of job `i`, regardless of which worker finished it when, so
+//! a parallel run's reduced tables are byte-identical to a serial run's.
+//!
+//! No external dependencies: the pool is `std::thread::scope` plus an
+//! atomic work-stealing cursor. Jobs are pure functions of their inputs
+//! (each regenerates its workload from `(spec, seed)`), which is what
+//! makes the fan-out safe and the merge order-independent.
+//!
+//! Observability rides along: per-job wall time is captured in a
+//! [`hydra_stats::Summary`], and throughput ([`hydra_stats::Meter`]s for
+//! jobs/sec, simulated cycles/sec, committed instructions/sec) is
+//! reported in an [`EngineReport`] the `expt` binary prints to stderr.
+
+use hydra_pipeline::{Core, CoreConfig, SimStats};
+use hydra_stats::{Cell, Meter, Summary, Table};
+use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
+use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::RunSpec;
+
+/// One independent unit of simulation work.
+///
+/// Jobs carry everything needed to run in isolation on any worker
+/// thread; in particular they carry the *workload spec and seed*, not a
+/// generated program, so a job is cheap to construct and ship.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Human-readable identity, e.g. `"gcc × TOS pointer"`; used in
+    /// per-job timing reports.
+    pub label: String,
+    /// What to run.
+    pub kind: JobKind,
+}
+
+/// The work a [`SimJob`] performs.
+// A job is a few hundred bytes and an experiment makes at most a few
+// hundred of them, so the Cycle variant's inline CoreConfig is cheaper
+// than chasing a Box on every worker.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Cycle-level simulation: generate the workload, fast-forward
+    /// `fast_forward` commits with statistics discarded, then measure a
+    /// `horizon`-commit window.
+    Cycle {
+        /// Workload generation profile.
+        spec: WorkloadSpec,
+        /// Workload generation seed.
+        seed: u64,
+        /// Machine configuration.
+        config: CoreConfig,
+        /// Commits to run before statistics reset.
+        fast_forward: u64,
+        /// Commits in the measurement window.
+        horizon: u64,
+    },
+    /// Functional-interpreter profile of a workload (Table 2's call-depth
+    /// and instruction-mix columns).
+    Profile {
+        /// Workload generation profile.
+        spec: WorkloadSpec,
+        /// Workload generation seed.
+        seed: u64,
+        /// Instructions to interpret.
+        horizon: u64,
+    },
+    /// Trace-model replay on a synthetic speculation trace (the
+    /// analytical figure).
+    Replay {
+        /// Stack capacity.
+        capacity: usize,
+        /// Repair policy under test.
+        policy: RepairPolicy,
+        /// Events in the synthetic trace.
+        events: usize,
+        /// Probability a branch event mispredicts.
+        mispredict_rate: f64,
+        /// Wrong-path length range (inclusive bounds).
+        wrong_path: (usize, usize),
+        /// Call density on the wrong path.
+        call_density: f64,
+        /// Trace seed.
+        seed: u64,
+    },
+}
+
+impl SimJob {
+    /// A cycle-level job for `spec` × `config` sized by `rs`.
+    pub fn cycle(spec: &WorkloadSpec, seed: u64, config: CoreConfig, rs: &RunSpec) -> Self {
+        SimJob {
+            label: spec.name.clone(),
+            kind: JobKind::Cycle {
+                spec: spec.clone(),
+                seed,
+                config,
+                fast_forward: rs.warmup,
+                horizon: rs.measure,
+            },
+        }
+    }
+
+    /// Appends ` × {tag}` to the label (configuration identity).
+    pub fn tagged(mut self, tag: impl std::fmt::Display) -> Self {
+        self.label = format!("{} × {tag}", self.label);
+        self
+    }
+
+    /// A functional-profile job for `spec` over `horizon` instructions.
+    pub fn profile(spec: &WorkloadSpec, seed: u64, horizon: u64) -> Self {
+        SimJob {
+            label: format!("{} × profile", spec.name),
+            kind: JobKind::Profile {
+                spec: spec.clone(),
+                seed,
+                horizon,
+            },
+        }
+    }
+}
+
+/// The result of one [`SimJob`], in the same position as its job.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// From [`JobKind::Cycle`].
+    Stats(SimStats),
+    /// From [`JobKind::Profile`].
+    Profile(DynamicProfile),
+    /// From [`JobKind::Replay`]: correct-path return hits over the total
+    /// scoreable correct-path returns.
+    Replay {
+        /// Correct-path returns predicted correctly.
+        hits: u64,
+        /// Correct-path returns in the trace.
+        correct: u64,
+    },
+}
+
+/// Runs one job to completion. Pure: same job, same output, any thread.
+pub fn run_job(job: &SimJob) -> JobOutput {
+    match &job.kind {
+        JobKind::Cycle {
+            spec,
+            seed,
+            config,
+            fast_forward,
+            horizon,
+        } => {
+            let w = Workload::generate(spec, *seed).expect("job spec generates");
+            let mut core = Core::new(*config, w.program());
+            core.run(*fast_forward);
+            core.reset_stats();
+            JobOutput::Stats(core.run(*horizon))
+        }
+        JobKind::Profile {
+            spec,
+            seed,
+            horizon,
+        } => {
+            let w = Workload::generate(spec, *seed).expect("job spec generates");
+            JobOutput::Profile(DynamicProfile::measure(&w, *horizon))
+        }
+        JobKind::Replay {
+            capacity,
+            policy,
+            events,
+            mispredict_rate,
+            wrong_path,
+            call_density,
+            seed,
+        } => {
+            let trace = SyntheticTrace::builder()
+                .events(*events)
+                .mispredict_rate(*mispredict_rate)
+                .wrong_path_len(wrong_path.0, wrong_path.1)
+                .wrong_path_call_density(*call_density)
+                .seed(*seed)
+                .generate();
+            let correct = SyntheticTrace::correct_returns(&trace);
+            let mut r = TraceReplayer::new(*capacity, *policy);
+            r.replay(&trace);
+            JobOutput::Replay {
+                hits: r.outcome().hits,
+                correct,
+            }
+        }
+    }
+}
+
+/// Observability for one engine invocation: counts, per-job wall-time
+/// distribution, and throughput meters.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall time of each job, in milliseconds, in job order.
+    pub job_millis: Vec<f64>,
+    /// Jobs completed per second of engine wall time.
+    pub jobs_per_sec: Meter,
+    /// Simulated cycles per second of engine wall time (cycle jobs only).
+    pub sim_cycles_per_sec: Meter,
+    /// Committed instructions per second of engine wall time.
+    pub sim_instrs_per_sec: Meter,
+    /// End-to-end engine wall time.
+    pub wall: Duration,
+}
+
+impl EngineReport {
+    /// Merges `other` into `self` (summing counts and wall time), for
+    /// aggregate summaries across experiments.
+    pub fn absorb(&mut self, other: &EngineReport) {
+        self.workers = self.workers.max(other.workers);
+        self.job_millis.extend_from_slice(&other.job_millis);
+        self.wall += other.wall;
+        self.jobs_per_sec.add(other.jobs_per_sec.events());
+        self.sim_cycles_per_sec
+            .add(other.sim_cycles_per_sec.events());
+        self.sim_instrs_per_sec
+            .add(other.sim_instrs_per_sec.events());
+        self.jobs_per_sec.set_window(self.wall);
+        self.sim_cycles_per_sec.set_window(self.wall);
+        self.sim_instrs_per_sec.set_window(self.wall);
+    }
+
+    /// The per-job wall-time distribution.
+    pub fn job_time_summary(&self) -> Summary {
+        let mut s = Summary::new();
+        for &ms in &self.job_millis {
+            s.record(ms);
+        }
+        s
+    }
+
+    /// Renders the report as a two-column table for stderr.
+    pub fn to_table(&self, title: impl Into<String>) -> Table {
+        let times = self.job_time_summary();
+        let mut t = Table::new(vec!["metric", "value"]);
+        t.set_title(title);
+        t.add_row(vec![
+            Cell::text("jobs"),
+            Cell::int(self.jobs_per_sec.events()),
+        ]);
+        t.add_row(vec![Cell::text("workers"), Cell::int(self.workers as u64)]);
+        t.add_row(vec![
+            Cell::text("wall time"),
+            Cell::text(format!("{:.2?}", self.wall)),
+        ]);
+        t.add_row(vec![
+            Cell::text("job wall time (ms)"),
+            Cell::text(format!(
+                "mean {:.1} / min {:.1} / max {:.1}",
+                times.mean(),
+                times.min().unwrap_or(0.0),
+                times.max().unwrap_or(0.0),
+            )),
+        ]);
+        t.add_row(vec![
+            Cell::text("throughput"),
+            Cell::text(format!("{} jobs", self.jobs_per_sec)),
+        ]);
+        t.add_row(vec![
+            Cell::text("sim cycles/sec"),
+            Cell::text(format!("{}", self.sim_cycles_per_sec)),
+        ]);
+        t.add_row(vec![
+            Cell::text("sim instrs/sec"),
+            Cell::text(format!("{}", self.sim_instrs_per_sec)),
+        ]);
+        t
+    }
+}
+
+/// Runs `jobs` on `workers` threads and returns outputs in job order
+/// plus an [`EngineReport`].
+///
+/// Slot `i` of the output always corresponds to `jobs[i]` — merge order
+/// is the submission order, never completion order, so results are
+/// independent of `workers`.
+pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport) {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(JobOutput, Duration)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let t0 = Instant::now();
+                let out = run_job(&jobs[i]);
+                *slots[i].lock().expect("job slot poisoned") = Some((out, t0.elapsed()));
+            });
+        }
+    });
+
+    let wall = started.elapsed();
+    let mut outputs = Vec::with_capacity(jobs.len());
+    let mut job_millis = Vec::with_capacity(jobs.len());
+    let mut jobs_per_sec = Meter::new();
+    let mut sim_cycles_per_sec = Meter::new();
+    let mut sim_instrs_per_sec = Meter::new();
+    for slot in slots {
+        let (out, took) = slot
+            .into_inner()
+            .expect("job slot poisoned")
+            .expect("worker pool ran every job");
+        job_millis.push(took.as_secs_f64() * 1e3);
+        jobs_per_sec.add(1);
+        if let JobOutput::Stats(s) = &out {
+            sim_cycles_per_sec.add(s.cycles);
+            sim_instrs_per_sec.add(s.committed);
+        }
+        outputs.push(out);
+    }
+    jobs_per_sec.set_window(wall);
+    sim_cycles_per_sec.set_window(wall);
+    sim_instrs_per_sec.set_window(wall);
+
+    let report = EngineReport {
+        workers,
+        job_millis,
+        jobs_per_sec,
+        sim_cycles_per_sec,
+        sim_instrs_per_sec,
+        wall,
+    };
+    (outputs, report)
+}
+
+/// An ordered cursor over job outputs, used by `Experiment::reduce`
+/// implementations to consume results in the same order `jobs()` emitted
+/// them.
+#[derive(Debug)]
+pub struct Harvest<'a> {
+    outputs: &'a [JobOutput],
+    next: usize,
+}
+
+impl<'a> Harvest<'a> {
+    /// Wraps an output slice.
+    pub fn new(outputs: &'a [JobOutput]) -> Self {
+        Harvest { outputs, next: 0 }
+    }
+
+    fn take(&mut self) -> &'a JobOutput {
+        let out = self
+            .outputs
+            .get(self.next)
+            .expect("reduce consumed more outputs than jobs() emitted");
+        self.next += 1;
+        out
+    }
+
+    /// The next output, which must be cycle-level stats.
+    pub fn stats(&mut self) -> &'a SimStats {
+        match self.take() {
+            JobOutput::Stats(s) => s,
+            other => panic!("expected Stats output, got {other:?}"),
+        }
+    }
+
+    /// The next output, which must be a dynamic profile.
+    pub fn profile(&mut self) -> &'a DynamicProfile {
+        match self.take() {
+            JobOutput::Profile(p) => p,
+            other => panic!("expected Profile output, got {other:?}"),
+        }
+    }
+
+    /// The next output, which must be a trace replay: `(hits, correct)`.
+    pub fn replay(&mut self) -> (u64, u64) {
+        match self.take() {
+            JobOutput::Replay { hits, correct } => (*hits, *correct),
+            other => panic!("expected Replay output, got {other:?}"),
+        }
+    }
+
+    /// Asserts every output was consumed (catches job/reduce drift).
+    pub fn finish(self) {
+        assert_eq!(
+            self.next,
+            self.outputs.len(),
+            "reduce consumed {} of {} outputs",
+            self.next,
+            self.outputs.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_workloads::WorkloadSpec;
+
+    fn tiny_jobs(n: usize) -> Vec<SimJob> {
+        let spec = WorkloadSpec::test_small();
+        let rs = RunSpec {
+            seed: 7,
+            warmup: 500,
+            measure: 2_000,
+        };
+        (0..n)
+            .map(|i| SimJob::cycle(&spec, 7 + i as u64, CoreConfig::baseline(), &rs))
+            .collect()
+    }
+
+    #[test]
+    fn outputs_follow_submission_order_not_completion_order() {
+        let jobs = tiny_jobs(6);
+        let (serial, _) = execute(&jobs, 1);
+        let (parallel, report) = execute(&jobs, 4);
+        assert_eq!(report.workers, 4.min(jobs.len()));
+        for (a, b) in serial.iter().zip(&parallel) {
+            match (a, b) {
+                (JobOutput::Stats(x), JobOutput::Stats(y)) => assert_eq!(x, y),
+                _ => panic!("unexpected output kinds"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_jobs_and_cycles() {
+        let jobs = tiny_jobs(3);
+        let (outs, report) = execute(&jobs, 2);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(report.jobs_per_sec.events(), 3);
+        assert!(report.sim_cycles_per_sec.events() > 0);
+        assert_eq!(report.job_time_summary().count(), 3);
+    }
+
+    #[test]
+    fn harvest_enforces_order_and_exhaustion() {
+        let jobs = tiny_jobs(1);
+        let (outs, _) = execute(&jobs, 1);
+        let mut h = Harvest::new(&outs);
+        let _ = h.stats();
+        h.finish();
+    }
+}

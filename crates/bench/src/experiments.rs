@@ -1,0 +1,1036 @@
+//! The unified [`Experiment`] API and its registry.
+//!
+//! Every artifact of the paper's evaluation is an [`Experiment`]: a named
+//! unit that *decomposes* into independent [`SimJob`]s and *reduces* the
+//! job outputs back into a rendered [`Table`]. The split is what lets the
+//! engine in [`crate::engine`] fan the jobs out across cores while
+//! keeping the reduced table byte-identical to a serial run — `jobs()`
+//! defines the deterministic order, `reduce()` consumes outputs in that
+//! same order via [`Harvest`].
+//!
+//! [`registry`] lists every experiment; the `expt` binary dispatches on
+//! [`Experiment::name`] (`expt --list`, `expt table1`, `expt all`).
+
+use hydra_pipeline::{CoreConfig, ReturnPredictor};
+use hydra_stats::{Align, Cell, Summary, Table};
+use hydra_workloads::WorkloadSpec;
+use ras_core::{MultipathStackPolicy, RepairPolicy};
+
+use crate::engine::{execute, EngineReport, Harvest, JobKind, JobOutput, SimJob};
+use crate::{repair_ladder, RunSpec};
+
+/// One reproducible artifact of the paper's evaluation.
+///
+/// Implementations decompose into [`SimJob`]s and fold the outputs back
+/// into a table; see the module docs. The contract between the two
+/// halves: `reduce` must consume outputs in exactly the order `jobs`
+/// emitted them (enforced by [`Harvest`]).
+pub trait Experiment: Sync {
+    /// Registry key and CLI name, e.g. `"fig-repair"`.
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `expt --list`.
+    fn title(&self) -> &'static str;
+
+    /// Decomposes the experiment into independent job units for `rs`.
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob>;
+
+    /// Folds job outputs (in `jobs()` order) into the rendered table.
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table;
+}
+
+/// A finished experiment: the artifact plus engine observability.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// The reproduced table or figure.
+    pub table: Table,
+    /// Engine counters for the run (per-job times, throughput).
+    pub report: EngineReport,
+}
+
+/// Runs one experiment on `workers` threads.
+///
+/// The output table is independent of `workers`; only the report's
+/// timings change.
+pub fn run_experiment(experiment: &dyn Experiment, rs: &RunSpec, workers: usize) -> ExperimentRun {
+    let jobs = experiment.jobs(rs);
+    let (outputs, report) = execute(&jobs, workers);
+    ExperimentRun {
+        table: experiment.reduce(rs, &outputs),
+        report,
+    }
+}
+
+/// Every experiment, in presentation order (the order `expt all` runs).
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Table1),
+        Box::new(Table2),
+        Box::new(Table4),
+        Box::new(FigRepair),
+        Box::new(FigSpeedup),
+        Box::new(FigDepth),
+        Box::new(FigBudget),
+        Box::new(FigMultipath),
+        Box::new(FigTopk),
+        Box::new(FigAnalytical),
+        Box::new(FigFrontend),
+        Box::new(FigJourdan),
+        Box::new(FigSeeds::default()),
+    ]
+}
+
+/// Looks an experiment up by its registry name.
+pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+/// The suite's workload specs with their per-benchmark generation seeds
+/// (the same derivation [`hydra_workloads::Workload::spec95_suite`]
+/// uses), so jobs can regenerate workloads independently.
+pub fn suite_specs(rs: &RunSpec) -> Vec<(WorkloadSpec, u64)> {
+    WorkloadSpec::spec95_suite()
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, rs.seed.wrapping_add(i as u64 * 0x9e37_79b9)))
+        .collect()
+}
+
+/// **Table 1** — the baseline machine model (a configuration dump; the
+/// paper's Table 1 is its machine description). No simulation jobs.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "baseline machine model (configuration dump)"
+    }
+
+    fn jobs(&self, _rs: &RunSpec) -> Vec<SimJob> {
+        Vec::new()
+    }
+
+    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        Harvest::new(outputs).finish();
+        let c = CoreConfig::baseline();
+        let mut t = Table::new(vec!["parameter", "value"]);
+        t.set_title("Table 1: baseline machine model (Alpha 21264-like)");
+        let rows: Vec<(&str, String)> = vec![
+            (
+                "fetch/dispatch/issue/commit width",
+                format!(
+                    "{}/{}/{}/{}",
+                    c.fetch_width, c.dispatch_width, c.issue_width, c.commit_width
+                ),
+            ),
+            (
+                "RUU (register update unit)",
+                format!("{} entries", c.ruu_size),
+            ),
+            ("load/store queue", format!("{} entries", c.lsq_size)),
+            (
+                "front-end depth",
+                format!("{} cycles fetch-to-dispatch", c.decode_latency),
+            ),
+            (
+                "direction predictor",
+                format!(
+                    "hybrid: {}-entry GAg + {}x{}-bit PAg, {}-entry chooser",
+                    1 << c.hybrid.global_history_bits,
+                    c.hybrid.local_history_entries,
+                    c.hybrid.local_history_bits,
+                    1 << c.hybrid.chooser_bits
+                ),
+            ),
+            (
+                "BTB",
+                format!(
+                    "{} sets x {} ways, decoupled (taken branches only)",
+                    c.btb.sets, c.btb.ways
+                ),
+            ),
+            (
+                "return-address stack",
+                "32 entries, TOS pointer+contents repair".to_string(),
+            ),
+            (
+                "L1 I/D caches",
+                format!(
+                    "{} KB-class each, {}-cycle hit",
+                    c.mem.l1i.capacity_words() * 4 / 1024,
+                    c.mem.l1_latency
+                ),
+            ),
+            (
+                "L2 unified",
+                format!(
+                    "{} KB-class, +{} cycles",
+                    c.mem.l2.capacity_words() * 4 / 1024,
+                    c.mem.l2_latency
+                ),
+            ),
+            ("memory", format!("+{} cycles", c.mem.memory_latency)),
+            (
+                "FU latencies (alu/mul/div/branch/agen)",
+                format!(
+                    "{}/{}/{}/{}/{}",
+                    c.latencies.alu,
+                    c.latencies.mul,
+                    c.latencies.div,
+                    c.latencies.branch,
+                    c.latencies.agen
+                ),
+            ),
+        ];
+        for (k, v) in rows {
+            t.add_row(vec![Cell::text(k), Cell::text(v)]);
+        }
+        t
+    }
+}
+
+/// **Table 2** — benchmark characteristics: dynamic instruction mix,
+/// branch accuracy, call-depth profile.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "benchmark characteristics on the baseline machine"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            jobs.push(SimJob::cycle(&spec, seed, CoreConfig::baseline(), rs).tagged("baseline"));
+            jobs.push(SimJob::profile(&spec, seed, rs.measure));
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut t = Table::new(vec![
+            "benchmark",
+            "committed",
+            "cond br %",
+            "call %",
+            "return %",
+            "br accuracy",
+            "mean depth",
+            "max depth",
+            "IPC",
+        ]);
+        t.set_title("Table 2: benchmark characteristics (baseline machine)");
+        for col in 1..=8 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let s = h.stats();
+            let p = h.profile();
+            t.add_row(vec![
+                Cell::text(&spec.name),
+                Cell::int(s.committed),
+                Cell::percent(s.cond_branch_fraction().percent()),
+                Cell::percent(s.call_fraction().percent()),
+                Cell::percent(s.return_fraction().percent()),
+                Cell::percent(s.branch_accuracy().percent()),
+                Cell::fixed(p.mean_call_depth(), 1),
+                Cell::int(p.max_call_depth),
+                Cell::fixed(s.ipc(), 3),
+            ]);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Table 4** — return-target hit rates with a BTB only versus the
+/// baseline stack ("without a return-address stack, return addresses are
+/// found in the BTB only a little over half the time").
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "return prediction from the BTB alone vs a repaired stack"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            jobs.push(
+                SimJob::cycle(
+                    &spec,
+                    seed,
+                    CoreConfig::with_return_predictor(ReturnPredictor::BtbOnly),
+                    rs,
+                )
+                .tagged("BTB only"),
+            );
+            jobs.push(SimJob::cycle(&spec, seed, CoreConfig::baseline(), rs).tagged("baseline"));
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut t = Table::new(vec![
+            "benchmark",
+            "BTB-only hit rate",
+            "RAS (ptr+contents) hit rate",
+            "BTB-only IPC",
+            "RAS IPC",
+        ]);
+        t.set_title("Table 4: return prediction from the BTB alone vs a repaired stack");
+        for col in 1..=4 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let btb = h.stats();
+            let ras = h.stats();
+            t.add_row(vec![
+                Cell::text(&spec.name),
+                Cell::percent(btb.return_hit_rate().percent()),
+                Cell::percent(ras.return_hit_rate().percent()),
+                Cell::fixed(btb.ipc(), 3),
+                Cell::fixed(ras.ipc(), 3),
+            ]);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Figure: repair-mechanism hit rates** — return-prediction hit rate per
+/// benchmark for every repair mechanism.
+pub struct FigRepair;
+
+impl Experiment for FigRepair {
+    fn name(&self) -> &'static str {
+        "fig-repair"
+    }
+
+    fn title(&self) -> &'static str {
+        "return hit rate by repair mechanism"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for (tag, rp) in repair_ladder() {
+                jobs.push(
+                    SimJob::cycle(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(tag),
+                );
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let ladder = repair_ladder();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(ladder.iter().map(|(n, _)| n.to_string()));
+        let mut t = Table::new(header);
+        t.set_title("Figure (repair): return hit rate by repair mechanism");
+        for col in 1..=ladder.len() {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in &ladder {
+                row.push(Cell::percent(h.stats().return_hit_rate().percent()));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Figure: speedup** — IPC of each mechanism relative to the unrepaired
+/// stack (the paper reports up to 8.7% for TOS-pointer+contents, and up
+/// to 15% over BTB-only).
+pub struct FigSpeedup;
+
+impl Experiment for FigSpeedup {
+    fn name(&self) -> &'static str {
+        "fig-speedup"
+    }
+
+    fn title(&self) -> &'static str {
+        "IPC by repair mechanism and repair speedups"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        FigRepair.jobs(rs)
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let ladder = repair_ladder();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(ladder.iter().map(|(n, _)| format!("{n} IPC")));
+        header.push("p+c vs none".to_string());
+        header.push("p+c vs BTB".to_string());
+        let mut t = Table::new(header);
+        t.set_title("Figure (speedup): IPC by repair mechanism and speedups");
+        for col in 1..=ladder.len() + 2 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            let mut ipcs = Vec::new();
+            for _ in &ladder {
+                let ipc = h.stats().ipc();
+                ipcs.push(ipc);
+                row.push(Cell::fixed(ipc, 3));
+            }
+            // ladder order: [btb, none, vbits, ptr, p+c, full, perfect]
+            let speedup_none = (ipcs[4] / ipcs[1] - 1.0) * 100.0;
+            let speedup_btb = (ipcs[4] / ipcs[0] - 1.0) * 100.0;
+            row.push(Cell::percent(speedup_none));
+            row.push(Cell::percent(speedup_btb));
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Figure: stack-depth sensitivity** — hit rate of the repaired stack
+/// versus stack size (over/underflow dominate small stacks).
+pub struct FigDepth;
+
+/// Stack sizes the depth figure sweeps.
+const DEPTH_SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+impl Experiment for FigDepth {
+    fn name(&self) -> &'static str {
+        "fig-depth"
+    }
+
+    fn title(&self) -> &'static str {
+        "return hit rate vs stack size (TOS ptr+contents repair)"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for entries in DEPTH_SIZES {
+                let rp = ReturnPredictor::Ras {
+                    entries,
+                    repair: RepairPolicy::TosPointerAndContents,
+                };
+                jobs.push(
+                    SimJob::cycle(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(format!("{entries} entries")),
+                );
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(DEPTH_SIZES.iter().map(|s| format!("{s} entries")));
+        let mut t = Table::new(header);
+        t.set_title("Figure (depth): return hit rate vs stack size (TOS ptr+contents repair)");
+        for col in 1..=DEPTH_SIZES.len() {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in DEPTH_SIZES {
+                row.push(Cell::percent(h.stats().return_hit_rate().percent()));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Figure: shadow-state budget** — effect of limiting in-flight
+/// checkpoints (4 as on the R10000, 20 as on the 21264, unlimited).
+pub struct FigBudget;
+
+/// Checkpoint budgets the figure compares.
+const BUDGETS: [(&str, Option<usize>); 3] = [
+    ("4 (R10000)", Some(4)),
+    ("20 (21264)", Some(20)),
+    ("unlimited", None),
+];
+
+impl Experiment for FigBudget {
+    fn name(&self) -> &'static str {
+        "fig-budget"
+    }
+
+    fn title(&self) -> &'static str {
+        "checkpoint shadow-storage sensitivity (ptr+contents)"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for (tag, budget) in BUDGETS {
+                let cfg = CoreConfig {
+                    checkpoint_budget: budget,
+                    ..CoreConfig::baseline()
+                };
+                jobs.push(SimJob::cycle(&spec, seed, cfg, rs).tagged(tag));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        for (name, _) in &BUDGETS {
+            header.push(format!("{name} hit"));
+            header.push(format!("{name} IPC"));
+        }
+        let mut t = Table::new(header);
+        t.set_title("Figure (budget): checkpoint shadow-storage sensitivity (ptr+contents)");
+        for col in 1..=BUDGETS.len() * 2 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in &BUDGETS {
+                let s = h.stats();
+                row.push(Cell::percent(s.return_hit_rate().percent()));
+                row.push(Cell::fixed(s.ipc(), 3));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Figure: multipath** — relative performance of stack organizations
+/// under 2-path and 4-path execution, normalized to the unified stack
+/// (the paper: per-path stacks improve performance by over 25%).
+pub struct FigMultipath;
+
+fn multipath_policies() -> [(&'static str, MultipathStackPolicy); 3] {
+    [
+        (
+            "unified",
+            MultipathStackPolicy::Unified {
+                repair: RepairPolicy::None,
+            },
+        ),
+        (
+            "unified+ckpt",
+            MultipathStackPolicy::Unified {
+                repair: RepairPolicy::TosPointerAndContents,
+            },
+        ),
+        ("per-path", MultipathStackPolicy::PerPath),
+    ]
+}
+
+impl Experiment for FigMultipath {
+    fn name(&self) -> &'static str {
+        "fig-multipath"
+    }
+
+    fn title(&self) -> &'static str {
+        "relative IPC by stack organization under multipath fetch"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for paths in [2usize, 4] {
+                for (tag, pol) in multipath_policies() {
+                    jobs.push(
+                        SimJob::cycle(&spec, seed, CoreConfig::multipath(paths, pol), rs)
+                            .tagged(format!("{paths}p {tag}")),
+                    );
+                }
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let policies = multipath_policies();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        for paths in [2, 4] {
+            for (name, _) in &policies {
+                header.push(format!("{paths}p {name}"));
+            }
+        }
+        let mut t = Table::new(header);
+        t.set_title(
+            "Figure (multipath): relative IPC by stack organization (normalized to unified; hit rate in parens)",
+        );
+        for col in 1..=6 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _paths in [2usize, 4] {
+                let mut base_ipc = None;
+                for _ in &policies {
+                    let s = h.stats();
+                    let base = *base_ipc.get_or_insert(s.ipc());
+                    row.push(Cell::text(format!(
+                        "{:.3} ({:.1}%)",
+                        s.ipc() / base,
+                        s.return_hit_rate().percent()
+                    )));
+                }
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Ablation: top-k checkpoint contents** — how much of full-stack
+/// checkpointing's benefit does saving the top *k* entries capture
+/// (the Jourdan-et-al. comparison; `k = 1` is the paper's mechanism).
+pub struct FigTopk;
+
+fn topk_ladder() -> [(&'static str, RepairPolicy); 5] {
+    [
+        ("ptr only", RepairPolicy::TosPointer),
+        ("k=1", RepairPolicy::TopContents { k: 1 }),
+        ("k=2", RepairPolicy::TopContents { k: 2 }),
+        ("k=4", RepairPolicy::TopContents { k: 4 }),
+        ("full", RepairPolicy::FullStack),
+    ]
+}
+
+impl Experiment for FigTopk {
+    fn name(&self) -> &'static str {
+        "fig-topk"
+    }
+
+    fn title(&self) -> &'static str {
+        "hit rate vs checkpointed top-of-stack entries"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for (tag, repair) in topk_ladder() {
+                let rp = ReturnPredictor::Ras {
+                    entries: 32,
+                    repair,
+                };
+                jobs.push(
+                    SimJob::cycle(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(tag),
+                );
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let ks = topk_ladder();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(ks.iter().map(|(n, _)| n.to_string()));
+        let mut t = Table::new(header);
+        t.set_title("Ablation (top-k): hit rate vs checkpointed top-of-stack entries");
+        for col in 1..=ks.len() {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in &ks {
+                row.push(Cell::percent(h.stats().return_hit_rate().percent()));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Ablation: analytical trace model** — repair-policy hit rates versus
+/// wrong-path length on synthetic speculation traces (no pipeline).
+/// Shows the same mechanism ordering as the cycle-level runs and *why*:
+/// longer wrong paths overwrite more than the top-of-stack entry, which
+/// is exactly what separates `TosPointerAndContents` from deeper
+/// checkpoints.
+pub struct FigAnalytical;
+
+fn analytical_policies() -> [(&'static str, RepairPolicy); 5] {
+    [
+        ("no repair", RepairPolicy::None),
+        ("TOS pointer", RepairPolicy::TosPointer),
+        ("ptr+contents", RepairPolicy::TosPointerAndContents),
+        ("top-4", RepairPolicy::TopContents { k: 4 }),
+        ("full", RepairPolicy::FullStack),
+    ]
+}
+
+/// Wrong-path length ceilings the analytical figure sweeps.
+const ANALYTICAL_LENS: [usize; 6] = [4, 8, 16, 32, 64, 128];
+
+impl Experiment for FigAnalytical {
+    fn name(&self) -> &'static str {
+        "fig-analytical"
+    }
+
+    fn title(&self) -> &'static str {
+        "hit rate vs wrong-path length on the trace model"
+    }
+
+    fn jobs(&self, _rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for max_len in ANALYTICAL_LENS {
+            for (tag, policy) in analytical_policies() {
+                jobs.push(SimJob {
+                    label: format!("wrong-path 1..{max_len} × {tag}"),
+                    kind: JobKind::Replay {
+                        capacity: 32,
+                        policy,
+                        events: 200_000,
+                        mispredict_rate: 0.08,
+                        wrong_path: (1, max_len),
+                        call_density: 0.10,
+                        seed: 42,
+                    },
+                });
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let policies = analytical_policies();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["wrong-path len".to_string()];
+        header.extend(policies.iter().map(|(n, _)| n.to_string()));
+        let mut t = Table::new(header);
+        t.set_title("Ablation (analytical): hit rate vs wrong-path length, trace model");
+        for col in 1..=policies.len() {
+            t.set_align(col, Align::Right);
+        }
+        for max_len in ANALYTICAL_LENS {
+            let mut row = vec![Cell::text(format!("1..{max_len}"))];
+            for _ in &policies {
+                // Score only the correct-path returns: wrong-path pops
+                // are squashed in a real machine and never scored.
+                let (hits, correct) = h.replay();
+                row.push(Cell::percent(hits as f64 / correct.max(1) as f64 * 100.0));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Ablation: front-end depth** — the repair mechanism's IPC benefit as
+/// the misprediction pipeline penalty grows (deeper front ends make every
+/// avoided return misprediction worth more).
+pub struct FigFrontend;
+
+/// Fetch-to-dispatch depths the front-end ablation sweeps.
+const FRONTEND_DEPTHS: [u64; 4] = [1, 3, 6, 10];
+
+fn frontend_specs(rs: &RunSpec) -> Vec<(WorkloadSpec, u64)> {
+    suite_specs(rs)
+        .into_iter()
+        .filter(|(s, _)| matches!(s.name.as_str(), "gcc" | "li" | "perl" | "vortex"))
+        .collect()
+}
+
+impl Experiment for FigFrontend {
+    fn name(&self) -> &'static str {
+        "fig-frontend"
+    }
+
+    fn title(&self) -> &'static str {
+        "repair speedup vs fetch-to-dispatch depth"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in frontend_specs(rs) {
+            for d in FRONTEND_DEPTHS {
+                for (tag, repair) in [
+                    ("none", RepairPolicy::None),
+                    ("p+c", RepairPolicy::TosPointerAndContents),
+                ] {
+                    let cfg = CoreConfig {
+                        decode_latency: d,
+                        return_predictor: ReturnPredictor::Ras {
+                            entries: 32,
+                            repair,
+                        },
+                        ..CoreConfig::baseline()
+                    };
+                    jobs.push(
+                        SimJob::cycle(&spec, seed, cfg, rs).tagged(format!("depth {d} {tag}")),
+                    );
+                }
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        for d in FRONTEND_DEPTHS {
+            header.push(format!("depth {d}: none"));
+            header.push(format!("depth {d}: p+c"));
+            header.push(format!("depth {d}: gain"));
+        }
+        let mut t = Table::new(header);
+        t.set_title("Ablation (front end): repair speedup vs fetch-to-dispatch depth");
+        for col in 1..=FRONTEND_DEPTHS.len() * 3 {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in frontend_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in FRONTEND_DEPTHS {
+                let none = h.stats();
+                let pc = h.stats();
+                row.push(Cell::fixed(none.ipc(), 3));
+                row.push(Cell::fixed(pc.ipc(), 3));
+                row.push(Cell::percent((pc.ipc() / none.ipc() - 1.0) * 100.0));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Extension: the Jourdan self-checkpointing stack** — hit rate of the
+/// pointer-only, popped-entry-preserving organization at several
+/// capacities versus the paper's two-word mechanism on a 32-entry stack.
+/// Reproduces the paper's related-work claim: self-checkpointing can
+/// match full-stack quality but "requires a larger number of stack
+/// entries because it preserves popped entries".
+pub struct FigJourdan;
+
+fn jourdan_configs() -> [(&'static str, ReturnPredictor); 5] {
+    [
+        (
+            "ptr+contents @32",
+            ReturnPredictor::Ras {
+                entries: 32,
+                repair: RepairPolicy::TosPointerAndContents,
+            },
+        ),
+        (
+            "self-ckpt @32",
+            ReturnPredictor::SelfCheckpointing { entries: 32 },
+        ),
+        (
+            "self-ckpt @64",
+            ReturnPredictor::SelfCheckpointing { entries: 64 },
+        ),
+        (
+            "self-ckpt @128",
+            ReturnPredictor::SelfCheckpointing { entries: 128 },
+        ),
+        (
+            "full @32",
+            ReturnPredictor::Ras {
+                entries: 32,
+                repair: RepairPolicy::FullStack,
+            },
+        ),
+    ]
+}
+
+impl Experiment for FigJourdan {
+    fn name(&self) -> &'static str {
+        "fig-jourdan"
+    }
+
+    fn title(&self) -> &'static str {
+        "self-checkpointing stack vs contents checkpointing"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for (tag, rp) in jourdan_configs() {
+                jobs.push(
+                    SimJob::cycle(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(tag),
+                );
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let configs = jourdan_configs();
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(configs.iter().map(|(n, _)| n.to_string()));
+        let mut t = Table::new(header);
+        t.set_title("Extension (Jourdan): self-checkpointing stack vs contents checkpointing");
+        for col in 1..=configs.len() {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            let mut row = vec![Cell::text(&spec.name)];
+            for _ in &configs {
+                row.push(Cell::percent(h.stats().return_hit_rate().percent()));
+            }
+            t.add_row(row);
+        }
+        h.finish();
+        t
+    }
+}
+
+/// **Robustness: multi-seed repair comparison** — the headline comparison
+/// (no repair vs the paper's mechanism vs perfect) repeated across
+/// several workload-generation seeds, reported as mean ± stddev. The
+/// paper's conclusions should not depend on one synthetic program, and
+/// this shows they do not.
+pub struct FigSeeds {
+    /// Workload-generation seeds the comparison is repeated across.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for FigSeeds {
+    fn default() -> Self {
+        FigSeeds {
+            seeds: vec![12345, 777, 31337],
+        }
+    }
+}
+
+impl FigSeeds {
+    fn repairs() -> [(&'static str, RepairPolicy); 2] {
+        [
+            ("none", RepairPolicy::None),
+            ("p+c", RepairPolicy::TosPointerAndContents),
+        ]
+    }
+}
+
+impl Experiment for FigSeeds {
+    fn name(&self) -> &'static str {
+        "fig-seeds"
+    }
+
+    fn title(&self) -> &'static str {
+        "repair comparison across workload seeds (mean ± stddev)"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for spec in WorkloadSpec::spec95_suite() {
+            for (i, &seed) in self.seeds.iter().enumerate() {
+                let gen_seed = seed.wrapping_add(i as u64);
+                for (tag, repair) in Self::repairs() {
+                    let rp = ReturnPredictor::Ras {
+                        entries: 32,
+                        repair,
+                    };
+                    jobs.push(
+                        SimJob::cycle(&spec, gen_seed, CoreConfig::with_return_predictor(rp), rs)
+                            .tagged(format!("seed {seed} {tag}")),
+                    );
+                }
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut t = Table::new(vec![
+            "benchmark",
+            "no repair (hit %)",
+            "ptr+contents (hit %)",
+            "speedup p+c vs none",
+        ]);
+        t.set_title(format!(
+            "Robustness: repair comparison across {} seeds (mean ± stddev)",
+            self.seeds.len()
+        ));
+        for col in 1..=3 {
+            t.set_align(col, Align::Right);
+        }
+        for spec in WorkloadSpec::spec95_suite() {
+            let mut none_hit = Summary::new();
+            let mut pc_hit = Summary::new();
+            let mut speedup = Summary::new();
+            for _ in &self.seeds {
+                let none = h.stats();
+                let pc = h.stats();
+                none_hit.record(none.return_hit_rate().percent());
+                pc_hit.record(pc.return_hit_rate().percent());
+                speedup.record((pc.ipc() / none.ipc() - 1.0) * 100.0);
+            }
+            t.add_row(vec![
+                Cell::text(spec.name.clone()),
+                Cell::text(format!("{:.2} ± {:.2}", none_hit.mean(), none_hit.stddev())),
+                Cell::text(format!("{:.2} ± {:.2}", pc_hit.mean(), pc_hit.stddev())),
+                Cell::text(format!("{:.2}% ± {:.2}", speedup.mean(), speedup.stddev())),
+            ]);
+        }
+        h.finish();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert!(!names.is_empty());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate experiment names");
+    }
+
+    #[test]
+    fn find_resolves_every_registry_name() {
+        for e in registry() {
+            let found = find(e.name()).expect("registered name resolves");
+            assert_eq!(found.name(), e.name());
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn job_counts_match_structure() {
+        let rs = RunSpec::quick();
+        assert_eq!(Table1.jobs(&rs).len(), 0);
+        assert_eq!(Table2.jobs(&rs).len(), 8 * 2);
+        assert_eq!(FigRepair.jobs(&rs).len(), 8 * repair_ladder().len());
+        assert_eq!(FigAnalytical.jobs(&rs).len(), 6 * 5);
+        assert_eq!(FigSeeds::default().jobs(&rs).len(), 8 * 3 * 2);
+    }
+}

@@ -1,35 +1,73 @@
 //! Experiment harness reproducing every table and figure of the paper's
 //! evaluation.
 //!
-//! Each `expt_*` function regenerates one artifact of *"Improving
-//! Prediction for Procedure Returns with Return-Address-Stack Repair
-//! Mechanisms"* (MICRO-31, 1998) and returns it as a rendered
-//! [`hydra_stats::Table`]. The `expt-*` binaries in `src/bin` are thin
-//! wrappers; the Criterion benches in `benches/` run reduced-size
-//! versions of the same functions.
+//! Each artifact of *"Improving Prediction for Procedure Returns with
+//! Return-Address-Stack Repair Mechanisms"* (MICRO-31, 1998) is an
+//! [`Experiment`]: a named unit that decomposes into independent
+//! [`SimJob`]s (`jobs()`) and folds the outputs back into a rendered
+//! [`hydra_stats::Table`] (`reduce()`). The [`registry`] lists them all;
+//! the single `expt` binary fronts the registry:
+//!
+//! ```text
+//! expt --list            # every experiment name + description
+//! expt table1            # run one experiment
+//! expt fig-repair table4 # run several
+//! expt all --jobs 8      # run everything on 8 worker threads
+//! ```
+//!
+//! The engine in [`engine`] fans jobs out over a worker pool and merges
+//! results in submission order, so the tables printed by a parallel run
+//! are **byte-identical** to a serial (`--jobs 1`) run; only the timing
+//! summaries on stderr differ.
 //!
 //! Sizing is controlled by [`RunSpec`]: the paper fast-forwards past
 //! initialization and then simulates a representative window; we do the
-//! same with a warm-up run (machine state kept, statistics dropped)
-//! followed by a measurement window. Set the environment variable
-//! `HYDRA_EXPT_MODE=quick` for fast smoke-sized runs.
+//! same with a fast-forward phase (machine state kept, statistics
+//! dropped) followed by a measurement horizon. Build one explicitly:
+//!
+//! ```
+//! use hydra_bench::RunSpec;
+//!
+//! let rs = RunSpec::builder()
+//!     .seed(7)
+//!     .fast_forward(2_000)
+//!     .horizon(10_000)
+//!     .build();
+//! assert_eq!(rs.warmup, 2_000);
+//! assert_eq!(rs.measure, 10_000);
+//! ```
+//!
+//! or from the environment with [`RunSpec::from_env`]
+//! (`HYDRA_EXPT_MODE=quick` for smoke-sized runs, plus optional
+//! `HYDRA_EXPT_SEED` / `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON`
+//! overrides).
+//!
+//! The free `expt_*` functions are deprecated shims kept for source
+//! compatibility; they delegate to the registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hydra_pipeline::{Core, CoreConfig, ReturnPredictor, SimStats};
-use hydra_stats::{Align, Cell, Summary, Table};
-use hydra_workloads::{DynamicProfile, Workload};
-use ras_core::{MultipathStackPolicy, RepairPolicy};
+pub mod engine;
+pub mod experiments;
 
-/// Simulation sizing: seed, warm-up commits, measured commits.
+pub use engine::{execute, run_job, EngineReport, Harvest, JobKind, JobOutput, SimJob};
+pub use experiments::{find, registry, run_experiment, Experiment, ExperimentRun};
+
+use hydra_pipeline::{Core, CoreConfig, ReturnPredictor, SimStats};
+use hydra_stats::Table;
+use hydra_workloads::Workload;
+use ras_core::RepairPolicy;
+
+/// Simulation sizing: seed, fast-forward commits, measured commits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSpec {
     /// Workload-generation seed.
     pub seed: u64,
-    /// Instructions committed before statistics are reset.
+    /// Instructions committed before statistics are reset (the
+    /// fast-forward phase).
     pub warmup: u64,
-    /// Instructions committed in the measurement window.
+    /// Instructions committed in the measurement window (the horizon).
     pub measure: u64,
 }
 
@@ -44,7 +82,7 @@ impl RunSpec {
         }
     }
 
-    /// Reduced runs for Criterion benches and smoke tests.
+    /// Reduced runs for benches and smoke tests.
     pub fn quick() -> Self {
         RunSpec {
             seed: 12345,
@@ -53,18 +91,132 @@ impl RunSpec {
         }
     }
 
-    /// Chooses `quick` when `HYDRA_EXPT_MODE=quick` is set, else `full`.
-    pub fn from_env() -> Self {
-        match std::env::var("HYDRA_EXPT_MODE").as_deref() {
-            Ok("quick") => RunSpec::quick(),
-            _ => RunSpec::full(),
+    /// A builder seeded with the [`RunSpec::full`] defaults.
+    pub fn builder() -> RunSpecBuilder {
+        RunSpecBuilder {
+            spec: RunSpec::full(),
         }
+    }
+
+    /// Reads sizing from the environment.
+    ///
+    /// `HYDRA_EXPT_MODE` selects the base spec (`full` — the default —
+    /// or `quick`); `HYDRA_EXPT_SEED`, `HYDRA_EXPT_FAST_FORWARD` and
+    /// `HYDRA_EXPT_HORIZON` override individual fields. Malformed values
+    /// are reported, not silently defaulted:
+    ///
+    /// # Errors
+    ///
+    /// [`RunSpecError::UnknownMode`] for a mode other than `full` /
+    /// `quick`, [`RunSpecError::BadNumber`] for an override that does not
+    /// parse as a `u64`.
+    pub fn from_env() -> Result<Self, RunSpecError> {
+        let mut spec = match env_str("HYDRA_EXPT_MODE")? {
+            None => RunSpec::full(),
+            Some(v) => match v.as_str() {
+                "" | "full" => RunSpec::full(),
+                "quick" => RunSpec::quick(),
+                other => return Err(RunSpecError::UnknownMode(other.to_string())),
+            },
+        };
+        spec.seed = env_u64("HYDRA_EXPT_SEED", spec.seed)?;
+        spec.warmup = env_u64("HYDRA_EXPT_FAST_FORWARD", spec.warmup)?;
+        spec.measure = env_u64("HYDRA_EXPT_HORIZON", spec.measure)?;
+        Ok(spec)
     }
 }
 
 impl Default for RunSpec {
     fn default() -> Self {
         RunSpec::full()
+    }
+}
+
+/// Builds a [`RunSpec`] field by field; see [`RunSpec::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpecBuilder {
+    spec: RunSpec,
+}
+
+impl RunSpecBuilder {
+    /// Sets the workload-generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the fast-forward phase length, in committed instructions.
+    pub fn fast_forward(mut self, commits: u64) -> Self {
+        self.spec.warmup = commits;
+        self
+    }
+
+    /// Sets the measurement horizon, in committed instructions.
+    pub fn horizon(mut self, commits: u64) -> Self {
+        self.spec.measure = commits;
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> RunSpec {
+        self.spec
+    }
+}
+
+/// Why [`RunSpec::from_env`] rejected the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunSpecError {
+    /// `HYDRA_EXPT_MODE` was set to something other than `full`/`quick`.
+    UnknownMode(String),
+    /// A numeric override did not parse as a `u64`.
+    BadNumber {
+        /// The offending environment variable.
+        var: &'static str,
+        /// Its value as found.
+        value: String,
+        /// Parser's explanation.
+        reason: String,
+    },
+    /// A variable was set but is not valid UTF-8.
+    NotUnicode(&'static str),
+}
+
+impl std::fmt::Display for RunSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunSpecError::UnknownMode(m) => write!(
+                f,
+                "HYDRA_EXPT_MODE: unknown mode {m:?} (expected \"full\" or \"quick\")"
+            ),
+            RunSpecError::BadNumber { var, value, reason } => {
+                write!(f, "{var}: cannot parse {value:?} as u64: {reason}")
+            }
+            RunSpecError::NotUnicode(var) => write!(f, "{var}: value is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for RunSpecError {}
+
+fn env_str(var: &'static str) -> Result<Option<String>, RunSpecError> {
+    match std::env::var(var) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(RunSpecError::NotUnicode(var)),
+    }
+}
+
+fn env_u64(var: &'static str, default: u64) -> Result<u64, RunSpecError> {
+    match env_str(var)? {
+        None => Ok(default),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| RunSpecError::BadNumber {
+                var,
+                value: v.clone(),
+                reason: e.to_string(),
+            }),
     }
 }
 
@@ -77,8 +229,8 @@ pub fn suite(rs: &RunSpec) -> Vec<Workload> {
     Workload::spec95_suite(rs.seed).expect("built-in suite generates")
 }
 
-/// Runs one workload on one configuration: warm up, reset statistics,
-/// measure.
+/// Runs one workload on one configuration: fast-forward, reset
+/// statistics, measure.
 pub fn run_one(w: &Workload, config: CoreConfig, rs: &RunSpec) -> SimStats {
     let mut core = Core::new(config, w.program());
     core.run(rs.warmup);
@@ -104,442 +256,95 @@ pub fn repair_ladder() -> Vec<(&'static str, ReturnPredictor)> {
     ]
 }
 
-/// **Table 1** — the baseline machine model (a configuration dump; the
-/// paper's Table 1 is its machine description).
+/// Runs the registered experiment `name` serially and returns its table.
+fn run_registered(name: &str, rs: &RunSpec) -> Table {
+    let e = experiments::find(name).expect("experiment is registered");
+    experiments::run_experiment(e.as_ref(), rs, 1).table
+}
+
+/// **Table 1** — the baseline machine model.
+#[deprecated(note = "use the experiment registry: `find(\"table1\")` + `run_experiment`")]
 pub fn expt_table1() -> Table {
-    let c = CoreConfig::baseline();
-    let mut t = Table::new(vec!["parameter", "value"]);
-    t.set_title("Table 1: baseline machine model (Alpha 21264-like)");
-    let rows: Vec<(&str, String)> = vec![
-        (
-            "fetch/dispatch/issue/commit width",
-            format!(
-                "{}/{}/{}/{}",
-                c.fetch_width, c.dispatch_width, c.issue_width, c.commit_width
-            ),
-        ),
-        (
-            "RUU (register update unit)",
-            format!("{} entries", c.ruu_size),
-        ),
-        ("load/store queue", format!("{} entries", c.lsq_size)),
-        (
-            "front-end depth",
-            format!("{} cycles fetch-to-dispatch", c.decode_latency),
-        ),
-        (
-            "direction predictor",
-            format!(
-                "hybrid: {}-entry GAg + {}x{}-bit PAg, {}-entry chooser",
-                1 << c.hybrid.global_history_bits,
-                c.hybrid.local_history_entries,
-                c.hybrid.local_history_bits,
-                1 << c.hybrid.chooser_bits
-            ),
-        ),
-        (
-            "BTB",
-            format!(
-                "{} sets x {} ways, decoupled (taken branches only)",
-                c.btb.sets, c.btb.ways
-            ),
-        ),
-        (
-            "return-address stack",
-            "32 entries, TOS pointer+contents repair".to_string(),
-        ),
-        (
-            "L1 I/D caches",
-            format!(
-                "{} KB-class each, {}-cycle hit",
-                c.mem.l1i.capacity_words() * 4 / 1024,
-                c.mem.l1_latency
-            ),
-        ),
-        (
-            "L2 unified",
-            format!(
-                "{} KB-class, +{} cycles",
-                c.mem.l2.capacity_words() * 4 / 1024,
-                c.mem.l2_latency
-            ),
-        ),
-        ("memory", format!("+{} cycles", c.mem.memory_latency)),
-        (
-            "FU latencies (alu/mul/div/branch/agen)",
-            format!(
-                "{}/{}/{}/{}/{}",
-                c.latencies.alu,
-                c.latencies.mul,
-                c.latencies.div,
-                c.latencies.branch,
-                c.latencies.agen
-            ),
-        ),
-    ];
-    for (k, v) in rows {
-        t.add_row(vec![Cell::text(k), Cell::text(v)]);
-    }
-    t
+    run_registered("table1", &RunSpec::full())
 }
 
-/// **Table 2** — benchmark characteristics: dynamic instruction mix,
-/// branch accuracy, call-depth profile.
+/// **Table 2** — benchmark characteristics.
+#[deprecated(note = "use the experiment registry: `find(\"table2\")` + `run_experiment`")]
 pub fn expt_table2(rs: &RunSpec) -> Table {
-    let mut t = Table::new(vec![
-        "benchmark",
-        "committed",
-        "cond br %",
-        "call %",
-        "return %",
-        "br accuracy",
-        "mean depth",
-        "max depth",
-        "IPC",
-    ]);
-    t.set_title("Table 2: benchmark characteristics (baseline machine)");
-    for col in 1..=8 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let s = run_one(&w, CoreConfig::baseline(), rs);
-        let p = DynamicProfile::measure(&w, rs.measure);
-        t.add_row(vec![
-            Cell::text(w.name()),
-            Cell::int(s.committed),
-            Cell::percent(s.cond_branch_fraction().percent()),
-            Cell::percent(s.call_fraction().percent()),
-            Cell::percent(s.return_fraction().percent()),
-            Cell::percent(s.branch_accuracy().percent()),
-            Cell::fixed(p.mean_call_depth(), 1),
-            Cell::int(p.max_call_depth),
-            Cell::fixed(s.ipc(), 3),
-        ]);
-    }
-    t
+    run_registered("table2", rs)
 }
 
-/// **Table 4** — return-target hit rates with a BTB only versus the
-/// baseline stack ("without a return-address stack, return addresses are
-/// found in the BTB only a little over half the time").
+/// **Table 4** — BTB-only versus repaired-stack return prediction.
+#[deprecated(note = "use the experiment registry: `find(\"table4\")` + `run_experiment`")]
 pub fn expt_table4(rs: &RunSpec) -> Table {
-    let mut t = Table::new(vec![
-        "benchmark",
-        "BTB-only hit rate",
-        "RAS (ptr+contents) hit rate",
-        "BTB-only IPC",
-        "RAS IPC",
-    ]);
-    t.set_title("Table 4: return prediction from the BTB alone vs a repaired stack");
-    for col in 1..=4 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let btb = run_one(
-            &w,
-            CoreConfig::with_return_predictor(ReturnPredictor::BtbOnly),
-            rs,
-        );
-        let ras = run_one(&w, CoreConfig::baseline(), rs);
-        t.add_row(vec![
-            Cell::text(w.name()),
-            Cell::percent(btb.return_hit_rate().percent()),
-            Cell::percent(ras.return_hit_rate().percent()),
-            Cell::fixed(btb.ipc(), 3),
-            Cell::fixed(ras.ipc(), 3),
-        ]);
-    }
-    t
+    run_registered("table4", rs)
 }
 
-/// **Figure: repair-mechanism hit rates** — return-prediction hit rate per
-/// benchmark for every repair mechanism.
+/// **Figure: repair-mechanism hit rates.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-repair\")` + `run_experiment`")]
 pub fn expt_fig_repair(rs: &RunSpec) -> Table {
-    let ladder = repair_ladder();
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(ladder.iter().map(|(n, _)| n.to_string()));
-    let mut t = Table::new(header);
-    t.set_title("Figure (repair): return hit rate by repair mechanism");
-    for col in 1..=ladder.len() {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for (_, rp) in &ladder {
-            let s = run_one(&w, CoreConfig::with_return_predictor(*rp), rs);
-            row.push(Cell::percent(s.return_hit_rate().percent()));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-repair", rs)
 }
 
-/// **Figure: speedup** — IPC of each mechanism relative to the unrepaired
-/// stack (the paper reports up to 8.7% for TOS-pointer+contents, and up
-/// to 15% over BTB-only).
+/// **Figure: speedup by repair mechanism.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-speedup\")` + `run_experiment`")]
 pub fn expt_fig_speedup(rs: &RunSpec) -> Table {
-    let ladder = repair_ladder();
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(ladder.iter().map(|(n, _)| format!("{n} IPC")));
-    header.push("p+c vs none".to_string());
-    header.push("p+c vs BTB".to_string());
-    let mut t = Table::new(header);
-    t.set_title("Figure (speedup): IPC by repair mechanism and speedups");
-    for col in 1..=ladder.len() + 2 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        let mut ipcs = Vec::new();
-        for (_, rp) in &ladder {
-            let s = run_one(&w, CoreConfig::with_return_predictor(*rp), rs);
-            ipcs.push(s.ipc());
-            row.push(Cell::fixed(s.ipc(), 3));
-        }
-        // ladder order: [btb, none, vbits, ptr, p+c, full, perfect]
-        let speedup_none = (ipcs[4] / ipcs[1] - 1.0) * 100.0;
-        let speedup_btb = (ipcs[4] / ipcs[0] - 1.0) * 100.0;
-        row.push(Cell::percent(speedup_none));
-        row.push(Cell::percent(speedup_btb));
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-speedup", rs)
 }
 
-/// **Figure: stack-depth sensitivity** — hit rate of the repaired stack
-/// versus stack size (over/underflow dominate small stacks).
+/// **Figure: stack-depth sensitivity.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-depth\")` + `run_experiment`")]
 pub fn expt_fig_depth(rs: &RunSpec) -> Table {
-    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(sizes.iter().map(|s| format!("{s} entries")));
-    let mut t = Table::new(header);
-    t.set_title("Figure (depth): return hit rate vs stack size (TOS ptr+contents repair)");
-    for col in 1..=sizes.len() {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for &entries in &sizes {
-            let rp = ReturnPredictor::Ras {
-                entries,
-                repair: RepairPolicy::TosPointerAndContents,
-            };
-            let s = run_one(&w, CoreConfig::with_return_predictor(rp), rs);
-            row.push(Cell::percent(s.return_hit_rate().percent()));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-depth", rs)
 }
 
-/// **Figure: shadow-state budget** — effect of limiting in-flight
-/// checkpoints (4 as on the R10000, 20 as on the 21264, unlimited).
+/// **Figure: checkpoint shadow-storage budget.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-budget\")` + `run_experiment`")]
 pub fn expt_fig_budget(rs: &RunSpec) -> Table {
-    let budgets: [(&str, Option<usize>); 3] = [
-        ("4 (R10000)", Some(4)),
-        ("20 (21264)", Some(20)),
-        ("unlimited", None),
-    ];
-    let mut header = vec!["benchmark".to_string()];
-    for (name, _) in &budgets {
-        header.push(format!("{name} hit"));
-        header.push(format!("{name} IPC"));
-    }
-    let mut t = Table::new(header);
-    t.set_title("Figure (budget): checkpoint shadow-storage sensitivity (ptr+contents)");
-    for col in 1..=budgets.len() * 2 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for (_, budget) in &budgets {
-            let cfg = CoreConfig {
-                checkpoint_budget: *budget,
-                ..CoreConfig::baseline()
-            };
-            let s = run_one(&w, cfg, rs);
-            row.push(Cell::percent(s.return_hit_rate().percent()));
-            row.push(Cell::fixed(s.ipc(), 3));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-budget", rs)
 }
 
-/// **Figure: multipath** — relative performance of stack organizations
-/// under 2-path and 4-path execution, normalized to the unified stack
-/// (the paper: per-path stacks improve performance by over 25%).
+/// **Figure: multipath stack organizations.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-multipath\")` + `run_experiment`")]
 pub fn expt_fig_multipath(rs: &RunSpec) -> Table {
-    let policies = [
-        (
-            "unified",
-            MultipathStackPolicy::Unified {
-                repair: RepairPolicy::None,
-            },
-        ),
-        (
-            "unified+ckpt",
-            MultipathStackPolicy::Unified {
-                repair: RepairPolicy::TosPointerAndContents,
-            },
-        ),
-        ("per-path", MultipathStackPolicy::PerPath),
-    ];
-    let mut header = vec!["benchmark".to_string()];
-    for paths in [2, 4] {
-        for (name, _) in &policies {
-            header.push(format!("{paths}p {name}"));
-        }
-    }
-    let mut t = Table::new(header);
-    t.set_title(
-        "Figure (multipath): relative IPC by stack organization (normalized to unified; hit rate in parens)",
-    );
-    for col in 1..=6 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for paths in [2usize, 4] {
-            let mut base_ipc = None;
-            for (_, pol) in &policies {
-                let s = run_one(&w, CoreConfig::multipath(paths, *pol), rs);
-                let base = *base_ipc.get_or_insert(s.ipc());
-                row.push(Cell::text(format!(
-                    "{:.3} ({:.1}%)",
-                    s.ipc() / base,
-                    s.return_hit_rate().percent()
-                )));
-            }
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-multipath", rs)
 }
 
-/// **Ablation: top-k checkpoint contents** — how much of full-stack
-/// checkpointing's benefit does saving the top *k* entries capture
-/// (the Jourdan-et-al. comparison; `k = 1` is the paper's mechanism).
+/// **Ablation: top-k checkpoint contents.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-topk\")` + `run_experiment`")]
 pub fn expt_fig_topk(rs: &RunSpec) -> Table {
-    let ks: [(&str, RepairPolicy); 5] = [
-        ("ptr only", RepairPolicy::TosPointer),
-        ("k=1", RepairPolicy::TopContents { k: 1 }),
-        ("k=2", RepairPolicy::TopContents { k: 2 }),
-        ("k=4", RepairPolicy::TopContents { k: 4 }),
-        ("full", RepairPolicy::FullStack),
-    ];
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(ks.iter().map(|(n, _)| n.to_string()));
-    let mut t = Table::new(header);
-    t.set_title("Ablation (top-k): hit rate vs checkpointed top-of-stack entries");
-    for col in 1..=ks.len() {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for (_, repair) in &ks {
-            let rp = ReturnPredictor::Ras {
-                entries: 32,
-                repair: *repair,
-            };
-            let s = run_one(&w, CoreConfig::with_return_predictor(rp), rs);
-            row.push(Cell::percent(s.return_hit_rate().percent()));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-topk", rs)
 }
 
-/// **Ablation: analytical trace model** — repair-policy hit rates versus
-/// wrong-path length on synthetic speculation traces (no pipeline), using
-/// `ras-core`'s [`SyntheticTrace`](ras_core::SyntheticTrace) +
-/// [`TraceReplayer`](ras_core::TraceReplayer). Shows the same mechanism
-/// ordering as the cycle-level runs and *why*: longer wrong paths overwrite
-/// more than the top-of-stack entry, which is exactly what separates
-/// `TosPointerAndContents` from deeper checkpoints.
+/// **Ablation: analytical trace model.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-analytical\")` + `run_experiment`")]
 pub fn expt_fig_analytical() -> Table {
-    use ras_core::{SyntheticTrace, TraceReplayer};
-    let policies: [(&str, RepairPolicy); 5] = [
-        ("no repair", RepairPolicy::None),
-        ("TOS pointer", RepairPolicy::TosPointer),
-        ("ptr+contents", RepairPolicy::TosPointerAndContents),
-        ("top-4", RepairPolicy::TopContents { k: 4 }),
-        ("full", RepairPolicy::FullStack),
-    ];
-    let mut header = vec!["wrong-path len".to_string()];
-    header.extend(policies.iter().map(|(n, _)| n.to_string()));
-    let mut t = Table::new(header);
-    t.set_title("Ablation (analytical): hit rate vs wrong-path length, trace model");
-    for col in 1..=policies.len() {
-        t.set_align(col, Align::Right);
-    }
-    for max_len in [4usize, 8, 16, 32, 64, 128] {
-        let trace = SyntheticTrace::builder()
-            .events(200_000)
-            .mispredict_rate(0.08)
-            .wrong_path_len(1, max_len)
-            .wrong_path_call_density(0.10)
-            .seed(42)
-            .generate();
-        // Score only the correct-path returns: wrong-path pops are
-        // squashed in a real machine and never scored (they carry a
-        // sentinel target here).
-        let correct = SyntheticTrace::correct_returns(&trace);
-        let mut row = vec![Cell::text(format!("1..{max_len}"))];
-        for (_, p) in &policies {
-            let mut r = TraceReplayer::new(32, *p);
-            r.replay(&trace);
-            row.push(Cell::percent(
-                r.outcome().hits as f64 / correct.max(1) as f64 * 100.0,
-            ));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-analytical", &RunSpec::full())
 }
 
-/// **Ablation: front-end depth** — the repair mechanism's IPC benefit as
-/// the misprediction pipeline penalty grows (deeper front ends make every
-/// avoided return misprediction worth more).
+/// **Ablation: front-end depth.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-frontend\")` + `run_experiment`")]
 pub fn expt_fig_frontend(rs: &RunSpec) -> Table {
-    let depths = [1u64, 3, 6, 10];
-    let mut header = vec!["benchmark".to_string()];
-    for d in depths {
-        header.push(format!("depth {d}: none"));
-        header.push(format!("depth {d}: p+c"));
-        header.push(format!("depth {d}: gain"));
-    }
-    let mut t = Table::new(header);
-    t.set_title("Ablation (front end): repair speedup vs fetch-to-dispatch depth");
-    for col in 1..=depths.len() * 3 {
-        t.set_align(col, Align::Right);
-    }
-    for w in suite(rs)
-        .into_iter()
-        .filter(|w| matches!(w.name(), "gcc" | "li" | "perl" | "vortex"))
-    {
-        let mut row = vec![Cell::text(w.name())];
-        for d in depths {
-            let mk = |repair| CoreConfig {
-                decode_latency: d,
-                return_predictor: ReturnPredictor::Ras {
-                    entries: 32,
-                    repair,
-                },
-                ..CoreConfig::baseline()
-            };
-            let none = run_one(&w, mk(RepairPolicy::None), rs);
-            let pc = run_one(&w, mk(RepairPolicy::TosPointerAndContents), rs);
-            row.push(Cell::fixed(none.ipc(), 3));
-            row.push(Cell::fixed(pc.ipc(), 3));
-            row.push(Cell::percent((pc.ipc() / none.ipc() - 1.0) * 100.0));
-        }
-        t.add_row(row);
-    }
-    t
+    run_registered("fig-frontend", rs)
+}
+
+/// **Extension: the Jourdan self-checkpointing stack.**
+#[deprecated(note = "use the experiment registry: `find(\"fig-jourdan\")` + `run_experiment`")]
+pub fn expt_fig_jourdan(rs: &RunSpec) -> Table {
+    run_registered("fig-jourdan", rs)
+}
+
+/// **Robustness: multi-seed repair comparison.**
+#[deprecated(note = "construct `experiments::FigSeeds { seeds }` and use `run_experiment`")]
+pub fn expt_fig_seeds(rs: &RunSpec, seeds: &[u64]) -> Table {
+    let e = experiments::FigSeeds {
+        seeds: seeds.to_vec(),
+    };
+    experiments::run_experiment(&e, rs, 1).table
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -590,105 +395,86 @@ mod tests {
         assert!(RunSpec::quick().measure < RunSpec::full().measure);
         assert_eq!(RunSpec::default(), RunSpec::full());
     }
-}
 
-/// **Extension: the Jourdan self-checkpointing stack** — hit rate of the
-/// pointer-only, popped-entry-preserving organization at several
-/// capacities versus the paper's two-word mechanism on a 32-entry stack.
-/// Reproduces the paper's related-work claim: self-checkpointing can
-/// match full-stack quality but "requires a larger number of stack
-/// entries because it preserves popped entries".
-pub fn expt_fig_jourdan(rs: &RunSpec) -> Table {
-    let configs: [(&str, ReturnPredictor); 5] = [
-        (
-            "ptr+contents @32",
-            ReturnPredictor::Ras {
-                entries: 32,
-                repair: RepairPolicy::TosPointerAndContents,
-            },
-        ),
-        (
-            "self-ckpt @32",
-            ReturnPredictor::SelfCheckpointing { entries: 32 },
-        ),
-        (
-            "self-ckpt @64",
-            ReturnPredictor::SelfCheckpointing { entries: 64 },
-        ),
-        (
-            "self-ckpt @128",
-            ReturnPredictor::SelfCheckpointing { entries: 128 },
-        ),
-        (
-            "full @32",
-            ReturnPredictor::Ras {
-                entries: 32,
-                repair: RepairPolicy::FullStack,
-            },
-        ),
-    ];
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(configs.iter().map(|(n, _)| n.to_string()));
-    let mut t = Table::new(header);
-    t.set_title("Extension (Jourdan): self-checkpointing stack vs contents checkpointing");
-    for col in 1..=configs.len() {
-        t.set_align(col, Align::Right);
+    #[test]
+    fn runspec_builder_sets_every_field() {
+        let rs = RunSpec::builder()
+            .seed(99)
+            .fast_forward(1_000)
+            .horizon(5_000)
+            .build();
+        assert_eq!(
+            rs,
+            RunSpec {
+                seed: 99,
+                warmup: 1_000,
+                measure: 5_000
+            }
+        );
+        // Defaults come from full().
+        assert_eq!(RunSpec::builder().build(), RunSpec::full());
     }
-    for w in suite(rs) {
-        let mut row = vec![Cell::text(w.name())];
-        for (_, rp) in &configs {
-            let s = run_one(&w, CoreConfig::with_return_predictor(*rp), rs);
-            row.push(Cell::percent(s.return_hit_rate().percent()));
-        }
-        t.add_row(row);
-    }
-    t
-}
 
-/// **Robustness: multi-seed repair comparison** — the headline comparison
-/// (no repair vs the paper's mechanism vs perfect) repeated across
-/// several workload-generation seeds, reported as mean ± stddev. The
-/// paper's conclusions should not depend on one synthetic program, and
-/// this shows they do not.
-pub fn expt_fig_seeds(rs: &RunSpec, seeds: &[u64]) -> Table {
-    let mut t = Table::new(vec![
-        "benchmark",
-        "no repair (hit %)",
-        "ptr+contents (hit %)",
-        "speedup p+c vs none",
-    ]);
-    t.set_title(format!(
-        "Robustness: repair comparison across {} seeds (mean ± stddev)",
-        seeds.len()
-    ));
-    for col in 1..=3 {
-        t.set_align(col, Align::Right);
-    }
-    for spec in hydra_workloads::WorkloadSpec::spec95_suite() {
-        let mut none_hit = Summary::new();
-        let mut pc_hit = Summary::new();
-        let mut speedup = Summary::new();
-        for (i, &seed) in seeds.iter().enumerate() {
-            let w = Workload::generate(&spec, seed.wrapping_add(i as u64))
-                .expect("suite spec generates");
-            let ras = |repair| {
-                CoreConfig::with_return_predictor(ReturnPredictor::Ras {
-                    entries: 32,
-                    repair,
-                })
-            };
-            let none = run_one(&w, ras(RepairPolicy::None), rs);
-            let pc = run_one(&w, ras(RepairPolicy::TosPointerAndContents), rs);
-            none_hit.record(none.return_hit_rate().percent());
-            pc_hit.record(pc.return_hit_rate().percent());
-            speedup.record((pc.ipc() / none.ipc() - 1.0) * 100.0);
+    // One test exercises every from_env case sequentially: the process
+    // environment is global, so splitting these across #[test] functions
+    // would race under the parallel test runner.
+    #[test]
+    fn runspec_from_env_modes_overrides_and_errors() {
+        let vars = [
+            "HYDRA_EXPT_MODE",
+            "HYDRA_EXPT_SEED",
+            "HYDRA_EXPT_FAST_FORWARD",
+            "HYDRA_EXPT_HORIZON",
+        ];
+        let saved: Vec<_> = vars.iter().map(|v| (v, std::env::var(v).ok())).collect();
+        for v in vars {
+            std::env::remove_var(v);
         }
-        t.add_row(vec![
-            Cell::text(spec.name.clone()),
-            Cell::text(format!("{:.2} ± {:.2}", none_hit.mean(), none_hit.stddev())),
-            Cell::text(format!("{:.2} ± {:.2}", pc_hit.mean(), pc_hit.stddev())),
-            Cell::text(format!("{:.2}% ± {:.2}", speedup.mean(), speedup.stddev())),
-        ]);
+
+        assert_eq!(RunSpec::from_env(), Ok(RunSpec::full()));
+
+        std::env::set_var("HYDRA_EXPT_MODE", "quick");
+        assert_eq!(RunSpec::from_env(), Ok(RunSpec::quick()));
+
+        std::env::set_var("HYDRA_EXPT_SEED", "42");
+        std::env::set_var("HYDRA_EXPT_HORIZON", "1234");
+        let rs = RunSpec::from_env().expect("overrides parse");
+        assert_eq!(rs.seed, 42);
+        assert_eq!(rs.measure, 1234);
+        assert_eq!(rs.warmup, RunSpec::quick().warmup);
+
+        std::env::set_var("HYDRA_EXPT_MODE", "warp-speed");
+        assert_eq!(
+            RunSpec::from_env(),
+            Err(RunSpecError::UnknownMode("warp-speed".into()))
+        );
+        std::env::set_var("HYDRA_EXPT_MODE", "quick");
+
+        std::env::set_var("HYDRA_EXPT_FAST_FORWARD", "lots");
+        let err = RunSpec::from_env().expect_err("malformed number rejected");
+        match &err {
+            RunSpecError::BadNumber { var, value, .. } => {
+                assert_eq!(*var, "HYDRA_EXPT_FAST_FORWARD");
+                assert_eq!(value, "lots");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("HYDRA_EXPT_FAST_FORWARD"));
+
+        for (v, val) in saved {
+            match val {
+                Some(s) => std::env::set_var(v, s),
+                None => std::env::remove_var(v),
+            }
+        }
     }
-    t
+
+    #[test]
+    fn deprecated_shims_match_registry_output() {
+        let rs = tiny();
+        let via_shim = expt_table4(&rs).render();
+        let e = find("table4").expect("registered");
+        let via_registry = run_experiment(e.as_ref(), &rs, 1).table.render();
+        assert_eq!(via_shim, via_registry);
+    }
 }

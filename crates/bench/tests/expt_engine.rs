@@ -1,0 +1,83 @@
+//! Integration tests for the parallel experiment engine and the `expt`
+//! CLI: a parallel run must render byte-identical tables to a serial
+//! run, and `expt --list` must cover the whole registry.
+
+use hydra_bench::{find, registry, run_experiment, RunSpec};
+use std::process::Command;
+
+fn tiny() -> RunSpec {
+    RunSpec::builder()
+        .seed(7)
+        .fast_forward(200)
+        .horizon(2_000)
+        .build()
+}
+
+#[test]
+fn fig_repair_parallel_is_byte_identical_to_serial() {
+    let rs = tiny();
+    let e = find("fig-repair").expect("fig-repair is registered");
+    let serial = run_experiment(e.as_ref(), &rs, 1).table.render();
+    let parallel = run_experiment(e.as_ref(), &rs, 8).table.render();
+    assert_eq!(serial, parallel);
+    // Sanity: the table actually carries simulation results.
+    assert!(serial.contains("vortex"));
+}
+
+#[test]
+fn analytical_parallel_is_byte_identical_to_serial() {
+    // The trace-model experiment exercises the Replay job kind.
+    let rs = tiny();
+    let e = find("fig-analytical").expect("fig-analytical is registered");
+    let serial = run_experiment(e.as_ref(), &rs, 1).table.render();
+    let parallel = run_experiment(e.as_ref(), &rs, 4).table.render();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn expt_list_covers_every_registered_experiment() {
+    let out = Command::new(env!("CARGO_BIN_EXE_expt"))
+        .arg("--list")
+        .output()
+        .expect("expt binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 listing");
+    for e in registry() {
+        assert!(
+            text.contains(e.name()),
+            "expt --list is missing {:?}",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn expt_rejects_unknown_names_and_bad_flags() {
+    let unknown = Command::new(env!("CARGO_BIN_EXE_expt"))
+        .arg("no-such-experiment")
+        .output()
+        .expect("expt binary runs");
+    assert!(!unknown.status.success());
+    let err = String::from_utf8(unknown.stderr).expect("utf-8 error");
+    assert!(err.contains("no-such-experiment"));
+
+    let bad_jobs = Command::new(env!("CARGO_BIN_EXE_expt"))
+        .args(["table1", "--jobs", "0"])
+        .output()
+        .expect("expt binary runs");
+    assert!(!bad_jobs.status.success());
+}
+
+#[test]
+fn expt_runs_table1_quickly() {
+    // table1 is a configuration dump (zero jobs), so this exercises the
+    // full CLI path without a long simulation.
+    let out = Command::new(env!("CARGO_BIN_EXE_expt"))
+        .args(["table1", "--jobs", "2"])
+        .env("HYDRA_EXPT_MODE", "quick")
+        .output()
+        .expect("expt binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 table");
+    assert!(text.contains("baseline machine model"));
+}

@@ -33,10 +33,12 @@
 
 mod counter;
 mod histogram;
+mod meter;
 mod summary;
 mod table;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
+pub use meter::Meter;
 pub use summary::Summary;
 pub use table::{Align, Cell, Table};

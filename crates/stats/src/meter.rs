@@ -1,0 +1,118 @@
+//! Throughput meters: event counts over a wall-clock window.
+
+use crate::Counter;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// An event counter paired with the wall-clock window it was observed
+/// over, yielding a rate.
+///
+/// The experiment engine uses meters for its run summaries: jobs
+/// completed per second, simulated cycles per second, committed
+/// instructions per second. The window is set once from a measured
+/// elapsed time rather than sampled internally, so a `Meter` stays plain
+/// data like every other statistic in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_stats::Meter;
+/// use std::time::Duration;
+///
+/// let mut m = Meter::new();
+/// m.add(50);
+/// m.set_window(Duration::from_millis(250));
+/// assert_eq!(m.per_sec(), 200.0);
+/// assert_eq!(format!("{m}"), "200.0/s");
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Meter {
+    events: Counter,
+    window_nanos: u128,
+}
+
+impl Meter {
+    /// Creates a meter with no events and an empty window.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Records `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.events.add(n);
+    }
+
+    /// Sets the observation window.
+    pub fn set_window(&mut self, window: Duration) {
+        self.window_nanos = window.as_nanos();
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events.value()
+    }
+
+    /// The observation window.
+    pub fn window(&self) -> Duration {
+        // u128 nanos always round-trip for windows set from a Duration
+        // measured on this machine.
+        Duration::from_nanos(self.window_nanos as u64)
+    }
+
+    /// Events per second over the window; zero for an empty window.
+    pub fn per_sec(&self) -> f64 {
+        if self.window_nanos == 0 {
+            0.0
+        } else {
+            self.events.value() as f64 * 1e9 / self.window_nanos as f64
+        }
+    }
+}
+
+impl fmt::Display for Meter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rate = self.per_sec();
+        if rate >= 1e6 {
+            write!(f, "{:.2}M/s", rate / 1e6)
+        } else if rate >= 1e3 {
+            write!(f, "{:.1}k/s", rate / 1e3)
+        } else {
+            write!(f, "{rate:.1}/s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_zero_rate() {
+        let mut m = Meter::new();
+        m.add(10);
+        assert_eq!(m.per_sec(), 0.0);
+    }
+
+    #[test]
+    fn rate_scales_with_window() {
+        let mut m = Meter::new();
+        m.add(100);
+        m.set_window(Duration::from_secs(4));
+        assert_eq!(m.per_sec(), 25.0);
+        assert_eq!(m.events(), 100);
+        assert_eq!(m.window(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn display_uses_magnitude_suffixes() {
+        let mut m = Meter::new();
+        m.add(3_000_000);
+        m.set_window(Duration::from_secs(1));
+        assert_eq!(format!("{m}"), "3.00M/s");
+        let mut k = Meter::new();
+        k.add(1500);
+        k.set_window(Duration::from_secs(1));
+        assert_eq!(format!("{k}"), "1.5k/s");
+    }
+}

@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn constant_samples_have_zero_variance() {
-        let s: Summary = std::iter::repeat(7.0).take(100).collect();
+        let s: Summary = std::iter::repeat_n(7.0, 100).collect();
         assert_eq!(s.mean(), 7.0);
         assert!(s.stddev() < 1e-12);
     }

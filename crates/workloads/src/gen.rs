@@ -698,7 +698,7 @@ impl Generator {
                     self.b.alu(op, rd, rs, rt);
                 }
             } else {
-                let op = OPS[self.rng.gen_range(0..5)];
+                let op = OPS[self.rng.gen_range(0..5usize)];
                 self.b.alu_imm(op, rd, rs, self.rng.gen_range(-64..=64));
             }
         }

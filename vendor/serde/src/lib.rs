@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`: re-exports the no-op derives.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize};` — it never calls serialization
+//! at runtime — so re-exporting the inert derive macros is the entire
+//! required surface. See `vendor/README.md`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

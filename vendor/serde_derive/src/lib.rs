@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! type definitions stay source-compatible with the real `serde`. Each
+//! derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
