@@ -1,26 +1,39 @@
 //! The unified experiment runner.
 //!
 //! ```text
-//! expt --list              list every experiment
-//! expt table1              run one experiment
-//! expt fig-repair table4   run several, in the order given
-//! expt all --jobs 8        run everything on 8 worker threads
+//! expt --list                      list every experiment
+//! expt table1                      run one experiment
+//! expt fig-repair table4           run several, in the order given
+//! expt all --jobs 8                run everything on 8 worker threads
+//! expt all --format json           one schema-versioned JSON document
+//! expt all --format csv            CSV sections, one per experiment
+//! expt all --out results/          per-experiment JSON + BENCH_expt.json
+//! expt --check-golden              diff quick-mode runs against goldens/
+//! expt --check-golden table4 --goldens goldens
 //! ```
 //!
-//! Tables go to **stdout** and are byte-identical for any `--jobs`
-//! value; engine timing summaries go to **stderr**. Sizing comes from
-//! the environment (`HYDRA_EXPT_MODE=quick`, plus `HYDRA_EXPT_SEED` /
-//! `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON` overrides); see the
-//! `hydra-bench` crate docs.
+//! Results go to **stdout** and are byte-identical for any `--jobs`
+//! value in every format (result documents carry no wall-clock fields);
+//! engine timing summaries go to **stderr**, and `--out` additionally
+//! writes the timing into a `BENCH_expt.json` perf-trajectory artifact.
+//! Sizing comes from the environment (`HYDRA_EXPT_MODE=quick`, plus
+//! `HYDRA_EXPT_SEED` / `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON`
+//! overrides) — except `--check-golden`, which always runs the quick
+//! spec the committed goldens were generated with.
 
+use hydra_bench::golden::{check, DiffOptions};
+use hydra_bench::results::{sink_for, write_out_dir, Format};
 use hydra_bench::{find, registry, run_experiment, EngineReport, Experiment, RunSpec};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: expt --list | expt <name>... [--jobs N] | expt all [--jobs N]";
+const USAGE: &str = "usage: expt --list\n\
+       expt <name>... | all  [--jobs N] [--format table|json|csv] [--out DIR]\n\
+       expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("expt: {msg}");
             eprintln!("{USAGE}");
@@ -32,6 +45,10 @@ fn main() -> ExitCode {
 struct Cli {
     list: bool,
     jobs: Option<usize>,
+    format: Format,
+    out: Option<PathBuf>,
+    check_golden: bool,
+    goldens: PathBuf,
     names: Vec<String>,
 }
 
@@ -39,6 +56,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         list: false,
         jobs: None,
+        format: Format::Table,
+        out: None,
+        check_golden: false,
+        goldens: PathBuf::from("goldens"),
         names: Vec::new(),
     };
     let mut it = args.iter();
@@ -51,6 +72,28 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             }
             a if a.starts_with("--jobs=") => {
                 cli.jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
+            }
+            "--format" | "-f" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                cli.format = v.parse()?;
+            }
+            a if a.starts_with("--format=") => {
+                cli.format = a["--format=".len()..].parse()?;
+            }
+            "--out" | "-o" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                cli.out = Some(PathBuf::from(v));
+            }
+            a if a.starts_with("--out=") => {
+                cli.out = Some(PathBuf::from(&a["--out=".len()..]));
+            }
+            "--check-golden" => cli.check_golden = true,
+            "--goldens" => {
+                let v = it.next().ok_or("--goldens needs a directory")?;
+                cli.goldens = PathBuf::from(v);
+            }
+            a if a.starts_with("--goldens=") => {
+                cli.goldens = PathBuf::from(&a["--goldens=".len()..]);
             }
             "--help" | "-h" => {
                 cli.list = true; // --help shows the list too
@@ -72,7 +115,28 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+/// Resolves the experiment names on the command line (`all`, or empty in
+/// golden mode, selects the whole registry, in registry order).
+fn select(names: &[String], default_all: bool) -> Result<Vec<Box<dyn Experiment>>, String> {
+    if names.iter().any(|n| n == "all") {
+        if names.len() > 1 {
+            return Err("'all' cannot be combined with experiment names".into());
+        }
+        return Ok(registry());
+    }
+    if names.is_empty() {
+        if default_all {
+            return Ok(registry());
+        }
+        return Err("name an experiment, or use --list / all".into());
+    }
+    names
+        .iter()
+        .map(|n| find(n).ok_or_else(|| format!("unknown experiment {n:?} (try --list)")))
+        .collect()
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let cli = parse(&args)?;
 
     if cli.list {
@@ -83,49 +147,85 @@ fn run(args: Vec<String>) -> Result<(), String> {
             println!("  {:<16} {}", e.name(), e.title());
         }
         println!("  {:<16} every experiment above, in order", "all");
-        return Ok(());
-    }
-    if cli.names.is_empty() {
-        return Err("name an experiment, or use --list / all".into());
+        return Ok(ExitCode::SUCCESS);
     }
 
-    let selected: Vec<Box<dyn Experiment>> = if cli.names.iter().any(|n| n == "all") {
-        if cli.names.len() > 1 {
-            return Err("'all' cannot be combined with experiment names".into());
-        }
-        registry()
-    } else {
-        cli.names
-            .iter()
-            .map(|n| find(n).ok_or_else(|| format!("unknown experiment {n:?} (try --list)")))
-            .collect::<Result<_, _>>()?
-    };
-
-    let rs = RunSpec::from_env().map_err(|e| e.to_string())?;
     let workers = cli.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     });
 
+    if cli.check_golden {
+        return check_goldens(&cli, workers);
+    }
+
+    let selected = select(&cli.names, false)?;
+    let rs = RunSpec::from_env().map_err(|e| e.to_string())?;
+
+    let mut sink = sink_for(cli.format);
+    let mut stdout = std::io::stdout();
     let mut aggregate = EngineReport::default();
-    let many = selected.len() > 1;
+    let mut finished = Vec::new();
     for e in &selected {
         let result = run_experiment(e.as_ref(), &rs, workers);
-        println!("{}", result.table);
-        println!();
+        sink.emit(&mut stdout, e.as_ref(), &rs, &result)
+            .map_err(|io| format!("writing results: {io}"))?;
         eprintln!(
             "{}",
             result.report.to_table(format!("engine: {}", e.name()))
         );
         eprintln!();
         aggregate.absorb(&result.report);
+        finished.push((e.name().to_string(), e.title().to_string(), result));
     }
-    if many {
+    sink.finish(&mut stdout, &rs)
+        .map_err(|io| format!("writing results: {io}"))?;
+    if selected.len() > 1 {
         eprintln!(
             "{}",
             aggregate.to_table(format!("engine: {} experiments total", selected.len()))
         );
     }
-    Ok(())
+    if let Some(dir) = &cli.out {
+        write_out_dir(dir, &rs, &finished)
+            .map_err(|io| format!("writing {}: {io}", dir.display()))?;
+        eprintln!(
+            "wrote {} result document(s) + BENCH_expt.json to {}",
+            finished.len(),
+            dir.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `--check-golden`: re-runs experiments at the goldens' quick sizing and
+/// diffs each result document against `goldens/<name>.json`.
+fn check_goldens(cli: &Cli, workers: usize) -> Result<ExitCode, String> {
+    // Goldens are quick-mode by definition; ignore HYDRA_EXPT_* so the
+    // check means the same thing in every environment.
+    let rs = RunSpec::quick();
+    let selected = select(&cli.names, true)?;
+    let opts = DiffOptions::default();
+    let mut failures = 0usize;
+    for e in &selected {
+        match check(e.as_ref(), &rs, workers, &cli.goldens, &opts) {
+            Ok(()) => println!("golden {:<16} ok", e.name()),
+            Err(err) => {
+                failures += 1;
+                println!("golden {:<16} FAIL", e.name());
+                eprintln!("expt: {}: {err}", e.name());
+            }
+        }
+    }
+    if failures == 0 {
+        println!("golden check: {} experiment(s) match", selected.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "expt: golden check failed for {failures} of {} experiment(s)",
+            selected.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
 }

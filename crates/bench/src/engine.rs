@@ -239,6 +239,30 @@ impl EngineReport {
         s
     }
 
+    /// The report as a JSON object for the `BENCH_expt.json` perf
+    /// artifact. Every field except `jobs`/`workers` is a wall-clock
+    /// measurement (`_ms` / `_per_sec` suffixes mark them for the golden
+    /// differ's timing tolerance).
+    pub fn to_json(&self) -> hydra_stats::Json {
+        use hydra_stats::Json;
+        let times = self.job_time_summary();
+        Json::obj([
+            ("jobs", Json::int(self.jobs_per_sec.events())),
+            ("workers", Json::int(self.workers as u64)),
+            ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
+            ("job_ms", times.to_json()),
+            ("jobs_per_sec", Json::num(self.jobs_per_sec.per_sec())),
+            (
+                "sim_cycles_per_sec",
+                Json::num(self.sim_cycles_per_sec.per_sec()),
+            ),
+            (
+                "sim_instrs_per_sec",
+                Json::num(self.sim_instrs_per_sec.per_sec()),
+            ),
+        ])
+    }
+
     /// Renders the report as a two-column table for stderr.
     pub fn to_table(&self, title: impl Into<String>) -> Table {
         let times = self.job_time_summary();
@@ -438,6 +462,23 @@ mod tests {
         assert_eq!(report.jobs_per_sec.events(), 3);
         assert!(report.sim_cycles_per_sec.events() > 0);
         assert_eq!(report.job_time_summary().count(), 3);
+    }
+
+    #[test]
+    fn report_to_json_names_every_metric() {
+        let jobs = tiny_jobs(2);
+        let (_, report) = execute(&jobs, 2);
+        let j = report.to_json();
+        assert_eq!(j.get("jobs").and_then(hydra_stats::Json::as_num), Some(2.0));
+        for key in [
+            "workers",
+            "wall_ms",
+            "job_ms",
+            "jobs_per_sec",
+            "sim_cycles_per_sec",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

@@ -42,20 +42,29 @@
 //! `HYDRA_EXPT_SEED` / `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON`
 //! overrides).
 //!
-//! The free `expt_*` functions are deprecated shims kept for source
-//! compatibility; they delegate to the registry.
+//! Results are structured, not just rendered: every experiment's table
+//! carries typed cells, and the [`results`] module projects a run into
+//! schema-versioned JSON or CSV documents through a
+//! [`ResultSink`](results::ResultSink) (`expt --format json|csv|table`,
+//! `expt --out <dir>`). The [`golden`] module diffs fresh documents
+//! against committed quick-mode snapshots in `goldens/`
+//! (`expt --check-golden`), which is what lets CI catch a silent
+//! regression in the repair mechanisms as a structural result drift.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod experiments;
+pub mod golden;
+pub mod results;
 
 pub use engine::{execute, run_job, EngineReport, Harvest, JobKind, JobOutput, SimJob};
 pub use experiments::{find, registry, run_experiment, Experiment, ExperimentRun};
+pub use golden::{diff, DiffOptions, GoldenError, Mismatch};
+pub use results::{Format, ResultSink, SCHEMA_VERSION};
 
 use hydra_pipeline::{Core, CoreConfig, ReturnPredictor, SimStats};
-use hydra_stats::Table;
 use hydra_workloads::Workload;
 use ras_core::RepairPolicy;
 
@@ -256,95 +265,7 @@ pub fn repair_ladder() -> Vec<(&'static str, ReturnPredictor)> {
     ]
 }
 
-/// Runs the registered experiment `name` serially and returns its table.
-fn run_registered(name: &str, rs: &RunSpec) -> Table {
-    let e = experiments::find(name).expect("experiment is registered");
-    experiments::run_experiment(e.as_ref(), rs, 1).table
-}
-
-/// **Table 1** — the baseline machine model.
-#[deprecated(note = "use the experiment registry: `find(\"table1\")` + `run_experiment`")]
-pub fn expt_table1() -> Table {
-    run_registered("table1", &RunSpec::full())
-}
-
-/// **Table 2** — benchmark characteristics.
-#[deprecated(note = "use the experiment registry: `find(\"table2\")` + `run_experiment`")]
-pub fn expt_table2(rs: &RunSpec) -> Table {
-    run_registered("table2", rs)
-}
-
-/// **Table 4** — BTB-only versus repaired-stack return prediction.
-#[deprecated(note = "use the experiment registry: `find(\"table4\")` + `run_experiment`")]
-pub fn expt_table4(rs: &RunSpec) -> Table {
-    run_registered("table4", rs)
-}
-
-/// **Figure: repair-mechanism hit rates.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-repair\")` + `run_experiment`")]
-pub fn expt_fig_repair(rs: &RunSpec) -> Table {
-    run_registered("fig-repair", rs)
-}
-
-/// **Figure: speedup by repair mechanism.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-speedup\")` + `run_experiment`")]
-pub fn expt_fig_speedup(rs: &RunSpec) -> Table {
-    run_registered("fig-speedup", rs)
-}
-
-/// **Figure: stack-depth sensitivity.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-depth\")` + `run_experiment`")]
-pub fn expt_fig_depth(rs: &RunSpec) -> Table {
-    run_registered("fig-depth", rs)
-}
-
-/// **Figure: checkpoint shadow-storage budget.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-budget\")` + `run_experiment`")]
-pub fn expt_fig_budget(rs: &RunSpec) -> Table {
-    run_registered("fig-budget", rs)
-}
-
-/// **Figure: multipath stack organizations.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-multipath\")` + `run_experiment`")]
-pub fn expt_fig_multipath(rs: &RunSpec) -> Table {
-    run_registered("fig-multipath", rs)
-}
-
-/// **Ablation: top-k checkpoint contents.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-topk\")` + `run_experiment`")]
-pub fn expt_fig_topk(rs: &RunSpec) -> Table {
-    run_registered("fig-topk", rs)
-}
-
-/// **Ablation: analytical trace model.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-analytical\")` + `run_experiment`")]
-pub fn expt_fig_analytical() -> Table {
-    run_registered("fig-analytical", &RunSpec::full())
-}
-
-/// **Ablation: front-end depth.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-frontend\")` + `run_experiment`")]
-pub fn expt_fig_frontend(rs: &RunSpec) -> Table {
-    run_registered("fig-frontend", rs)
-}
-
-/// **Extension: the Jourdan self-checkpointing stack.**
-#[deprecated(note = "use the experiment registry: `find(\"fig-jourdan\")` + `run_experiment`")]
-pub fn expt_fig_jourdan(rs: &RunSpec) -> Table {
-    run_registered("fig-jourdan", rs)
-}
-
-/// **Robustness: multi-seed repair comparison.**
-#[deprecated(note = "construct `experiments::FigSeeds { seeds }` and use `run_experiment`")]
-pub fn expt_fig_seeds(rs: &RunSpec, seeds: &[u64]) -> Table {
-    let e = experiments::FigSeeds {
-        seeds: seeds.to_vec(),
-    };
-    experiments::run_experiment(&e, rs, 1).table
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -368,7 +289,8 @@ mod tests {
 
     #[test]
     fn table1_lists_core_parameters() {
-        let t = expt_table1();
+        let e = find("table1").expect("registered");
+        let t = run_experiment(e.as_ref(), &tiny(), 1).table;
         let r = t.render();
         assert!(r.contains("RUU"));
         assert!(r.contains("64 entries"));
@@ -377,7 +299,8 @@ mod tests {
 
     #[test]
     fn table2_has_all_benchmarks() {
-        let t = expt_table2(&tiny());
+        let e = find("table2").expect("registered");
+        let t = run_experiment(e.as_ref(), &tiny(), 1).table;
         assert_eq!(t.row_count(), 8);
         assert!(t.render().contains("vortex"));
     }
@@ -467,14 +390,5 @@ mod tests {
                 None => std::env::remove_var(v),
             }
         }
-    }
-
-    #[test]
-    fn deprecated_shims_match_registry_output() {
-        let rs = tiny();
-        let via_shim = expt_table4(&rs).render();
-        let e = find("table4").expect("registered");
-        let via_registry = run_experiment(e.as_ref(), &rs, 1).table.render();
-        assert_eq!(via_shim, via_registry);
     }
 }

@@ -126,6 +126,65 @@ impl SimStats {
     pub fn squash_fraction(&self) -> Ratio {
         Ratio::of(self.squashed_uops, self.fetched_uops)
     }
+
+    /// Every raw counter with its **stable serialization name**.
+    ///
+    /// The names are a public contract: the structured-results layer and
+    /// the golden-snapshot harness key on them, so renaming a struct
+    /// field must not change the strings here (there is a snapshot test
+    /// pinning them).
+    pub fn named_counters(&self) -> [(&'static str, u64); 25] {
+        [
+            ("cycles", self.cycles),
+            ("committed", self.committed),
+            ("fetched_uops", self.fetched_uops),
+            ("squashed_uops", self.squashed_uops),
+            ("cond_branches", self.cond_branches),
+            ("cond_mispredictions", self.cond_mispredictions),
+            ("target_mispredictions", self.target_mispredictions),
+            ("calls", self.calls),
+            ("returns", self.returns),
+            ("return_hits", self.return_hits),
+            ("return_hits_ras", self.return_hits_ras),
+            ("return_hits_btb", self.return_hits_btb),
+            ("return_no_prediction", self.return_no_prediction),
+            ("ras_pushes", self.ras_pushes),
+            ("ras_pops", self.ras_pops),
+            ("ras_overflows", self.ras_overflows),
+            ("ras_underflows", self.ras_underflows),
+            ("ras_restores", self.ras_restores),
+            ("checkpoint_budget_misses", self.checkpoint_budget_misses),
+            ("forks", self.forks),
+            ("max_live_paths", self.max_live_paths),
+            ("l1i_accesses", self.l1i_accesses),
+            ("l1i_hits", self.l1i_hits),
+            ("l1d_accesses", self.l1d_accesses),
+            ("l1d_hits", self.l1d_hits),
+        ]
+    }
+
+    /// The statistics as a JSON object: every raw counter under its
+    /// stable name (see [`SimStats::named_counters`]) plus the derived
+    /// headline metrics (`ipc`, `return_hit_rate_pct`,
+    /// `branch_accuracy_pct`).
+    pub fn to_json(&self) -> hydra_stats::Json {
+        use hydra_stats::Json;
+        let mut members: Vec<(String, Json)> = self
+            .named_counters()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), Json::int(v)))
+            .collect();
+        members.push(("ipc".to_string(), Json::num(self.ipc())));
+        members.push((
+            "return_hit_rate_pct".to_string(),
+            Json::num(self.return_hit_rate().percent()),
+        ));
+        members.push((
+            "branch_accuracy_pct".to_string(),
+            Json::num(self.branch_accuracy().percent()),
+        ));
+        Json::Obj(members)
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +194,66 @@ mod tests {
     #[test]
     fn ipc_handles_zero_cycles() {
         assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn serialization_names_are_stable() {
+        // These strings are a serialization contract (goldens and any
+        // downstream tooling key on them). Changing a name is a schema
+        // change, not a refactor — bump the results schema version if
+        // you really mean it.
+        let names: Vec<&str> = SimStats::default()
+            .named_counters()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "cycles",
+                "committed",
+                "fetched_uops",
+                "squashed_uops",
+                "cond_branches",
+                "cond_mispredictions",
+                "target_mispredictions",
+                "calls",
+                "returns",
+                "return_hits",
+                "return_hits_ras",
+                "return_hits_btb",
+                "return_no_prediction",
+                "ras_pushes",
+                "ras_pops",
+                "ras_overflows",
+                "ras_underflows",
+                "ras_restores",
+                "checkpoint_budget_misses",
+                "forks",
+                "max_live_paths",
+                "l1i_accesses",
+                "l1i_hits",
+                "l1d_accesses",
+                "l1d_hits",
+            ]
+        );
+    }
+
+    #[test]
+    fn to_json_counts_and_derives() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            returns: 10,
+            return_hits: 9,
+            ..SimStats::default()
+        };
+        let j = s.to_json();
+        use hydra_stats::Json;
+        assert_eq!(j.get("committed"), Some(&Json::Num(250.0)));
+        assert_eq!(j.get("ipc"), Some(&Json::Num(2.5)));
+        assert_eq!(j.get("return_hit_rate_pct"), Some(&Json::Num(90.0)));
+        assert_eq!(j.get("l1d_hits"), Some(&Json::Num(0.0)));
     }
 
     #[test]

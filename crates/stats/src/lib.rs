@@ -6,7 +6,10 @@
 //! * event [`Counter`]s and derived [`Ratio`]s (hit rates, IPC, ...),
 //! * [`Histogram`]s over small integer domains (call depths, path counts),
 //! * fixed-width [`Table`] rendering so every experiment binary prints the
-//!   same style of report the paper's tables use.
+//!   same style of report the paper's tables use,
+//! * a deterministic [`Json`] document model (tables carry typed cells —
+//!   see [`CellKind`]) so the experiment harness can emit machine-readable
+//!   results and read committed golden snapshots back.
 //!
 //! Everything here is plain data: no interior mutability, no globals, and
 //! deterministic output formatting.
@@ -33,12 +36,14 @@
 
 mod counter;
 mod histogram;
+mod json;
 mod meter;
 mod summary;
 mod table;
 
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
+pub use json::{Json, JsonError};
 pub use meter::Meter;
 pub use summary::Summary;
-pub use table::{Align, Cell, Table};
+pub use table::{Align, Cell, CellKind, Table};

@@ -68,6 +68,23 @@ impl Meter {
             self.events.value() as f64 * 1e9 / self.window_nanos as f64
         }
     }
+
+    /// The meter as a JSON object with stable field names:
+    /// `{"events", "window_ms", "per_sec"}`.
+    ///
+    /// `window_ms` and `per_sec` are wall-clock measurements; the golden
+    /// differ treats `*_ms` / `*_per_sec` fields as timing and compares
+    /// them with tolerance rather than exactly.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj([
+            ("events", crate::Json::int(self.events())),
+            (
+                "window_ms",
+                crate::Json::num(self.window_nanos as f64 / 1e6),
+            ),
+            ("per_sec", crate::Json::num(self.per_sec())),
+        ])
+    }
 }
 
 impl fmt::Display for Meter {
@@ -102,6 +119,17 @@ mod tests {
         assert_eq!(m.per_sec(), 25.0);
         assert_eq!(m.events(), 100);
         assert_eq!(m.window(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn to_json_uses_stable_field_names() {
+        let mut m = Meter::new();
+        m.add(100);
+        m.set_window(Duration::from_secs(2));
+        assert_eq!(
+            m.to_json().to_string(),
+            r#"{"events":100,"window_ms":2000,"per_sec":50}"#
+        );
     }
 
     #[test]

@@ -84,6 +84,20 @@ impl Summary {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// The summary as a JSON object with stable field names:
+    /// `{"count", "mean", "stddev", "min", "max"}` (`min`/`max` are
+    /// `null` when empty).
+    pub fn to_json(&self) -> crate::Json {
+        let opt = |v: Option<f64>| v.map(crate::Json::num).unwrap_or(crate::Json::Null);
+        crate::Json::obj([
+            ("count", crate::Json::int(self.count)),
+            ("mean", crate::Json::num(self.mean())),
+            ("stddev", crate::Json::num(self.stddev())),
+            ("min", opt(self.min())),
+            ("max", opt(self.max())),
+        ])
+    }
 }
 
 impl fmt::Display for Summary {
@@ -166,6 +180,24 @@ mod tests {
         let s: Summary = std::iter::repeat_n(7.0, 100).collect();
         assert_eq!(s.mean(), 7.0);
         assert!(s.stddev() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_uses_stable_field_names() {
+        let empty = Summary::new().to_json();
+        assert_eq!(
+            empty.to_string(),
+            r#"{"count":0,"mean":0,"stddev":0,"min":null,"max":null}"#
+        );
+        let s: Summary = [1.0, 3.0].into_iter().collect();
+        assert_eq!(
+            s.to_json().get("mean").and_then(crate::Json::as_num),
+            Some(2.0)
+        );
+        assert_eq!(
+            s.to_json().get("max").and_then(crate::Json::as_num),
+            Some(3.0)
+        );
     }
 
     #[test]

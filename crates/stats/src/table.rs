@@ -1,5 +1,7 @@
-//! Fixed-width text tables for experiment reports.
+//! Fixed-width text tables for experiment reports, with machine-readable
+//! (JSON / CSV) projections of the same data.
 
+use crate::Json;
 use std::fmt;
 
 /// Horizontal alignment of a table column.
@@ -12,42 +14,106 @@ pub enum Align {
     Right,
 }
 
-/// One rendered table cell.
+/// What kind of value a [`Cell`] renders — the tag that makes a table
+/// machine-readable after the fact.
 ///
-/// Cells are plain strings; the convenience constructors format the common
-/// value kinds the experiment harness reports.
+/// The rendered string is the source of truth for text output (so text
+/// tables are byte-identical to what they always were); the kind says
+/// how to project that string into a typed JSON value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellKind {
+    /// Free text (labels, composite cells like `"1.23 (98%)"`).
+    #[default]
+    Text,
+    /// An unsigned integer counter.
+    Int,
+    /// A fixed-point number.
+    Fixed,
+    /// A percentage; renders with a trailing `%`, serializes as the
+    /// numeric percent value.
+    Percent,
+}
+
+/// One rendered table cell: a display string plus the [`CellKind`] it
+/// was formatted from.
+///
+/// The convenience constructors format the common value kinds the
+/// experiment harness reports.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Cell(String);
+pub struct Cell {
+    text: String,
+    kind: CellKind,
+}
 
 impl Cell {
     /// A text cell.
     pub fn text(s: impl Into<String>) -> Self {
-        Cell(s.into())
+        Cell {
+            text: s.into(),
+            kind: CellKind::Text,
+        }
     }
 
     /// An integer cell.
     pub fn int(v: u64) -> Self {
-        Cell(v.to_string())
+        Cell {
+            text: v.to_string(),
+            kind: CellKind::Int,
+        }
     }
 
     /// A fixed-point cell with `places` decimal places.
     pub fn fixed(v: f64, places: usize) -> Self {
-        Cell(format!("{v:.places$}"))
+        Cell {
+            text: format!("{v:.places$}"),
+            kind: CellKind::Fixed,
+        }
     }
 
     /// A percentage cell with two decimal places.
     pub fn percent(v: f64) -> Self {
-        Cell(format!("{v:.2}%"))
+        Cell {
+            text: format!("{v:.2}%"),
+            kind: CellKind::Percent,
+        }
+    }
+
+    /// The value kind this cell was constructed with.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The cell as a typed JSON value.
+    ///
+    /// Numeric kinds parse their *rendered* text back (so the JSON value
+    /// carries exactly the precision the table shows, and a JSON document
+    /// is deterministic whenever the text table is). A numeric cell whose
+    /// text does not parse (e.g. a `NaN` render) falls back to a string.
+    pub fn to_json(&self) -> Json {
+        match self.kind {
+            CellKind::Text => Json::str(&self.text),
+            CellKind::Int | CellKind::Fixed => match self.text.parse::<f64>() {
+                Ok(v) if v.is_finite() => Json::Num(v),
+                _ => Json::str(&self.text),
+            },
+            CellKind::Percent => {
+                let trimmed = self.text.strip_suffix('%').unwrap_or(&self.text);
+                match trimmed.parse::<f64>() {
+                    Ok(v) if v.is_finite() => Json::Num(v),
+                    _ => Json::str(&self.text),
+                }
+            }
+        }
     }
 
     fn width(&self) -> usize {
-        self.0.chars().count()
+        self.text.chars().count()
     }
 }
 
 impl fmt::Display for Cell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.text)
     }
 }
 
@@ -59,7 +125,7 @@ impl From<&str> for Cell {
 
 impl From<String> for Cell {
     fn from(s: String) -> Self {
-        Cell(s)
+        Cell::text(s)
     }
 }
 
@@ -137,6 +203,71 @@ impl Table {
         self.rows.len()
     }
 
+    /// The title, if one was set.
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
+    /// The column headers, as display strings.
+    pub fn columns(&self) -> Vec<String> {
+        self.header.iter().map(Cell::to_string).collect()
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// The table as a JSON object: `{"title", "columns", "rows"}`, with
+    /// each row an array of typed cell values (see [`Cell::to_json`]).
+    ///
+    /// Deterministic: two tables that render identically serialize
+    /// identically.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "title",
+                match &self.title {
+                    Some(t) => Json::str(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "columns",
+                Json::arr(self.header.iter().map(|c| Json::str(c.to_string()))),
+            ),
+            (
+                "rows",
+                Json::arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(Cell::to_json))),
+                ),
+            ),
+        ])
+    }
+
+    /// The table as RFC 4180-style CSV: a header line then one line per
+    /// row, cells rendered exactly as the text table renders them
+    /// (percent signs included), quoted only when necessary.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[Cell]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_escape(&cell.to_string()));
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
     /// Renders the table to a string with a header rule and aligned
     /// columns.
     pub fn render(&self) -> String {
@@ -191,6 +322,15 @@ impl fmt::Display for Table {
     }
 }
 
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +381,55 @@ mod tests {
         assert_eq!(Cell::fixed(2.5, 1).to_string(), "2.5");
         assert_eq!(Cell::from("x").to_string(), "x");
         assert_eq!(Cell::from(String::from("y")).to_string(), "y");
+    }
+
+    #[test]
+    fn cells_carry_their_kind_into_json() {
+        assert_eq!(Cell::text("gcc").to_json(), Json::str("gcc"));
+        assert_eq!(Cell::int(42).to_json(), Json::Num(42.0));
+        assert_eq!(Cell::fixed(1.2345, 3).to_json(), Json::Num(1.234));
+        assert_eq!(Cell::percent(97.126).to_json(), Json::Num(97.13));
+        // Non-finite numeric cells degrade to strings, not invalid JSON.
+        assert_eq!(Cell::fixed(f64::NAN, 3).to_json(), Json::str("NaN"));
+        assert_eq!(Cell::percent(f64::INFINITY).to_json(), Json::str("inf%"));
+    }
+
+    #[test]
+    fn table_to_json_mirrors_the_rendered_table() {
+        let mut t = sample();
+        t.set_title("demo");
+        let j = t.to_json();
+        assert_eq!(j.get("title"), Some(&Json::str("demo")));
+        assert_eq!(
+            j.get("columns"),
+            Some(&Json::arr([Json::str("name"), Json::str("ipc")]))
+        );
+        let rows = j.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            Json::arr([Json::str("compress"), Json::Num(1.234)])
+        );
+        // An untitled table serializes a null title.
+        assert_eq!(sample().to_json().get("title"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn table_to_csv_quotes_only_when_needed() {
+        let mut t = Table::new(vec!["label", "v"]);
+        t.add_row(vec![Cell::text("plain"), Cell::percent(50.0)]);
+        t.add_row(vec![Cell::text("a,b \"q\""), Cell::int(7)]);
+        assert_eq!(t.to_csv(), "label,v\nplain,50.00%\n\"a,b \"\"q\"\"\",7\n");
+    }
+
+    #[test]
+    fn table_accessors_expose_structure() {
+        let t = sample();
+        assert_eq!(t.columns(), vec!["name".to_string(), "ipc".to_string()]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[1][0].kind(), CellKind::Text);
+        assert_eq!(t.rows()[1][1].kind(), CellKind::Fixed);
+        assert_eq!(t.title(), None);
     }
 
     #[test]

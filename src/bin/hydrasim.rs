@@ -28,6 +28,7 @@ struct Options {
     stack: StackChoice,
     profile: bool,
     golden: bool,
+    json: bool,
     list: bool,
 }
 
@@ -60,6 +61,7 @@ impl Default for Options {
             stack: StackChoice::PerPath,
             profile: false,
             golden: false,
+            json: false,
             list: false,
         }
     }
@@ -85,6 +87,7 @@ OPTIONS:
     --stack ORG              unified | unified-ckpt | per-path (default: per-path)
     --profile                also print the workload's architectural profile
     --golden                 lockstep-check every commit against the interpreter
+    --json                   report statistics as a JSON document (stable field names)
     --list-workloads         list available benchmarks and exit
     --help                   show this help
 ";
@@ -169,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--profile" => o.profile = true,
             "--golden" => o.golden = true,
+            "--json" => o.json = true,
             "--list-workloads" => o.list = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
@@ -250,6 +254,24 @@ fn run(o: &Options) -> Result<(), String> {
     core.reset_stats();
     let stats = core.run(o.instructions);
     let elapsed = t0.elapsed();
+
+    if o.json {
+        // Machine-readable report: the raw counters under their stable
+        // serialization names (SimStats::named_counters) plus run
+        // identity; wall_ms carries the timing suffix so the golden
+        // differ knows it is not a result field.
+        let doc = hydrascalar::Json::obj([
+            ("workload", hydrascalar::Json::str(&o.workload)),
+            ("seed", hydrascalar::Json::int(o.seed)),
+            ("stats", stats.to_json()),
+            (
+                "wall_ms",
+                hydrascalar::Json::num(elapsed.as_secs_f64() * 1e3),
+            ),
+        ]);
+        print!("{}", doc.pretty());
+        return Ok(());
+    }
 
     println!("workload            : {} (seed {})", o.workload, o.seed);
     println!("committed           : {}", stats.committed);

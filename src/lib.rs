@@ -58,5 +58,6 @@ pub use ras_core as ras;
 
 pub use hydra_isa::{Addr, Inst, Machine, Program, ProgramBuilder, Reg};
 pub use hydra_pipeline::{Core, CoreConfig, MultipathConfig, ReturnPredictor, SimStats};
+pub use hydra_stats::Json;
 pub use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
 pub use ras_core::{MultipathStackPolicy, RepairPolicy, ReturnAddressStack};
