@@ -24,12 +24,15 @@
 use hydra_bench::golden::{check, DiffOptions};
 use hydra_bench::results::{sink_for, write_out_dir, Format};
 use hydra_bench::{find, registry, run_experiment, EngineReport, Experiment, RunSpec};
-use std::path::PathBuf;
+use hydra_trace::{EventMask, TraceConfig, TraceSession};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: expt --list\n\
        expt <name>... | all  [--jobs N] [--format table|json|csv] [--out DIR]\n\
-       expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]";
+                             [-v|-q] [--trace FILE] [--trace-filter KINDS] [--profile]\n\
+       expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]\n\
+       expt --validate-trace FILE";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -50,6 +53,12 @@ struct Cli {
     check_golden: bool,
     goldens: PathBuf,
     names: Vec<String>,
+    quiet: bool,
+    verbose: bool,
+    trace: Option<PathBuf>,
+    trace_filter: EventMask,
+    profile: bool,
+    validate_trace: Option<PathBuf>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -61,11 +70,41 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         check_golden: false,
         goldens: PathBuf::from("goldens"),
         names: Vec::new(),
+        quiet: false,
+        verbose: false,
+        trace: None,
+        trace_filter: EventMask::all(),
+        profile: false,
+        validate_trace: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" | "-l" => cli.list = true,
+            "--quiet" | "-q" => cli.quiet = true,
+            "--verbose" | "-v" => cli.verbose = true,
+            "--profile" => cli.profile = true,
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs an output file")?;
+                cli.trace = Some(PathBuf::from(v));
+            }
+            "--trace-filter" => {
+                let v = it.next().ok_or("--trace-filter needs event kinds")?;
+                cli.trace_filter = EventMask::parse(v)?;
+            }
+            a if a.starts_with("--trace-filter=") => {
+                cli.trace_filter = EventMask::parse(&a["--trace-filter=".len()..])?;
+            }
+            a if a.starts_with("--trace=") => {
+                cli.trace = Some(PathBuf::from(&a["--trace=".len()..]));
+            }
+            "--validate-trace" => {
+                let v = it.next().ok_or("--validate-trace needs a file")?;
+                cli.validate_trace = Some(PathBuf::from(v));
+            }
+            a if a.starts_with("--validate-trace=") => {
+                cli.validate_trace = Some(PathBuf::from(&a["--validate-trace=".len()..]));
+            }
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = Some(parse_jobs(v)?);
@@ -138,6 +177,17 @@ fn select(names: &[String], default_all: bool) -> Result<Vec<Box<dyn Experiment>
 
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let cli = parse(&args)?;
+    hydra_trace::log::set_level(if cli.quiet {
+        hydra_trace::log::Level::Quiet
+    } else if cli.verbose {
+        hydra_trace::log::Level::Verbose
+    } else {
+        hydra_trace::log::Level::Info
+    });
+
+    if let Some(path) = &cli.validate_trace {
+        return validate_trace(path);
+    }
 
     if cli.list {
         println!("{USAGE}");
@@ -157,9 +207,13 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     });
 
     if cli.check_golden {
+        if cli.trace.is_some() {
+            return Err("--trace cannot be combined with --check-golden".into());
+        }
         return check_goldens(&cli, workers);
     }
 
+    let session = start_trace(&cli)?;
     let selected = select(&cli.names, false)?;
     let rs = RunSpec::from_env().map_err(|e| e.to_string())?;
 
@@ -168,21 +222,27 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let mut aggregate = EngineReport::default();
     let mut finished = Vec::new();
     for e in &selected {
+        hydra_trace::verbose!("running {} — {}", e.name(), e.title());
+        let t0_us = hydra_trace::session::now_us();
         let result = run_experiment(e.as_ref(), &rs, workers);
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::ExptSpan {
+            label: e.name().to_string(),
+            start_us: t0_us,
+            dur_us: hydra_trace::session::now_us().saturating_sub(t0_us),
+        });
         sink.emit(&mut stdout, e.as_ref(), &rs, &result)
             .map_err(|io| format!("writing results: {io}"))?;
-        eprintln!(
-            "{}",
+        hydra_trace::info!(
+            "{}\n",
             result.report.to_table(format!("engine: {}", e.name()))
         );
-        eprintln!();
         aggregate.absorb(&result.report);
         finished.push((e.name().to_string(), e.title().to_string(), result));
     }
     sink.finish(&mut stdout, &rs)
         .map_err(|io| format!("writing results: {io}"))?;
     if selected.len() > 1 {
-        eprintln!(
+        hydra_trace::info!(
             "{}",
             aggregate.to_table(format!("engine: {} experiments total", selected.len()))
         );
@@ -190,12 +250,103 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     if let Some(dir) = &cli.out {
         write_out_dir(dir, &rs, &finished)
             .map_err(|io| format!("writing {}: {io}", dir.display()))?;
-        eprintln!(
+        hydra_trace::info!(
             "wrote {} result document(s) + BENCH_expt.json to {}",
             finished.len(),
             dir.display()
         );
     }
+    if let Some((session, path)) = session {
+        write_trace(&session.finish(), &path)?;
+    }
+    if cli.profile {
+        write_profile(cli.out.as_deref())?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Starts a trace session when `--trace` was given, refusing cleanly if
+/// the binary lacks the `trace` cargo feature.
+fn start_trace(cli: &Cli) -> Result<Option<(TraceSession, PathBuf)>, String> {
+    let Some(path) = &cli.trace else {
+        return Ok(None);
+    };
+    if !hydra_trace::COMPILED {
+        return Err("--trace requires the `trace` feature; rebuild with \
+             `cargo build --release -p hydra-bench --features trace`"
+            .into());
+    }
+    let config = TraceConfig {
+        mask: cli.trace_filter,
+        ..TraceConfig::default()
+    };
+    let session = TraceSession::start(config).map_err(|e| format!("--trace: {e}"))?;
+    Ok(Some((session, path.clone())))
+}
+
+/// Writes the three trace artifacts: Chrome trace JSON at `path`, the
+/// NDJSON event stream at `path.ndjson`, and the human-readable RAS
+/// timeline at `path.ras.txt`.
+fn write_trace(trace: &hydra_trace::Trace, path: &Path) -> Result<(), String> {
+    let write = |p: &Path, contents: String| {
+        std::fs::write(p, contents).map_err(|io| format!("writing {}: {io}", p.display()))
+    };
+    write(path, trace.to_chrome_json().to_string())?;
+    let ndjson = path.with_extension("ndjson");
+    let mut buf = Vec::new();
+    trace
+        .write_ndjson(&mut buf)
+        .map_err(|io| format!("serialising event stream: {io}"))?;
+    write(
+        &ndjson,
+        String::from_utf8(buf).expect("ndjson output is UTF-8"),
+    )?;
+    let ras = path.with_extension("ras.txt");
+    write(&ras, trace.ras_timeline())?;
+    hydra_trace::info!(
+        "trace: {} event(s), {} dropped -> {} (+ {}, {})",
+        trace.events.len(),
+        trace.dropped,
+        path.display(),
+        ndjson.display(),
+        ras.display()
+    );
+    Ok(())
+}
+
+/// Dumps the global metrics registry: to `DIR/PROFILE_expt.json` when
+/// `--out` is set, to stderr otherwise.
+fn write_profile(out: Option<&Path>) -> Result<(), String> {
+    let doc = hydra_trace::metrics::metrics().to_json();
+    match out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|io| format!("creating {}: {io}", dir.display()))?;
+            let path = dir.join("PROFILE_expt.json");
+            std::fs::write(&path, doc.pretty())
+                .map_err(|io| format!("writing {}: {io}", path.display()))?;
+            hydra_trace::info!("wrote profile metrics to {}", path.display());
+        }
+        None => eprintln!("{}", doc.pretty()),
+    }
+    Ok(())
+}
+
+/// `--validate-trace`: strict-parses a Chrome trace file and checks it
+/// has a non-empty `traceEvents` array. Used by CI's trace smoke step.
+fn validate_trace(path: &Path) -> Result<ExitCode, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|io| format!("reading {}: {io}", path.display()))?;
+    let doc = hydra_stats::Json::parse(&text)
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(hydra_stats::Json::as_arr)
+        .ok_or_else(|| format!("{}: no traceEvents array", path.display()))?;
+    if events.is_empty() {
+        return Err(format!("{}: traceEvents is empty", path.display()));
+    }
+    println!("trace {}: {} event(s) ok", path.display(), events.len());
     Ok(ExitCode::SUCCESS)
 }
 

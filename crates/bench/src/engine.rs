@@ -18,7 +18,7 @@
 //! reported in an [`EngineReport`] the `expt` binary prints to stderr.
 
 use hydra_pipeline::{Core, CoreConfig, SimStats};
-use hydra_stats::{Cell, Meter, Summary, Table};
+use hydra_stats::{Cell, Histogram, Meter, Summary, Table};
 use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
 use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,6 +26,11 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::RunSpec;
+
+/// Exact-bucket ceiling for the per-job wall-time histogram; jobs slower
+/// than a minute land in the overflow bucket (still counted, still the
+/// max).
+const JOB_MS_HIST_CAP: usize = 60_000;
 
 /// One independent unit of simulation work.
 ///
@@ -239,6 +244,16 @@ impl EngineReport {
         s
     }
 
+    /// The per-job wall-time distribution as an exact-bucket histogram
+    /// (millisecond resolution), for percentile reporting.
+    pub fn job_time_histogram(&self) -> Histogram {
+        let mut h = Histogram::with_cap(JOB_MS_HIST_CAP);
+        for &ms in &self.job_millis {
+            h.record(ms.round() as u64);
+        }
+        h
+    }
+
     /// The report as a JSON object for the `BENCH_expt.json` perf
     /// artifact. Every field except `jobs`/`workers` is a wall-clock
     /// measurement (`_ms` / `_per_sec` suffixes mark them for the golden
@@ -251,6 +266,7 @@ impl EngineReport {
             ("workers", Json::int(self.workers as u64)),
             ("wall_ms", Json::num(self.wall.as_secs_f64() * 1e3)),
             ("job_ms", times.to_json()),
+            ("job_hist_ms", self.job_time_histogram().to_json()),
             ("jobs_per_sec", Json::num(self.jobs_per_sec.per_sec())),
             (
                 "sim_cycles_per_sec",
@@ -286,6 +302,16 @@ impl EngineReport {
                 times.max().unwrap_or(0.0),
             )),
         ]);
+        let hist = self.job_time_histogram();
+        t.add_row(vec![
+            Cell::text("job wall time pct (ms)"),
+            Cell::text(format!(
+                "p50 {} / p95 {} / max {}",
+                hist.percentile(50.0).unwrap_or(0),
+                hist.percentile(95.0).unwrap_or(0),
+                hist.max().unwrap_or(0),
+            )),
+        ]);
         t.add_row(vec![
             Cell::text("throughput"),
             Cell::text(format!("{} jobs", self.jobs_per_sec)),
@@ -316,15 +342,32 @@ pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+        let cursor = &cursor;
+        let slots = &slots;
+        for worker in 0..workers {
+            scope.spawn(move || {
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let start_us = hydra_trace::session::now_us();
+                    let out = run_job(&jobs[i]);
+                    let took = t0.elapsed();
+                    hydra_trace::trace_event!(hydra_trace::TraceEvent::JobSpan {
+                        job: i as u64,
+                        worker: worker as u64,
+                        label: jobs[i].label.clone(),
+                        start_us,
+                        dur_us: took.as_micros() as u64,
+                    });
+                    *slots[i].lock().expect("job slot poisoned") = Some((out, took));
                 }
-                let t0 = Instant::now();
-                let out = run_job(&jobs[i]);
-                *slots[i].lock().expect("job slot poisoned") = Some((out, t0.elapsed()));
+                // Buffered trace events must reach the global ring before
+                // this thread is joined: TLS destructors can fire after
+                // the scope's join observes completion.
+                hydra_trace::session::flush_thread();
             });
         }
     });
@@ -351,6 +394,16 @@ pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport
     jobs_per_sec.set_window(wall);
     sim_cycles_per_sec.set_window(wall);
     sim_instrs_per_sec.set_window(wall);
+
+    let m = hydra_trace::metrics::metrics();
+    m.counter_add("engine.jobs", jobs_per_sec.events());
+    m.counter_add("engine.sim_cycles", sim_cycles_per_sec.events());
+    m.counter_add("engine.sim_instrs", sim_instrs_per_sec.events());
+    m.counter_add("engine.wall_us", wall.as_micros() as u64);
+    m.gauge_set("engine.workers", workers as f64);
+    for &ms in &job_millis {
+        m.histogram_record("engine.job_ms", ms.round() as u64, JOB_MS_HIST_CAP);
+    }
 
     let report = EngineReport {
         workers,
@@ -474,11 +527,32 @@ mod tests {
             "workers",
             "wall_ms",
             "job_ms",
+            "job_hist_ms",
             "jobs_per_sec",
             "sim_cycles_per_sec",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
+        let hist = j.get("job_hist_ms").expect("histogram object");
+        for key in ["count", "p50", "p95", "max"] {
+            assert!(hist.get(key).is_some(), "missing job_hist_ms.{key}");
+        }
+        assert_eq!(
+            hist.get("count").and_then(hydra_stats::Json::as_num),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn job_time_histogram_tracks_every_job() {
+        let report = EngineReport {
+            job_millis: vec![1.2, 3.7, 900.0],
+            ..EngineReport::default()
+        };
+        let h = report.job_time_histogram();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max(), Some(900));
+        assert_eq!(h.percentile(50.0), Some(4), "3.7 ms rounds to 4");
     }
 
     #[test]

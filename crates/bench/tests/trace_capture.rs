@@ -1,0 +1,146 @@
+//! End-to-end trace capture through the engine (`trace` feature only).
+//!
+//! Runs a real cycle-level job under a [`hydra_trace::TraceSession`] and
+//! checks the acceptance properties of the tracing layer: the RAS event
+//! stream shows wrong-path corruption followed by repair under the
+//! paper's TOS-pointer+contents mechanism, the engine contributes
+//! per-job spans, and every exporter emits well-formed output.
+#![cfg(feature = "trace")]
+
+use hydra_bench::{execute, RunSpec, SimJob};
+use hydra_pipeline::{CoreConfig, ReturnPredictor};
+use hydra_trace::{EventMask, TraceConfig, TraceEvent, TraceSession};
+use hydra_workloads::WorkloadSpec;
+use ras_core::RepairPolicy;
+use std::sync::Mutex;
+
+/// Trace sessions are process-global; serialize tests that start one.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs two real cycle-level jobs under an active session. `mask` keeps
+/// the captured volume small (an unfiltered debug-mode run records
+/// per-cycle stage and cache events by the hundred thousand).
+fn traced_run(workers: usize, mask: &str) -> hydra_trace::Trace {
+    let spec = WorkloadSpec::test_small();
+    let rs = RunSpec {
+        seed: 7,
+        warmup: 200,
+        measure: 2_000,
+    };
+    let config = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+        entries: 8,
+        repair: RepairPolicy::TosPointerAndContents,
+    });
+    let jobs: Vec<SimJob> = (0..2)
+        .map(|i| SimJob::cycle(&spec, 7 + i, config, &rs).tagged("tos+contents"))
+        .collect();
+    let session = TraceSession::start(TraceConfig {
+        mask: EventMask::parse(mask).expect("valid mask"),
+        ..TraceConfig::default()
+    })
+    .expect("session starts");
+    let (outs, report) = execute(&jobs, workers);
+    assert_eq!(outs.len(), 2);
+    assert_eq!(report.jobs_per_sec.events(), 2);
+    session.finish()
+}
+
+#[test]
+fn ras_stream_shows_corruption_and_repair() {
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = traced_run(1, "ras,branch");
+    assert!(!trace.events.is_empty(), "a real run records events");
+
+    let mut saves = 0u64;
+    let mut repairs = 0u64;
+    let mut mispredicts = 0u64;
+    let mut first_mispredict_seq = None;
+    let mut repaired_after_mispredict = false;
+    let mut wrong_path_ras_activity = false;
+    for se in &trace.events {
+        match &se.event {
+            TraceEvent::RasSave { policy, words, .. } => {
+                assert_eq!(*policy, "tos+contents");
+                // TOS pointer + one entry of contents.
+                assert!(*words >= 1, "checkpoint carries shadow state");
+                saves += 1;
+            }
+            TraceEvent::RasRepair { policy, .. } => {
+                assert_eq!(*policy, "tos+contents");
+                repairs += 1;
+                if first_mispredict_seq.is_some_and(|m| se.seq > m) {
+                    repaired_after_mispredict = true;
+                }
+            }
+            TraceEvent::BranchResolve {
+                mispredict: true, ..
+            } => {
+                mispredicts += 1;
+                first_mispredict_seq.get_or_insert(se.seq);
+            }
+            // RAS traffic between speculation and resolution is the
+            // corruption the repair mechanisms exist for.
+            TraceEvent::RasPush { .. } | TraceEvent::RasPop { .. }
+                if first_mispredict_seq.is_none() && saves > 0 =>
+            {
+                wrong_path_ras_activity = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saves > 0, "branches checkpoint the stack");
+    assert!(mispredicts > 0, "the workload mispredicts");
+    assert!(repairs > 0, "mispredictions repair the stack");
+    assert!(repaired_after_mispredict, "repair follows a misprediction");
+    assert!(
+        wrong_path_ras_activity,
+        "speculative RAS traffic happens between save and resolve"
+    );
+
+    // The human-readable timeline narrates the same story.
+    let timeline = trace.ras_timeline();
+    assert!(timeline.contains("save"), "timeline shows checkpoints");
+    assert!(timeline.contains("MISPREDICT"), "timeline shows resolution");
+    assert!(timeline.contains("REPAIR"), "timeline shows repair");
+}
+
+#[test]
+fn engine_spans_and_exporters_are_well_formed() {
+    let _guard = SESSION_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let trace = traced_run(2, "ras,engine");
+
+    let job_spans: Vec<_> = trace
+        .events
+        .iter()
+        .filter_map(|se| match &se.event {
+            TraceEvent::JobSpan {
+                job, label, dur_us, ..
+            } => Some((*job, label.clone(), *dur_us)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(job_spans.len(), 2, "one span per job");
+    assert!(job_spans.iter().any(|(job, _, _)| *job == 0));
+    assert!(job_spans.iter().any(|(job, _, _)| *job == 1));
+    for (_, label, _) in &job_spans {
+        assert!(label.contains("tos+contents"), "span carries the job label");
+    }
+
+    // Chrome export parses strictly and carries every event.
+    let chrome = trace.to_chrome_json().to_string();
+    let doc = hydra_stats::Json::parse(&chrome).expect("chrome trace is valid JSON");
+    let n = doc
+        .get("traceEvents")
+        .and_then(hydra_stats::Json::as_arr)
+        .expect("traceEvents array")
+        .len();
+    assert!(n > trace.events.len(), "events plus process metadata");
+
+    // NDJSON: every line is a JSON document.
+    let mut buf = Vec::new();
+    trace.write_ndjson(&mut buf).expect("ndjson writes");
+    let text = String::from_utf8(buf).expect("utf-8");
+    for line in text.lines() {
+        hydra_stats::Json::parse(line).expect("each NDJSON line parses");
+    }
+}

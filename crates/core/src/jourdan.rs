@@ -136,10 +136,17 @@ impl SelfCheckpointingStack {
         self.stats.pushes += 1;
         let slot = self.alloc;
         self.alloc = (self.alloc + 1) % self.capacity();
-        if self.chain_contains(slot) {
+        let overflow = self.chain_contains(slot);
+        if overflow {
             // Recycling a live entry: the chain below it is damaged.
             self.stats.overflows += 1;
         }
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            addr: return_addr,
+            overflow,
+        });
         self.entries[slot] = LinkEntry {
             addr: return_addr,
             below: if self.tos == slot { NONE } else { self.tos },
@@ -155,10 +162,24 @@ impl SelfCheckpointingStack {
         self.stats.pops += 1;
         if self.tos == NONE {
             self.stats.underflows += 1;
+            hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
+                cycle: hydra_trace::clock::cycle(),
+                path: hydra_trace::clock::path(),
+                addr: 0,
+                valid: false,
+                underflow: true,
+            });
             return None;
         }
         let e = self.entries[self.tos];
         self.tos = e.below;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            addr: e.addr,
+            valid: true,
+            underflow: false,
+        });
         Some(e.addr)
     }
 
@@ -170,6 +191,12 @@ impl SelfCheckpointingStack {
     /// Saves the TOS pointer (one word of shadow state per branch).
     pub fn checkpoint(&mut self) -> LinkCheckpoint {
         self.stats.checkpoints += 1;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasSave {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            policy: "self-ckpt",
+            words: 1,
+        });
         LinkCheckpoint {
             tos: self.tos,
             tos_seq: if self.tos == NONE {
@@ -186,6 +213,11 @@ impl SelfCheckpointingStack {
     /// the chain is gone.
     pub fn restore(&mut self, ckpt: &LinkCheckpoint) {
         self.stats.restores += 1;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasRepair {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            policy: "self-ckpt",
+        });
         if ckpt.tos == NONE {
             self.tos = NONE;
         } else if self.entries[ckpt.tos].seq == ckpt.tos_seq {

@@ -42,6 +42,19 @@ impl RepairPolicy {
         RepairPolicy::FullStack,
     ];
 
+    /// A compact machine-friendly name for trace events and filenames
+    /// (the [`fmt::Display`] form has spaces).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RepairPolicy::None => "none",
+            RepairPolicy::ValidBits => "valid-bits",
+            RepairPolicy::TosPointer => "tos-ptr",
+            RepairPolicy::TosPointerAndContents => "tos+contents",
+            RepairPolicy::TopContents { .. } => "top-k",
+            RepairPolicy::FullStack => "full-stack",
+        }
+    }
+
     /// Words of shadow storage one checkpoint of this policy costs on a
     /// stack with `capacity` entries (the paper's hardware-cost argument:
     /// a TOS pointer is a few bits, full-stack checkpointing is huge).
@@ -131,6 +144,20 @@ mod tests {
         names.push(RepairPolicy::TopContents { k: 4 }.to_string());
         let before = names.len();
         names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn short_names_are_distinct_and_space_free() {
+        let mut names: Vec<&str> = RepairPolicy::EVALUATED
+            .iter()
+            .map(|p| p.short_name())
+            .collect();
+        names.push(RepairPolicy::TopContents { k: 4 }.short_name());
+        assert!(names.iter().all(|n| !n.contains(' ')));
+        let before = names.len();
+        names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before);
     }

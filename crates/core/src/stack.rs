@@ -116,7 +116,8 @@ impl ReturnAddressStack {
     /// Pushes a predicted return address (speculative, at fetch).
     pub fn push(&mut self, return_addr: u64) {
         self.stats.pushes += 1;
-        if self.depth == self.capacity() {
+        let overflow = self.depth == self.capacity();
+        if overflow {
             self.stats.overflows += 1;
         } else {
             self.depth += 1;
@@ -128,6 +129,12 @@ impl ReturnAddressStack {
             valid: true,
         };
         self.next_seq += 1;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            addr: return_addr,
+            overflow,
+        });
     }
 
     /// Pops the predicted return target (speculative, at fetch).
@@ -139,13 +146,21 @@ impl ReturnAddressStack {
     /// simply likely to be wrong.
     pub fn pop(&mut self) -> Option<u64> {
         self.stats.pops += 1;
-        if self.depth == 0 {
+        let underflow = self.depth == 0;
+        if underflow {
             self.stats.underflows += 1;
         } else {
             self.depth -= 1;
         }
         let entry = self.entries[self.tos];
         self.tos = (self.tos + self.capacity() - 1) % self.capacity();
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            addr: entry.addr,
+            valid: entry.valid,
+            underflow,
+        });
         entry.valid.then_some(entry.addr)
     }
 
@@ -168,13 +183,20 @@ impl ReturnAddressStack {
             RepairPolicy::TopContents { k } => SavedContents::Top(self.save_top(k)),
             RepairPolicy::FullStack => SavedContents::Full(self.entries.clone()),
         };
-        RasCheckpoint {
+        let ckpt = RasCheckpoint {
             policy,
             tos: self.tos,
             depth: self.depth,
             seq_horizon: self.next_seq,
             saved,
-        }
+        };
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasSave {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            policy: policy.short_name(),
+            words: ckpt.storage_words() as u64,
+        });
+        ckpt
     }
 
     fn save_top(&self, k: usize) -> Vec<(usize, Entry)> {
@@ -201,6 +223,11 @@ impl ReturnAddressStack {
     /// * `FullStack` — the entire stack image restored.
     pub fn restore(&mut self, ckpt: &RasCheckpoint) {
         self.stats.restores += 1;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasRepair {
+            cycle: hydra_trace::clock::cycle(),
+            path: hydra_trace::clock::path(),
+            policy: ckpt.policy.short_name(),
+        });
         match ckpt.policy {
             RepairPolicy::None => {}
             RepairPolicy::ValidBits => {

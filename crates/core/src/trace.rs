@@ -172,9 +172,12 @@ impl TraceReplayer {
         }
     }
 
-    /// Applies a sequence of events.
+    /// Applies a sequence of events. The event index doubles as the
+    /// trace clock, so RAS events recorded during a replay line up with
+    /// positions in the synthetic trace.
     pub fn replay(&mut self, events: &[TraceEvent]) {
-        for &e in events {
+        for (i, &e) in events.iter().enumerate() {
+            hydra_trace::trace_cycle!(i as u64);
             self.apply(e);
         }
     }

@@ -392,6 +392,9 @@ impl Core {
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
+        // Publish the cycle so leaf structures (the RAS in ras-core)
+        // can timestamp their own trace events.
+        hydra_trace::trace_cycle!(self.cycle);
         self.commit();
         self.writeback();
         self.issue();
@@ -405,6 +408,13 @@ impl Core {
         self.occupancy
             .live_paths
             .record(self.paths.live_count() as u64);
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::StageSample {
+            cycle: self.cycle,
+            ruu: self.ruu.len() as u64,
+            lsq: self.lsq.len() as u64,
+            fetch_queue: self.fetch_queue.len() as u64,
+            live_paths: self.paths.live_count() as u64,
+        });
         self.cycle += 1;
         assert!(
             self.cycle - self.last_commit_cycle < DEADLOCK_HORIZON,
@@ -613,6 +623,12 @@ impl Core {
             )
         };
         let correct = pred_next == actual_next;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::BranchResolve {
+            cycle: self.cycle,
+            path: path.index() as u64,
+            pc: self.ruu[idx].pc.word(),
+            mispredict: !correct,
+        });
 
         if let Some(child) = forked_child {
             if correct {
@@ -735,6 +751,11 @@ impl Core {
             }
         }
         self.fetch_queue = kept;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
+            cycle: self.cycle,
+            path: base.index() as u64,
+            uops: squashed_seqs.len() as u64,
+        });
         for handle in released {
             self.ras.release(&handle);
         }
@@ -780,6 +801,11 @@ impl Core {
             }
         }
         self.fetch_queue = kept;
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
+            cycle: self.cycle,
+            path: killed.first().map_or(0, |p| p.index() as u64),
+            uops: squashed_seqs.len() as u64,
+        });
         for handle in released {
             self.ras.release(&handle);
         }
@@ -921,6 +947,12 @@ impl Core {
                         latency = lat.agen + self.memory.data_access(ea, false);
                     }
                 }
+                hydra_trace::trace_event!(hydra_trace::TraceEvent::CacheAccess {
+                    cycle: self.cycle,
+                    cache: "l1d",
+                    addr: ea,
+                    hit: latency - lat.agen <= self.config.mem.l1_latency,
+                });
                 mem_addr = Some(ea);
             }
             Inst::Store { offset, .. } => {
@@ -929,6 +961,12 @@ impl Core {
                 mem_addr = Some(ea);
                 store_value = Some(a);
                 latency = lat.agen + self.memory.data_access(ea, true);
+                hydra_trace::trace_event!(hydra_trace::TraceEvent::CacheAccess {
+                    cycle: self.cycle,
+                    cache: "l1d",
+                    addr: ea,
+                    hit: latency - lat.agen <= self.config.mem.l1_latency,
+                });
                 if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
                     e.addr = Some(ea);
                     e.value = Some(a);
@@ -1081,6 +1119,12 @@ impl Core {
             let pc = self.path_ctx[path.index()].fetch_pc;
             // Instruction-cache access; a miss stalls this path.
             let lat = self.memory.inst_access(pc.word());
+            hydra_trace::trace_event!(hydra_trace::TraceEvent::CacheAccess {
+                cycle: self.cycle,
+                cache: "l1i",
+                addr: pc.word(),
+                hit: lat <= self.config.mem.l1_latency,
+            });
             if lat > self.config.mem.l1_latency {
                 self.path_ctx[path.index()].stall_until = self.cycle + lat;
                 break;

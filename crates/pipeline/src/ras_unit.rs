@@ -158,6 +158,11 @@ impl RasUnit {
     /// A new path was forked from `parent`: copy the stack in per-path
     /// (and oracle) modes; a unified stack is shared as-is.
     pub fn on_fork(&mut self, parent: PathId, child: PathId) {
+        hydra_trace::trace_event!(hydra_trace::TraceEvent::RasFork {
+            cycle: hydra_trace::clock::cycle(),
+            parent: parent.index() as u64,
+            child: child.index() as u64,
+        });
         match &mut self.mode {
             Mode::Off => {}
             Mode::Oracle { stacks } => {
@@ -226,6 +231,9 @@ impl RasUnit {
 
     /// Push a return address at fetch time (a call on `path`).
     pub fn push(&mut self, path: PathId, return_addr: u64) {
+        // Events emitted inside the stack carry the *requesting* path,
+        // even when a unified stack is keyed by ROOT.
+        hydra_trace::trace_path!(path.index() as u64);
         let key = self.stack_key(path);
         match &mut self.mode {
             Mode::Off => {}
@@ -245,6 +253,7 @@ impl RasUnit {
 
     /// Pop a predicted return target at fetch time (a return on `path`).
     pub fn pop(&mut self, path: PathId) -> Option<u64> {
+        hydra_trace::trace_path!(path.index() as u64);
         let key = self.stack_key(path);
         match &mut self.mode {
             Mode::Off => None,
@@ -266,6 +275,7 @@ impl RasUnit {
             self.stats.budget_misses += 1;
             return None;
         }
+        hydra_trace::trace_path!(path.index() as u64);
         let key = self.stack_key(path);
         match &mut self.mode {
             Mode::Off => unreachable!("handled above"),
@@ -297,6 +307,11 @@ impl RasUnit {
     /// and releases the budget slot.
     pub fn restore(&mut self, handle: &CkptHandle) {
         self.budget.release();
+        hydra_trace::trace_path!(match handle {
+            CkptHandle::Real { path, .. }
+            | CkptHandle::Oracle { path, .. }
+            | CkptHandle::Jourdan { path, .. } => path.index() as u64,
+        });
         match (&mut self.mode, handle) {
             (Mode::Oracle { stacks }, CkptHandle::Oracle { path, stack }) => {
                 // The path may have died between checkpoint and restore.

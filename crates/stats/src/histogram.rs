@@ -96,9 +96,54 @@ impl Histogram {
         self.buckets.len()
     }
 
+    /// The `p`-th percentile (0–100) by nearest-rank over the exact
+    /// buckets, or `None` when empty. Ranks that land in the overflow
+    /// bucket resolve to the largest sample seen — the exact value is
+    /// gone but the tail stays honest.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut cum = 0u64;
+        for (value, count) in self.iter() {
+            cum += count;
+            if cum >= rank {
+                return Some(value);
+            }
+        }
+        self.max
+    }
+
     /// Iterates over `(value, count)` pairs for the exact buckets.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets.iter().enumerate().map(|(v, &c)| (v as u64, c))
+    }
+
+    /// The histogram as a JSON object with stable field names:
+    /// `{"count", "mean", "p50", "p95", "max", "overflow", "buckets"}`.
+    /// `p50`/`p95`/`max` are `null` when empty; `buckets` lists only the
+    /// non-empty exact buckets as `[value, count]` pairs so sparse
+    /// histograms stay small.
+    pub fn to_json(&self) -> crate::Json {
+        let opt = |v: Option<u64>| v.map(crate::Json::int).unwrap_or(crate::Json::Null);
+        crate::Json::obj([
+            ("count", crate::Json::int(self.total)),
+            ("mean", crate::Json::num(self.mean())),
+            ("p50", opt(self.percentile(50.0))),
+            ("p95", opt(self.percentile(95.0))),
+            ("max", opt(self.max)),
+            ("overflow", crate::Json::int(self.overflow)),
+            (
+                "buckets",
+                crate::Json::arr(
+                    self.iter()
+                        .filter(|&(_, c)| c > 0)
+                        .map(|(v, c)| crate::Json::arr([crate::Json::int(v), crate::Json::int(c)])),
+                ),
+            ),
+        ])
     }
 }
 
@@ -177,5 +222,67 @@ mod tests {
     fn display_is_nonempty() {
         let h = Histogram::with_cap(1);
         assert!(!format!("{h}").is_empty());
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let mut h = Histogram::with_cap(100);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(95.0), Some(95));
+        assert_eq!(h.percentile(0.0), Some(1));
+        // The sample `100` sits at the cap (overflow bucket), so the
+        // top rank resolves through the observed max.
+        assert_eq!(h.percentile(100.0), Some(100));
+    }
+
+    #[test]
+    fn percentile_empty_single_and_overflow() {
+        assert_eq!(Histogram::with_cap(4).percentile(50.0), None);
+
+        let mut single = Histogram::with_cap(4);
+        single.record(2);
+        assert_eq!(single.percentile(50.0), Some(2));
+        assert_eq!(single.percentile(95.0), Some(2));
+
+        // Ranks past the exact buckets resolve to the observed max.
+        let mut h = Histogram::with_cap(2);
+        h.record(0);
+        h.record(500);
+        h.record(900);
+        assert_eq!(h.percentile(50.0), Some(900));
+    }
+
+    #[test]
+    fn to_json_zero_samples() {
+        let h = Histogram::with_cap(4);
+        assert_eq!(
+            h.to_json().to_string(),
+            r#"{"count":0,"mean":0,"p50":null,"p95":null,"max":null,"overflow":0,"buckets":[]}"#
+        );
+    }
+
+    #[test]
+    fn to_json_single_sample() {
+        let mut h = Histogram::with_cap(8);
+        h.record(3);
+        assert_eq!(
+            h.to_json().to_string(),
+            r#"{"count":1,"mean":3,"p50":3,"p95":3,"max":3,"overflow":0,"buckets":[[3,1]]}"#
+        );
+    }
+
+    #[test]
+    fn to_json_saturating_values_stay_valid_json() {
+        let mut h = Histogram::with_cap(2);
+        h.record(u64::MAX); // far past the cap: overflow bucket
+        h.record(u64::MAX);
+        let doc = h.to_json();
+        assert_eq!(doc.get("overflow").and_then(crate::Json::as_num), Some(2.0));
+        assert_eq!(doc.get("count").and_then(crate::Json::as_num), Some(2.0));
+        // The document still parses even with 2^64-scale numbers.
+        assert!(crate::Json::parse(&doc.to_string()).is_ok());
     }
 }

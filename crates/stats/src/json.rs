@@ -373,7 +373,6 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
-            let start = self.pos;
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
@@ -411,17 +410,27 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                Some(b) => {
+                    // Consume one UTF-8 character. Decode only its own
+                    // bytes: validating the whole remaining input here
+                    // made parsing quadratic in document size.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let c = chunk.chars().next().unwrap();
                     if (c as u32) < 0x20 {
                         return Err(self.err("unescaped control character in string"));
                     }
                     s.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }
@@ -527,6 +536,36 @@ mod tests {
         }
         let err = Json::parse("[1, %]").unwrap_err();
         assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn parser_decodes_multibyte_strings() {
+        let doc = Json::obj([("label", Json::str("gcc × tos+contents — π≈3"))]);
+        assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+        assert!(Json::parse("\"ab\u{1}cd\"").is_err(), "raw control byte");
+    }
+
+    #[test]
+    fn parser_is_linear_in_string_volume() {
+        // Regression: per-character UTF-8 validation used to re-scan the
+        // whole remaining input, making string-heavy documents (like
+        // exported traces) quadratic to parse. A megabyte of string
+        // members must parse in well under a second even in debug mode.
+        let body: String = (0..20_000)
+            .map(|i| format!("{}\"k{i}\":\"value × {i}\"", if i > 0 { "," } else { "" }))
+            .collect();
+        let text = format!("{{{body}}}");
+        let t0 = std::time::Instant::now();
+        let doc = Json::parse(&text).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "parse took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(
+            doc.get("k19999").and_then(Json::as_str),
+            Some("value × 19999")
+        );
     }
 
     #[test]

@@ -133,6 +133,40 @@ mod tests {
     }
 
     #[test]
+    fn to_json_zero_samples() {
+        assert_eq!(
+            Meter::new().to_json().to_string(),
+            r#"{"events":0,"window_ms":0,"per_sec":0}"#
+        );
+    }
+
+    #[test]
+    fn to_json_single_sample() {
+        let mut m = Meter::new();
+        m.add(1);
+        m.set_window(Duration::from_millis(500));
+        assert_eq!(
+            m.to_json().to_string(),
+            r#"{"events":1,"window_ms":500,"per_sec":2}"#
+        );
+    }
+
+    #[test]
+    fn to_json_saturating_counts_stay_valid_json() {
+        let mut m = Meter::new();
+        m.add(u64::MAX);
+        m.add(u64::MAX); // Counter saturates instead of wrapping
+        assert_eq!(m.events(), u64::MAX);
+        m.set_window(Duration::from_secs(1));
+        let doc = m.to_json();
+        assert!(crate::Json::parse(&doc.to_string()).is_ok());
+        assert_eq!(
+            doc.get("events").and_then(crate::Json::as_num),
+            Some(u64::MAX as f64)
+        );
+    }
+
+    #[test]
     fn display_uses_magnitude_suffixes() {
         let mut m = Meter::new();
         m.add(3_000_000);

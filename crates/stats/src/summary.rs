@@ -201,6 +201,29 @@ mod tests {
     }
 
     #[test]
+    fn to_json_single_sample() {
+        let mut s = Summary::new();
+        s.record(4.5);
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"count":1,"mean":4.5,"stddev":0,"min":4.5,"max":4.5}"#
+        );
+    }
+
+    #[test]
+    fn to_json_saturating_samples_stay_valid_json() {
+        // Samples at the extremes of f64 overflow the Welford delta to
+        // a non-finite intermediate; Json::num must degrade non-finite
+        // values to strings so the document still parses.
+        let mut s = Summary::new();
+        s.record(f64::MAX);
+        s.record(f64::MIN);
+        let doc = s.to_json();
+        assert!(crate::Json::parse(&doc.to_string()).is_ok());
+        assert_eq!(doc.get("count").and_then(crate::Json::as_num), Some(2.0));
+    }
+
+    #[test]
     fn display_shows_mean_and_spread() {
         let s: Summary = [1.0, 3.0].into_iter().collect();
         assert_eq!(s.to_string(), "2.000 ± 1.414 (n=2)");

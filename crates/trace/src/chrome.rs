@@ -1,0 +1,330 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! The trace maps onto two synthetic processes:
+//!
+//! * **pid 1 "engine"** — wall-clock rows: one complete (`"X"`) slice
+//!   per engine job on its worker's row (tid = worker + 1), plus one
+//!   slice per experiment on tid 0. Timestamps are µs since the trace
+//!   session started.
+//! * **pid 2 "simulator"** — simulation-time rows where 1 µs renders
+//!   one cycle: instant (`"i"`) events for RAS / branch / squash /
+//!   cache activity keyed by path (tid = path), and counter (`"C"`)
+//!   tracks for stage occupancy.
+//!
+//! The two timebases (wall µs vs cycles) share one trace but live in
+//! separate processes, so Perfetto keeps them visually apart.
+
+use crate::event::TraceEvent;
+use crate::session::Trace;
+use hydra_stats::Json;
+
+const PID_ENGINE: u64 = 1;
+const PID_SIM: u64 = 2;
+
+fn meta(name: &str, pid: u64) -> Json {
+    Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::int(pid)),
+        ("tid", Json::int(0)),
+        ("args", Json::obj([("name", Json::str(name))])),
+    ])
+}
+
+fn complete(name: &str, tid: u64, start_us: u64, dur_us: u64, args: Json) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str("engine")),
+        ("ph", Json::str("X")),
+        ("ts", Json::int(start_us)),
+        ("dur", Json::int(dur_us.max(1))),
+        ("pid", Json::int(PID_ENGINE)),
+        ("tid", Json::int(tid)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: &str, cat: &str, cycle: u64, tid: u64, args: Json) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("i")),
+        ("ts", Json::int(cycle)),
+        ("pid", Json::int(PID_SIM)),
+        ("tid", Json::int(tid)),
+        ("s", Json::str("t")),
+        ("args", args),
+    ])
+}
+
+/// Converts a trace to a Chrome trace-event document:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {..}}`.
+pub fn chrome_trace(trace: &Trace) -> Json {
+    let mut events = vec![
+        meta("engine (wall clock)", PID_ENGINE),
+        meta("simulator (1us = 1 cycle)", PID_SIM),
+    ];
+    for rec in &trace.events {
+        let ev = &rec.event;
+        let out = match ev {
+            TraceEvent::JobSpan {
+                job,
+                worker,
+                label,
+                start_us,
+                dur_us,
+            } => complete(
+                label,
+                worker + 1,
+                *start_us,
+                *dur_us,
+                Json::obj([("job", Json::int(*job))]),
+            ),
+            TraceEvent::ExptSpan {
+                label,
+                start_us,
+                dur_us,
+            } => complete(label, 0, *start_us, *dur_us, Json::obj::<String>([])),
+            TraceEvent::StageSample {
+                cycle,
+                ruu,
+                lsq,
+                fetch_queue,
+                live_paths,
+            } => Json::obj([
+                ("name", Json::str("occupancy")),
+                ("ph", Json::str("C")),
+                ("ts", Json::int(*cycle)),
+                ("pid", Json::int(PID_SIM)),
+                ("tid", Json::int(0)),
+                (
+                    "args",
+                    Json::obj([
+                        ("ruu", Json::int(*ruu)),
+                        ("lsq", Json::int(*lsq)),
+                        ("fetch_queue", Json::int(*fetch_queue)),
+                        ("live_paths", Json::int(*live_paths)),
+                    ]),
+                ),
+            ]),
+            TraceEvent::RasPush {
+                cycle,
+                path,
+                addr,
+                overflow,
+            } => instant(
+                if *overflow {
+                    "ras_push(overflow)"
+                } else {
+                    "ras_push"
+                },
+                "ras",
+                *cycle,
+                *path,
+                Json::obj([("addr", Json::Str(format!("{addr:#x}")))]),
+            ),
+            TraceEvent::RasPop {
+                cycle,
+                path,
+                addr,
+                valid,
+                underflow,
+            } => instant(
+                if *underflow {
+                    "ras_pop(underflow)"
+                } else {
+                    "ras_pop"
+                },
+                "ras",
+                *cycle,
+                *path,
+                Json::obj([
+                    ("addr", Json::Str(format!("{addr:#x}"))),
+                    ("valid", Json::Bool(*valid)),
+                ]),
+            ),
+            TraceEvent::RasSave {
+                cycle,
+                path,
+                policy,
+                words,
+            } => instant(
+                "ras_save",
+                "ras",
+                *cycle,
+                *path,
+                Json::obj([("policy", Json::str(*policy)), ("words", Json::int(*words))]),
+            ),
+            TraceEvent::RasRepair {
+                cycle,
+                path,
+                policy,
+            } => instant(
+                "ras_repair",
+                "ras",
+                *cycle,
+                *path,
+                Json::obj([("policy", Json::str(*policy))]),
+            ),
+            TraceEvent::RasFork {
+                cycle,
+                parent,
+                child,
+            } => instant(
+                "ras_fork",
+                "ras",
+                *cycle,
+                *parent,
+                Json::obj([("child", Json::int(*child))]),
+            ),
+            TraceEvent::BranchResolve {
+                cycle,
+                path,
+                pc,
+                mispredict,
+            } => instant(
+                if *mispredict { "mispredict" } else { "branch" },
+                "branch",
+                *cycle,
+                *path,
+                Json::obj([("pc", Json::Str(format!("{pc:#x}")))]),
+            ),
+            TraceEvent::Squash { cycle, path, uops } => instant(
+                "squash",
+                "squash",
+                *cycle,
+                *path,
+                Json::obj([("uops", Json::int(*uops))]),
+            ),
+            TraceEvent::CacheAccess {
+                cycle,
+                cache,
+                addr,
+                hit,
+            } => instant(
+                if *hit { "hit" } else { "miss" },
+                cache,
+                *cycle,
+                CACHE_ROW,
+                Json::obj([("addr", Json::Str(format!("{addr:#x}")))]),
+            ),
+        };
+        events.push(out);
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("tool", Json::str("hydra-trace")),
+                ("dropped_events", Json::int(trace.dropped)),
+            ]),
+        ),
+    ])
+}
+
+// Cache events render on their own sim-process row, away from the
+// per-path RAS rows (paths are small integers).
+const CACHE_ROW: u64 = 1_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SeqEvent;
+
+    fn trace_of(events: Vec<TraceEvent>) -> Trace {
+        Trace {
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| SeqEvent {
+                    seq: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 7,
+        }
+    }
+
+    #[test]
+    fn produces_parseable_trace_event_document() {
+        let trace = trace_of(vec![
+            TraceEvent::JobSpan {
+                job: 0,
+                worker: 2,
+                label: "gcc/tos+contents".into(),
+                start_us: 100,
+                dur_us: 900,
+            },
+            TraceEvent::ExptSpan {
+                label: "fig-repair".into(),
+                start_us: 0,
+                dur_us: 1500,
+            },
+            TraceEvent::RasPush {
+                cycle: 10,
+                path: 0,
+                addr: 0x40,
+                overflow: false,
+            },
+            TraceEvent::RasRepair {
+                cycle: 20,
+                path: 0,
+                policy: "tos+contents",
+            },
+            TraceEvent::StageSample {
+                cycle: 10,
+                ruu: 5,
+                lsq: 2,
+                fetch_queue: 3,
+                live_paths: 1,
+            },
+            TraceEvent::CacheAccess {
+                cycle: 11,
+                cache: "l1i",
+                addr: 0x80,
+                hit: true,
+            },
+        ]);
+        let doc = chrome_trace(&trace);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("chrome export is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("top-level traceEvents array");
+        // 2 process-name metadata + 6 payload events.
+        assert_eq!(events.len(), 8);
+        // Every event carries the required ph/pid/ts-or-M shape.
+        for ev in events {
+            assert!(ev.get("ph").and_then(Json::as_str).is_some());
+            assert!(ev.get("pid").and_then(Json::as_num).is_some());
+        }
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_num),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn job_spans_land_on_engine_process_rows() {
+        let trace = trace_of(vec![TraceEvent::JobSpan {
+            job: 3,
+            worker: 1,
+            label: "perl/none".into(),
+            start_us: 5,
+            dur_us: 0, // zero-length spans are widened to render
+        }]);
+        let doc = chrome_trace(&trace);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let span = &events[2];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("pid").and_then(Json::as_num), Some(1.0));
+        assert_eq!(span.get("tid").and_then(Json::as_num), Some(2.0));
+        assert_eq!(span.get("dur").and_then(Json::as_num), Some(1.0));
+    }
+}

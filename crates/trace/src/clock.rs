@@ -1,0 +1,55 @@
+//! Thread-local simulation clock for event timestamps.
+//!
+//! The structures that emit RAS events (`ReturnAddressStack` in
+//! `ras-core`) are pure data structures with no notion of time, while
+//! the pipeline driving them knows the current cycle and path. Rather
+//! than threading a cycle argument through every push/pop signature —
+//! which would perturb the public API for a pure observability concern
+//! — the driver publishes the cycle/path here ([`crate::trace_cycle!`],
+//! [`crate::trace_path!`]) and the leaf structures read it back when
+//! building events. Per-thread, so parallel engine jobs don't interleave
+//! clocks.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CYCLE: Cell<u64> = const { Cell::new(0) };
+    static PATH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Sets this thread's current simulation cycle.
+pub fn set_cycle(cycle: u64) {
+    CYCLE.with(|c| c.set(cycle));
+}
+
+/// This thread's current simulation cycle.
+pub fn cycle() -> u64 {
+    CYCLE.with(Cell::get)
+}
+
+/// Sets the execution path performing the current operation.
+pub fn set_path(path: u64) {
+    PATH.with(|p| p.set(path));
+}
+
+/// The execution path performing the current operation.
+pub fn path() -> u64 {
+    PATH.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_is_thread_local() {
+        super::set_cycle(41);
+        super::set_path(3);
+        assert_eq!(super::cycle(), 41);
+        assert_eq!(super::path(), 3);
+        std::thread::spawn(|| {
+            assert_eq!(super::cycle(), 0);
+            assert_eq!(super::path(), 0);
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,538 @@
+//! Typed trace events and the runtime class filter.
+
+use hydra_stats::Json;
+use std::fmt;
+
+/// One simulator event.
+///
+/// Variants mirror the structures the paper reasons about: RAS
+/// operations (push/pop, checkpoint save, repair, path fork), control
+/// flow (branch resolution, squash), pipeline stage occupancy, cache
+/// accesses, and engine-level job spans. Cycle-stamped variants carry
+/// *simulation* time (deterministic); span variants carry wall-clock
+/// microseconds relative to the session start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A (speculative) push of a predicted return address at fetch.
+    RasPush {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Execution path performing the push.
+        path: u64,
+        /// The return address pushed.
+        addr: u64,
+        /// The push overwrote a live entry (stack was full).
+        overflow: bool,
+    },
+    /// A (speculative) pop predicting a return target at fetch.
+    RasPop {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Execution path performing the pop.
+        path: u64,
+        /// The address read at TOS (the prediction when `valid`).
+        addr: u64,
+        /// The entry was valid (invalidated entries yield no prediction).
+        valid: bool,
+        /// The stack was architecturally empty (stale wrapped read).
+        underflow: bool,
+    },
+    /// A repair checkpoint taken at a speculation point.
+    RasSave {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Execution path taking the checkpoint.
+        path: u64,
+        /// Repair policy short name (e.g. `tos+contents`).
+        policy: &'static str,
+        /// Checkpoint storage cost in 64-bit words.
+        words: u64,
+    },
+    /// A repair applied from a checkpoint after a squash.
+    RasRepair {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Execution path whose checkpoint is restored.
+        path: u64,
+        /// Repair policy short name.
+        policy: &'static str,
+    },
+    /// A per-path stack forked for a new speculative path.
+    RasFork {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Parent path id.
+        parent: u64,
+        /// Child path id.
+        child: u64,
+    },
+    /// A conditional or indirect branch resolved at execute.
+    BranchResolve {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Path the branch belongs to.
+        path: u64,
+        /// Branch PC (word address).
+        pc: u64,
+        /// The prediction was wrong (triggers squash + RAS repair).
+        mispredict: bool,
+    },
+    /// Wrong-path work discarded after a misprediction.
+    Squash {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Path at the root of the squashed lineage.
+        path: u64,
+        /// In-flight uops thrown away.
+        uops: u64,
+    },
+    /// Pipeline structure occupancy, sampled once per cycle.
+    StageSample {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Reorder/issue window (RUU) occupancy.
+        ruu: u64,
+        /// Load/store queue occupancy.
+        lsq: u64,
+        /// Fetch queue occupancy.
+        fetch_queue: u64,
+        /// Live speculative paths.
+        live_paths: u64,
+    },
+    /// One cache access.
+    CacheAccess {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Cache short name (`l1i`, `l1d`).
+        cache: &'static str,
+        /// Accessed (word) address.
+        addr: u64,
+        /// Hit in the first level.
+        hit: bool,
+    },
+    /// One engine job's wall-clock span.
+    JobSpan {
+        /// Job index in submission order.
+        job: u64,
+        /// Worker thread that ran it.
+        worker: u64,
+        /// Job label (workload/config).
+        label: String,
+        /// Start, µs since session start.
+        start_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+    /// A whole experiment's wall-clock span.
+    ExptSpan {
+        /// Experiment name.
+        label: String,
+        /// Start, µs since session start.
+        start_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+}
+
+/// Coarse event families used by the runtime filter (`--trace-filter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// RAS push/pop/save/repair/fork.
+    Ras,
+    /// Branch resolution.
+    Branch,
+    /// Squashes.
+    Squash,
+    /// Per-cycle stage occupancy samples.
+    Stage,
+    /// Cache accesses.
+    Cache,
+    /// Engine job / experiment spans.
+    Engine,
+}
+
+impl EventClass {
+    const ALL: [EventClass; 6] = [
+        EventClass::Ras,
+        EventClass::Branch,
+        EventClass::Squash,
+        EventClass::Stage,
+        EventClass::Cache,
+        EventClass::Engine,
+    ];
+
+    fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// The `--trace-filter` keyword for this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Ras => "ras",
+            EventClass::Branch => "branch",
+            EventClass::Squash => "squash",
+            EventClass::Stage => "stage",
+            EventClass::Cache => "cache",
+            EventClass::Engine => "engine",
+        }
+    }
+}
+
+/// A set of [`EventClass`]es, parsed from a comma-separated keyword
+/// list (`ras,branch` — or `all` / `none`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// Every class enabled.
+    pub fn all() -> Self {
+        EventMask(EventClass::ALL.iter().map(|c| c.bit()).sum())
+    }
+
+    /// No class enabled.
+    pub fn none() -> Self {
+        EventMask(0)
+    }
+
+    /// Parses a comma-separated class list. Empty / `all` means
+    /// everything; unknown keywords are reported back as errors.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "all" {
+            return Ok(EventMask::all());
+        }
+        if spec == "none" {
+            return Ok(EventMask::none());
+        }
+        let mut mask = EventMask::none();
+        for word in spec.split(',') {
+            let word = word.trim();
+            match EventClass::ALL.iter().find(|c| c.name() == word) {
+                Some(c) => mask.0 |= c.bit(),
+                None => {
+                    return Err(format!(
+                        "unknown event class `{word}` (expected one of: {}, all, none)",
+                        EventClass::ALL.map(EventClass::name).join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(mask)
+    }
+
+    /// Whether `class` is enabled.
+    pub fn contains(self, class: EventClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+}
+
+impl Default for EventMask {
+    fn default() -> Self {
+        EventMask::all()
+    }
+}
+
+impl fmt::Display for EventMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == EventMask::all() {
+            return write!(f, "all");
+        }
+        let names: Vec<_> = EventClass::ALL
+            .iter()
+            .filter(|c| self.contains(**c))
+            .map(|c| c.name())
+            .collect();
+        if names.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", names.join(","))
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The event's filter class.
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::RasPush { .. }
+            | TraceEvent::RasPop { .. }
+            | TraceEvent::RasSave { .. }
+            | TraceEvent::RasRepair { .. }
+            | TraceEvent::RasFork { .. } => EventClass::Ras,
+            TraceEvent::BranchResolve { .. } => EventClass::Branch,
+            TraceEvent::Squash { .. } => EventClass::Squash,
+            TraceEvent::StageSample { .. } => EventClass::Stage,
+            TraceEvent::CacheAccess { .. } => EventClass::Cache,
+            TraceEvent::JobSpan { .. } | TraceEvent::ExptSpan { .. } => EventClass::Engine,
+        }
+    }
+
+    /// High-rate classes the sampling filter may thin out. Everything
+    /// else (RAS, branch, squash, spans) is recorded exactly so repair
+    /// sequences stay complete.
+    pub fn samplable(&self) -> bool {
+        matches!(self.class(), EventClass::Stage | EventClass::Cache)
+    }
+
+    /// The `kind` tag used by the JSON exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RasPush { .. } => "ras_push",
+            TraceEvent::RasPop { .. } => "ras_pop",
+            TraceEvent::RasSave { .. } => "ras_save",
+            TraceEvent::RasRepair { .. } => "ras_repair",
+            TraceEvent::RasFork { .. } => "ras_fork",
+            TraceEvent::BranchResolve { .. } => "branch_resolve",
+            TraceEvent::Squash { .. } => "squash",
+            TraceEvent::StageSample { .. } => "stage_sample",
+            TraceEvent::CacheAccess { .. } => "cache_access",
+            TraceEvent::JobSpan { .. } => "job_span",
+            TraceEvent::ExptSpan { .. } => "expt_span",
+        }
+    }
+
+    /// Simulation cycle for cycle-stamped events (`None` for spans).
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            TraceEvent::RasPush { cycle, .. }
+            | TraceEvent::RasPop { cycle, .. }
+            | TraceEvent::RasSave { cycle, .. }
+            | TraceEvent::RasRepair { cycle, .. }
+            | TraceEvent::RasFork { cycle, .. }
+            | TraceEvent::BranchResolve { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::StageSample { cycle, .. }
+            | TraceEvent::CacheAccess { cycle, .. } => Some(*cycle),
+            TraceEvent::JobSpan { .. } | TraceEvent::ExptSpan { .. } => None,
+        }
+    }
+
+    /// The event as a JSON object with a `kind` tag and stable field
+    /// names, built on the `hydra_stats` document model.
+    pub fn to_json(&self) -> Json {
+        let hex = |v: u64| Json::Str(format!("{v:#x}"));
+        match self {
+            TraceEvent::RasPush {
+                cycle,
+                path,
+                addr,
+                overflow,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("addr", hex(*addr)),
+                ("overflow", Json::Bool(*overflow)),
+            ]),
+            TraceEvent::RasPop {
+                cycle,
+                path,
+                addr,
+                valid,
+                underflow,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("addr", hex(*addr)),
+                ("valid", Json::Bool(*valid)),
+                ("underflow", Json::Bool(*underflow)),
+            ]),
+            TraceEvent::RasSave {
+                cycle,
+                path,
+                policy,
+                words,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("policy", Json::Str((*policy).into())),
+                ("words", Json::int(*words)),
+            ]),
+            TraceEvent::RasRepair {
+                cycle,
+                path,
+                policy,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("policy", Json::Str((*policy).into())),
+            ]),
+            TraceEvent::RasFork {
+                cycle,
+                parent,
+                child,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("parent", Json::int(*parent)),
+                ("child", Json::int(*child)),
+            ]),
+            TraceEvent::BranchResolve {
+                cycle,
+                path,
+                pc,
+                mispredict,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("pc", hex(*pc)),
+                ("mispredict", Json::Bool(*mispredict)),
+            ]),
+            TraceEvent::Squash { cycle, path, uops } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("path", Json::int(*path)),
+                ("uops", Json::int(*uops)),
+            ]),
+            TraceEvent::StageSample {
+                cycle,
+                ruu,
+                lsq,
+                fetch_queue,
+                live_paths,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("ruu", Json::int(*ruu)),
+                ("lsq", Json::int(*lsq)),
+                ("fetch_queue", Json::int(*fetch_queue)),
+                ("live_paths", Json::int(*live_paths)),
+            ]),
+            TraceEvent::CacheAccess {
+                cycle,
+                cache,
+                addr,
+                hit,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("cache", Json::Str((*cache).into())),
+                ("addr", hex(*addr)),
+                ("hit", Json::Bool(*hit)),
+            ]),
+            TraceEvent::JobSpan {
+                job,
+                worker,
+                label,
+                start_us,
+                dur_us,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("job", Json::int(*job)),
+                ("worker", Json::int(*worker)),
+                ("label", Json::Str(label.clone())),
+                ("start_us", Json::int(*start_us)),
+                ("dur_us", Json::int(*dur_us)),
+            ]),
+            TraceEvent::ExptSpan {
+                label,
+                start_us,
+                dur_us,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("label", Json::Str(label.clone())),
+                ("start_us", Json::int(*start_us)),
+                ("dur_us", Json::int(*dur_us)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_parses_keyword_lists() {
+        let m = EventMask::parse("ras,branch").unwrap();
+        assert!(m.contains(EventClass::Ras));
+        assert!(m.contains(EventClass::Branch));
+        assert!(!m.contains(EventClass::Stage));
+        assert_eq!(m.to_string(), "ras,branch");
+    }
+
+    #[test]
+    fn mask_parses_all_none_empty() {
+        assert_eq!(EventMask::parse("").unwrap(), EventMask::all());
+        assert_eq!(EventMask::parse("all").unwrap(), EventMask::all());
+        assert_eq!(EventMask::parse("none").unwrap(), EventMask::none());
+        assert_eq!(EventMask::all().to_string(), "all");
+        assert_eq!(EventMask::none().to_string(), "none");
+    }
+
+    #[test]
+    fn mask_rejects_unknown_keywords() {
+        let err = EventMask::parse("ras,bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn classes_and_sampling() {
+        let push = TraceEvent::RasPush {
+            cycle: 1,
+            path: 0,
+            addr: 0x10,
+            overflow: false,
+        };
+        assert_eq!(push.class(), EventClass::Ras);
+        assert!(!push.samplable());
+        let sample = TraceEvent::StageSample {
+            cycle: 1,
+            ruu: 4,
+            lsq: 2,
+            fetch_queue: 8,
+            live_paths: 1,
+        };
+        assert!(sample.samplable());
+        assert_eq!(sample.cycle(), Some(1));
+        let span = TraceEvent::JobSpan {
+            job: 0,
+            worker: 0,
+            label: "x".into(),
+            start_us: 0,
+            dur_us: 5,
+        };
+        assert_eq!(span.class(), EventClass::Engine);
+        assert_eq!(span.cycle(), None);
+    }
+
+    #[test]
+    fn event_json_round_trips_through_parser() {
+        let events = [
+            TraceEvent::RasPush {
+                cycle: 3,
+                path: 1,
+                addr: 0xabc,
+                overflow: true,
+            },
+            TraceEvent::RasRepair {
+                cycle: 9,
+                path: 0,
+                policy: "tos+contents",
+            },
+            TraceEvent::BranchResolve {
+                cycle: 7,
+                path: 0,
+                pc: 0x40,
+                mispredict: true,
+            },
+            TraceEvent::ExptSpan {
+                label: "fig-repair".into(),
+                start_us: 10,
+                dur_us: 250,
+            },
+        ];
+        for ev in events {
+            let text = ev.to_json().to_string();
+            let parsed = hydra_stats::Json::parse(&text).expect("exporter emits valid JSON");
+            assert_eq!(
+                parsed.get("kind").and_then(hydra_stats::Json::as_str),
+                Some(ev.kind())
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Event tracing, metrics, and profiling for the hydrascalar simulator.
+//!
+//! The simulator's hot paths (the per-cycle pipeline loop, the RAS
+//! push/pop path) must stay measurable without paying for measurement
+//! when nobody is looking. This crate provides three layers:
+//!
+//! 1. **Typed trace events** ([`TraceEvent`]) recorded through the
+//!    [`trace_event!`] macro into per-thread buffers that drain into a
+//!    global drop-oldest ring ([`session`]). Recording is gated twice:
+//!    at compile time by the `trace` cargo feature (off by default —
+//!    every call site expands to a never-called closure, so the
+//!    instrumented code still type-checks but generates nothing), and
+//!    at runtime by an active [`session::TraceSession`] (one relaxed
+//!    atomic load when compiled in but idle).
+//! 2. **A metrics registry** ([`metrics`]) of named counters, gauges,
+//!    and histograms built on [`hydra_stats`], always compiled, for
+//!    coarse profiling (`expt --profile`).
+//! 3. **Exporters**: Chrome trace-event JSON for Perfetto /
+//!    `chrome://tracing` ([`chrome`]), newline-delimited JSON
+//!    ([`ndjson`]), and a human-readable RAS timeline ([`timeline`]).
+//!
+//! A small leveled stderr logger ([`log`]) rides along so binaries can
+//! share one `-v`/`-q` implementation; it is independent of the `trace`
+//! feature and never writes to stdout.
+//!
+//! # Zero-cost discipline
+//!
+//! Golden experiment outputs are byte-compared in CI, so tracing must
+//! never perturb simulation results. Events only *observe* (they are
+//! built from values the simulator already computed), and with the
+//! feature off the macros compile to nothing. Call sites should name
+//! types fully-qualified inside the macro invocation (for example
+//! `hydra_trace::TraceEvent::RasPush { .. }`) so no `use` import goes
+//! unused in a default build.
+//!
+//! # Example
+//!
+//! ```
+//! use hydra_trace::session;
+//!
+//! let sess = session::TraceSession::start(session::TraceConfig::default());
+//! hydra_trace::trace_cycle!(42);
+//! hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
+//!     cycle: hydra_trace::clock::cycle(),
+//!     path: hydra_trace::clock::path(),
+//!     addr: 0x1234,
+//!     overflow: false,
+//! });
+//! if let Ok(sess) = sess {
+//!     let trace = sess.finish();
+//!     // With the `trace` feature enabled this contains the push.
+//!     assert_eq!(trace.events.len(), usize::from(hydra_trace::COMPILED));
+//! }
+//! ```
+
+pub mod chrome;
+pub mod clock;
+pub mod event;
+pub mod log;
+pub mod metrics;
+pub mod ndjson;
+pub mod ring;
+pub mod session;
+pub mod timeline;
+
+pub use event::{EventClass, EventMask, TraceEvent};
+pub use session::{SeqEvent, Trace, TraceConfig, TraceSession};
+
+/// Whether the event-recording hot path was compiled in (`trace` cargo
+/// feature). Binaries use this to fail fast when `--trace` is requested
+/// from a default build instead of silently writing empty artifacts.
+pub const COMPILED: bool = cfg!(feature = "trace");
+
+/// Records one [`TraceEvent`].
+///
+/// The argument is evaluated only when the `trace` feature is enabled
+/// *and* a session is active; otherwise the call compiles to a
+/// never-invoked closure (feature off) or a single relaxed atomic load
+/// (feature on, no session).
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_event {
+    ($ev:expr) => {
+        $crate::session::emit(|| $ev)
+    };
+}
+
+/// Records one [`TraceEvent`] (disabled build: compiles to nothing).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_event {
+    ($ev:expr) => {
+        // Keep the expression type-checked and its locals "used" without
+        // generating code: a closure that is never called.
+        {
+            let _ = || $ev;
+        }
+    };
+}
+
+/// Publishes the current simulation cycle to this thread's trace clock
+/// so events recorded deeper in the call tree can timestamp themselves.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_cycle {
+    ($cycle:expr) => {
+        $crate::clock::set_cycle($cycle)
+    };
+}
+
+/// Publishes the current simulation cycle (disabled build: no-op).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_cycle {
+    ($cycle:expr) => {{
+        let _ = || -> u64 { $cycle };
+    }};
+}
+
+/// Publishes the execution-path id performing the current operation to
+/// this thread's trace clock (multipath simulation).
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_path {
+    ($path:expr) => {
+        $crate::clock::set_path($path)
+    };
+}
+
+/// Publishes the execution-path id (disabled build: no-op).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_path {
+    ($path:expr) => {{
+        let _ = || -> u64 { $path };
+    }};
+}

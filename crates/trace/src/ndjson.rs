@@ -1,0 +1,75 @@
+//! Newline-delimited JSON event stream export.
+//!
+//! One event per line, each a self-contained object with a `kind` tag
+//! and a leading `seq` — the format for feeding traces to line-oriented
+//! tools (`grep ras_repair`, `jq`-style processors) without loading the
+//! whole document. A final `{"kind":"trace_end", ...}` line carries the
+//! stream totals so truncated files are detectable.
+
+use crate::session::Trace;
+use hydra_stats::Json;
+use std::io::{self, Write};
+
+/// Writes `trace` as NDJSON.
+pub fn write_ndjson<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    for rec in &trace.events {
+        let mut doc = rec.event.to_json();
+        if let Json::Obj(members) = &mut doc {
+            members.insert(0, ("seq".to_string(), Json::int(rec.seq)));
+        }
+        writeln!(w, "{doc}")?;
+    }
+    let end = Json::obj([
+        ("kind", Json::str("trace_end")),
+        ("events", Json::int(trace.events.len() as u64)),
+        ("dropped", Json::int(trace.dropped)),
+    ]);
+    writeln!(w, "{end}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SeqEvent;
+    use crate::TraceEvent;
+
+    #[test]
+    fn one_valid_json_object_per_line() {
+        let trace = Trace {
+            events: vec![
+                SeqEvent {
+                    seq: 0,
+                    event: TraceEvent::RasPush {
+                        cycle: 1,
+                        path: 0,
+                        addr: 0x44,
+                        overflow: false,
+                    },
+                },
+                SeqEvent {
+                    seq: 1,
+                    event: TraceEvent::RasRepair {
+                        cycle: 2,
+                        path: 0,
+                        policy: "full",
+                    },
+                },
+            ],
+            dropped: 0,
+        };
+        let mut out = Vec::new();
+        write_ndjson(&trace, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(Json::parse(line).is_ok(), "bad line: {line}");
+        }
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("seq").and_then(Json::as_num), Some(0.0));
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("ras_push"));
+        let end = Json::parse(lines[2]).unwrap();
+        assert_eq!(end.get("kind").and_then(Json::as_str), Some("trace_end"));
+        assert_eq!(end.get("events").and_then(Json::as_num), Some(2.0));
+    }
+}

@@ -1,0 +1,97 @@
+//! The bounded drop-oldest event store behind a trace session.
+
+use crate::session::SeqEvent;
+use std::collections::VecDeque;
+
+/// A bounded event buffer that drops its *oldest* events when full, so
+/// a long run always keeps the most recent window — the part that shows
+/// what led up to the end of the run — and a runaway trace can never
+/// exhaust memory. The number of dropped events is reported in every
+/// export so truncation is never silent.
+#[derive(Debug)]
+pub struct Ring {
+    cap: usize,
+    buf: VecDeque<SeqEvent>,
+    dropped: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Ring {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a batch, evicting oldest events beyond capacity.
+    pub fn push_chunk(&mut self, chunk: impl IntoIterator<Item = SeqEvent>) {
+        for ev in chunk {
+            if self.buf.len() == self.cap {
+                self.buf.pop_front();
+                self.dropped += 1;
+            }
+            self.buf.push_back(ev);
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Takes all held events, leaving the ring empty.
+    pub fn drain(&mut self) -> Vec<SeqEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn ev(seq: u64) -> SeqEvent {
+        SeqEvent {
+            seq,
+            event: TraceEvent::Squash {
+                cycle: seq,
+                path: 0,
+                uops: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = Ring::new(3);
+        r.push_chunk((0..5).map(ev));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<_> = r.drain().into_iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(r.is_empty());
+        // Dropped count survives a drain.
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = Ring::new(0);
+        r.push_chunk([ev(1), ev(2)]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.drain()[0].seq, 2);
+    }
+}

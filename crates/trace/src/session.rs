@@ -1,0 +1,443 @@
+//! The global trace session: per-thread buffers draining into one ring.
+//!
+//! Recording is designed around the simulator's threading model (a
+//! scoped worker pool per engine run): each thread buffers events
+//! locally and flushes fixed-size chunks into the session's shared
+//! [`Ring`] under a mutex, so the per-event hot path touches no locks.
+//! A global sequence counter stamps every event so the merged trace has
+//! a total order; per-thread order is preserved by construction.
+//!
+//! Sessions are process-global (one at a time). A generation counter
+//! (epoch) invalidates thread-local buffers left over from a previous
+//! session so back-to-back sessions in one process never mix events.
+
+use crate::event::{EventMask, TraceEvent};
+use crate::ring::Ring;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Events buffered per thread before a flush into the shared ring.
+const CHUNK: usize = 256;
+
+/// One recorded event with its global sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqEvent {
+    /// Global record order (total order across threads).
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A finished session's events, sorted by sequence number.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Recorded events in global order.
+    pub events: Vec<SeqEvent>,
+    /// Events evicted by the ring (oldest-first) — nonzero means the
+    /// trace window was shorter than the run.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The trace as a Chrome trace-event JSON document (see
+    /// [`crate::chrome`]).
+    pub fn to_chrome_json(&self) -> hydra_stats::Json {
+        crate::chrome::chrome_trace(self)
+    }
+
+    /// Writes the trace as newline-delimited JSON (see
+    /// [`crate::ndjson`]).
+    pub fn write_ndjson<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        crate::ndjson::write_ndjson(self, w)
+    }
+
+    /// The human-readable RAS timeline (see [`crate::timeline`]).
+    pub fn ras_timeline(&self) -> String {
+        crate::timeline::ras_timeline(self)
+    }
+}
+
+/// Runtime configuration for a session.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Event classes to record.
+    pub mask: EventMask,
+    /// Keep one in `sample` of the high-rate samplable events
+    /// (stage-occupancy and cache events); `1` keeps everything.
+    /// Low-rate classes (RAS, branch, squash, spans) are never thinned.
+    pub sample: u32,
+    /// Ring capacity in events; oldest events are dropped beyond this.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mask: EventMask::all(),
+            sample: 1,
+            capacity: 1 << 20,
+        }
+    }
+}
+
+/// Why a session could not start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The binary was built without the `trace` cargo feature.
+    NotCompiled,
+    /// Another session is already active in this process.
+    Active,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NotCompiled => write!(
+                f,
+                "tracing not compiled in; rebuild with `--features trace`"
+            ),
+            TraceError::Active => write!(f, "a trace session is already active"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+struct Shared {
+    epoch: u64,
+    mask: EventMask,
+    sample: u32,
+    seq: AtomicU64,
+    start: Instant,
+    ring: Mutex<Ring>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static SHARED: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
+
+struct Local {
+    shared: Arc<Shared>,
+    buf: Vec<SeqEvent>,
+    // Per-thread sampling tick; deterministic for single-worker runs.
+    tick: u64,
+}
+
+impl Local {
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            let chunk = std::mem::take(&mut self.buf);
+            self.shared.ring.lock().unwrap().push_chunk(chunk);
+        }
+    }
+}
+
+impl Drop for Local {
+    // Backstop only: TLS destructors may run *after* a joiner has
+    // already observed the thread as finished, so threads that must
+    // not lose tail events call [`flush_thread`] explicitly.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+/// Records one event if a session is active. The event is only built
+/// (the closure only runs) past the enabled check, so idle cost is one
+/// relaxed atomic load. Called via [`crate::trace_event!`].
+pub fn emit(build: impl FnOnce() -> TraceEvent) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    // try_with: never panic if a TLS destructor is running on thread exit.
+    let _ = LOCAL.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let epoch = EPOCH.load(Ordering::Acquire);
+        let stale = match slot.as_ref() {
+            Some(local) => local.shared.epoch != epoch,
+            None => true,
+        };
+        if stale {
+            // Flushing a previous session's leftovers happens in Drop;
+            // its ring is unreachable by then, so they vanish with it.
+            *slot = None;
+            let shared = SHARED.lock().unwrap().clone();
+            let Some(shared) = shared else { return };
+            if shared.epoch != epoch {
+                return; // session changed between the two loads
+            }
+            *slot = Some(Local {
+                shared,
+                buf: Vec::with_capacity(CHUNK),
+                tick: 0,
+            });
+        }
+        let local = slot.as_mut().expect("initialized above");
+        let event = build();
+        if !local.shared.mask.contains(event.class()) {
+            return;
+        }
+        if event.samplable() && local.shared.sample > 1 {
+            let keep = local.tick % u64::from(local.shared.sample) == 0;
+            local.tick += 1;
+            if !keep {
+                return;
+            }
+        }
+        let seq = local.shared.seq.fetch_add(1, Ordering::Relaxed);
+        local.buf.push(SeqEvent { seq, event });
+        if local.buf.len() >= CHUNK {
+            local.flush();
+        }
+    });
+}
+
+/// Flushes this thread's buffered events into the session ring.
+///
+/// Worker threads should call this right before exiting: the TLS
+/// destructor also flushes, but a joiner (`std::thread::scope`) can
+/// observe thread completion before TLS destructors have run, so an
+/// explicit flush is the only ordering guarantee. Cheap no-op when
+/// nothing is buffered.
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|cell| *cell.borrow_mut() = None);
+}
+
+/// Whether a session is currently recording.
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the active session started (0 when idle). Used
+/// to timestamp wall-clock spans; coarse enough that the mutex here is
+/// fine (it is taken per *job*, not per event).
+pub fn now_us() -> u64 {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return 0;
+    }
+    SHARED
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map_or(0, |s| s.start.elapsed().as_micros() as u64)
+}
+
+/// An active recording session. Obtain with [`TraceSession::start`],
+/// collect with [`TraceSession::finish`]. Dropping without `finish`
+/// tears the session down and discards its events.
+#[derive(Debug)]
+pub struct TraceSession {
+    finished: bool,
+}
+
+impl TraceSession {
+    /// Starts the process-wide session.
+    pub fn start(config: TraceConfig) -> Result<TraceSession, TraceError> {
+        if !crate::COMPILED {
+            return Err(TraceError::NotCompiled);
+        }
+        let mut guard = SHARED.lock().unwrap();
+        if guard.is_some() {
+            return Err(TraceError::Active);
+        }
+        let epoch = EPOCH.fetch_add(1, Ordering::AcqRel) + 1;
+        *guard = Some(Arc::new(Shared {
+            epoch,
+            mask: config.mask,
+            sample: config.sample.max(1),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+            ring: Mutex::new(Ring::new(config.capacity)),
+        }));
+        drop(guard);
+        ENABLED.store(true, Ordering::SeqCst);
+        Ok(TraceSession { finished: false })
+    }
+
+    /// Stops recording and returns the collected trace.
+    pub fn finish(mut self) -> Trace {
+        self.finished = true;
+        teardown()
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = teardown();
+        }
+    }
+}
+
+fn teardown() -> Trace {
+    ENABLED.store(false, Ordering::SeqCst);
+    // Invalidate thread-locals pointing at this session.
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    // Flush the calling thread (worker threads flushed when they exited).
+    let _ = LOCAL.try_with(|cell| *cell.borrow_mut() = None);
+    let shared = SHARED.lock().unwrap().take();
+    let Some(shared) = shared else {
+        return Trace::default();
+    };
+    let mut ring = shared.ring.lock().unwrap();
+    let dropped = ring.dropped();
+    let mut events = ring.drain();
+    events.sort_by_key(|e| e.seq);
+    Trace { events, dropped }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use crate::EventClass;
+
+    // Sessions are process-global; serialize the tests that use one.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn push(cycle: u64, addr: u64) -> TraceEvent {
+        TraceEvent::RasPush {
+            cycle,
+            path: 0,
+            addr,
+            overflow: false,
+        }
+    }
+
+    fn sample(cycle: u64) -> TraceEvent {
+        TraceEvent::StageSample {
+            cycle,
+            ruu: 1,
+            lsq: 1,
+            fetch_queue: 1,
+            live_paths: 1,
+        }
+    }
+
+    #[test]
+    fn collects_across_threads_in_total_order() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sess = TraceSession::start(TraceConfig::default()).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        emit(|| push(i, t * 1000 + i));
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        let trace = sess.finish();
+        assert_eq!(trace.events.len(), 1200);
+        assert_eq!(trace.dropped, 0);
+        // Sorted by seq, and seqs are unique.
+        for w in trace.events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn mask_and_sampling_filter() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sess = TraceSession::start(TraceConfig {
+            mask: EventMask::parse("ras,stage").unwrap(),
+            sample: 10,
+            capacity: 1 << 16,
+        })
+        .unwrap();
+        for i in 0..100u64 {
+            emit(|| push(i, i)); // ras: never sampled away
+            emit(|| sample(i)); // stage: 1 in 10 kept
+            emit(|| TraceEvent::Squash {
+                cycle: i,
+                path: 0,
+                uops: 1,
+            }); // masked out
+        }
+        let trace = sess.finish();
+        let count = |class: EventClass| {
+            trace
+                .events
+                .iter()
+                .filter(|e| e.event.class() == class)
+                .count()
+        };
+        assert_eq!(count(EventClass::Ras), 100);
+        assert_eq!(count(EventClass::Stage), 10);
+        assert_eq!(count(EventClass::Squash), 0);
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest_with_count() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sess = TraceSession::start(TraceConfig {
+            capacity: 500,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        for i in 0..2000u64 {
+            emit(|| push(i, i));
+        }
+        let trace = sess.finish();
+        assert_eq!(trace.events.len(), 500);
+        assert_eq!(trace.dropped, 1500);
+        // The newest window survived.
+        assert_eq!(trace.events.last().unwrap().seq, 1999);
+    }
+
+    #[test]
+    fn no_session_means_no_recording_and_sessions_do_not_leak() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        emit(|| push(0, 0xdead)); // no session: dropped at the atomic gate
+        let sess = TraceSession::start(TraceConfig::default()).unwrap();
+        assert!(active());
+        assert_eq!(
+            TraceSession::start(TraceConfig::default()).unwrap_err(),
+            TraceError::Active
+        );
+        emit(|| push(1, 0x1));
+        let first = sess.finish();
+        assert!(!active());
+        assert_eq!(first.events.len(), 1);
+
+        // A fresh session must not see the old thread-local buffer.
+        let sess = TraceSession::start(TraceConfig::default()).unwrap();
+        emit(|| push(2, 0x2));
+        let second = sess.finish();
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(
+            second.events[0].event,
+            push(2, 0x2),
+            "stale events must not cross sessions"
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_tears_it_down() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sess = TraceSession::start(TraceConfig::default()).unwrap();
+        drop(sess);
+        assert!(!active());
+        assert!(TraceSession::start(TraceConfig::default()).is_ok_and(|s| {
+            s.finish();
+            true
+        }));
+    }
+
+    #[test]
+    fn now_us_is_zero_when_idle_and_monotonic_when_active() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(now_us(), 0);
+        let sess = TraceSession::start(TraceConfig::default()).unwrap();
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+        sess.finish();
+    }
+}

@@ -1,0 +1,235 @@
+//! Human-readable RAS timeline dump.
+//!
+//! A chronological listing of RAS, branch, and squash events — the
+//! micro-level story the paper tells: checkpoints saved at branches,
+//! wrong-path pushes/pops corrupting the stack, the squash, and the
+//! repair putting it back. High-rate stage/cache samples are omitted.
+
+use crate::event::TraceEvent;
+use crate::session::Trace;
+use std::fmt::Write;
+
+/// Renders the RAS-relevant slice of `trace` as fixed-width text.
+pub fn ras_timeline(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut pushes = 0u64;
+    let mut pops = 0u64;
+    let mut overflows = 0u64;
+    let mut underflows = 0u64;
+    let mut saves = 0u64;
+    let mut repairs = 0u64;
+    let mut mispredicts = 0u64;
+    let _ = writeln!(out, "{:>10} {:>5} {:<24} detail", "cycle", "path", "event");
+    let _ = writeln!(out, "{:-<10} {:-<5} {:-<24} {:-<24}", "", "", "", "");
+    for rec in &trace.events {
+        let (cycle, path, name, detail) = match &rec.event {
+            TraceEvent::RasPush {
+                cycle,
+                path,
+                addr,
+                overflow,
+            } => {
+                pushes += 1;
+                overflows += u64::from(*overflow);
+                let name = if *overflow { "push OVERFLOW" } else { "push" };
+                (*cycle, *path, name.to_string(), format!("addr={addr:#x}"))
+            }
+            TraceEvent::RasPop {
+                cycle,
+                path,
+                addr,
+                valid,
+                underflow,
+            } => {
+                pops += 1;
+                underflows += u64::from(*underflow);
+                let name = match (*valid, *underflow) {
+                    (_, true) => "pop UNDERFLOW",
+                    (false, _) => "pop (invalidated)",
+                    _ => "pop",
+                };
+                (*cycle, *path, name.to_string(), format!("addr={addr:#x}"))
+            }
+            TraceEvent::RasSave {
+                cycle,
+                path,
+                policy,
+                words,
+            } => {
+                saves += 1;
+                (
+                    *cycle,
+                    *path,
+                    "save".to_string(),
+                    format!("policy={policy} words={words}"),
+                )
+            }
+            TraceEvent::RasRepair {
+                cycle,
+                path,
+                policy,
+            } => {
+                repairs += 1;
+                (
+                    *cycle,
+                    *path,
+                    "REPAIR".to_string(),
+                    format!("policy={policy}"),
+                )
+            }
+            TraceEvent::RasFork {
+                cycle,
+                parent,
+                child,
+            } => (
+                *cycle,
+                *parent,
+                "fork".to_string(),
+                format!("child={child}"),
+            ),
+            TraceEvent::BranchResolve {
+                cycle,
+                path,
+                pc,
+                mispredict,
+            } => {
+                if !mispredict {
+                    continue; // correct branches are noise at this zoom
+                }
+                mispredicts += 1;
+                (
+                    *cycle,
+                    *path,
+                    "MISPREDICT".to_string(),
+                    format!("pc={pc:#x}"),
+                )
+            }
+            TraceEvent::Squash { cycle, path, uops } => {
+                (*cycle, *path, "squash".to_string(), format!("uops={uops}"))
+            }
+            _ => continue,
+        };
+        let _ = writeln!(out, "{cycle:>10} {path:>5} {name:<24} {detail}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "events: {pushes} pushes ({overflows} overflows), {pops} pops \
+         ({underflows} underflows), {saves} saves, {mispredicts} mispredicts, \
+         {repairs} repairs"
+    );
+    if trace.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "note: ring dropped {} oldest events; this is the tail of the run",
+            trace.dropped
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SeqEvent;
+
+    #[test]
+    fn shows_corruption_and_repair_sequence() {
+        // The paper's core scenario: checkpoint at a branch, wrong-path
+        // pop+push corrupting the top entry, mispredict, squash, repair.
+        let script = vec![
+            TraceEvent::RasPush {
+                cycle: 1,
+                path: 0,
+                addr: 0x100,
+                overflow: false,
+            },
+            TraceEvent::RasSave {
+                cycle: 2,
+                path: 0,
+                policy: "tos+contents",
+                words: 2,
+            },
+            TraceEvent::RasPop {
+                cycle: 3,
+                path: 0,
+                addr: 0x100,
+                valid: true,
+                underflow: false,
+            },
+            TraceEvent::RasPush {
+                cycle: 4,
+                path: 0,
+                addr: 0xbad,
+                overflow: false,
+            },
+            TraceEvent::BranchResolve {
+                cycle: 9,
+                path: 0,
+                pc: 0x40,
+                mispredict: true,
+            },
+            TraceEvent::Squash {
+                cycle: 9,
+                path: 0,
+                uops: 12,
+            },
+            TraceEvent::RasRepair {
+                cycle: 9,
+                path: 0,
+                policy: "tos+contents",
+            },
+        ];
+        let trace = Trace {
+            events: script
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| SeqEvent {
+                    seq: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let text = ras_timeline(&trace);
+        let save_at = text.find("save").unwrap();
+        let bad_at = text.find("0xbad").unwrap();
+        let mis_at = text.find("MISPREDICT").unwrap();
+        let repair_at = text.find("REPAIR").unwrap();
+        assert!(save_at < bad_at && bad_at < mis_at && mis_at < repair_at);
+        assert!(text.contains("2 pushes"));
+        assert!(text.contains("1 repairs"));
+    }
+
+    #[test]
+    fn correct_branches_and_samples_are_filtered() {
+        let trace = Trace {
+            events: vec![
+                SeqEvent {
+                    seq: 0,
+                    event: TraceEvent::BranchResolve {
+                        cycle: 1,
+                        path: 0,
+                        pc: 0x10,
+                        mispredict: false,
+                    },
+                },
+                SeqEvent {
+                    seq: 1,
+                    event: TraceEvent::StageSample {
+                        cycle: 1,
+                        ruu: 1,
+                        lsq: 1,
+                        fetch_queue: 1,
+                        live_paths: 1,
+                    },
+                },
+            ],
+            dropped: 3,
+        };
+        let text = ras_timeline(&trace);
+        assert!(!text.contains("0x10"));
+        assert!(!text.contains("ruu"));
+        assert!(text.contains("dropped 3"));
+    }
+}

@@ -12,7 +12,9 @@
 //! ```
 
 use hydrascalar::ras::{MultipathStackPolicy, RepairPolicy};
+use hydrascalar::trace::{EventMask, TraceConfig, TraceSession};
 use hydrascalar::{Core, CoreConfig, DynamicProfile, ReturnPredictor, Workload, WorkloadSpec};
+use std::path::PathBuf;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +32,8 @@ struct Options {
     golden: bool,
     json: bool,
     list: bool,
+    trace: Option<PathBuf>,
+    trace_filter: EventMask,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +67,8 @@ impl Default for Options {
             golden: false,
             json: false,
             list: false,
+            trace: None,
+            trace_filter: EventMask::all(),
         }
     }
 }
@@ -88,6 +94,10 @@ OPTIONS:
     --profile                also print the workload's architectural profile
     --golden                 lockstep-check every commit against the interpreter
     --json                   report statistics as a JSON document (stable field names)
+    --trace FILE             write a Chrome trace of the run to FILE (plus FILE.ndjson
+                             and FILE.ras.txt); needs a build with the `trace` feature
+    --trace-filter KINDS     comma-separated event classes to record:
+                             ras,branch,squash,stage,cache,engine (default: all)
     --list-workloads         list available benchmarks and exit
     --help                   show this help
 ";
@@ -173,6 +183,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--profile" => o.profile = true,
             "--golden" => o.golden = true,
             "--json" => o.json = true,
+            "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
+            "--trace-filter" => o.trace_filter = EventMask::parse(&value("--trace-filter")?)?,
             "--list-workloads" => o.list = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
@@ -249,11 +261,29 @@ fn run(o: &Options) -> Result<(), String> {
     if o.golden {
         core.enable_golden_check();
     }
+    let session = match &o.trace {
+        Some(_) if !hydrascalar::trace::COMPILED => {
+            return Err("--trace requires the `trace` feature; rebuild with \
+                 `cargo build --release --features trace`"
+                .into());
+        }
+        Some(_) => Some(
+            TraceSession::start(TraceConfig {
+                mask: o.trace_filter,
+                ..TraceConfig::default()
+            })
+            .map_err(|e| format!("--trace: {e}"))?,
+        ),
+        None => None,
+    };
     let t0 = std::time::Instant::now();
     core.run(o.warmup);
     core.reset_stats();
     let stats = core.run(o.instructions);
     let elapsed = t0.elapsed();
+    if let (Some(session), Some(path)) = (session, &o.trace) {
+        write_trace(&session.finish(), path)?;
+    }
 
     if o.json {
         // Machine-readable report: the raw counters under their stable
@@ -320,6 +350,31 @@ fn run(o: &Options) -> Result<(), String> {
     println!(
         "simulation speed    : {:.0} commits/sec",
         stats.committed as f64 / elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Writes the Chrome trace at `path`, the NDJSON event stream at
+/// `path.ndjson`, and the RAS timeline at `path.ras.txt`.
+fn write_trace(trace: &hydrascalar::trace::Trace, path: &std::path::Path) -> Result<(), String> {
+    let write = |p: &std::path::Path, contents: String| {
+        std::fs::write(p, contents).map_err(|io| format!("writing {}: {io}", p.display()))
+    };
+    write(path, trace.to_chrome_json().to_string())?;
+    let mut buf = Vec::new();
+    trace
+        .write_ndjson(&mut buf)
+        .map_err(|io| format!("serialising event stream: {io}"))?;
+    write(
+        &path.with_extension("ndjson"),
+        String::from_utf8(buf).expect("ndjson output is UTF-8"),
+    )?;
+    write(&path.with_extension("ras.txt"), trace.ras_timeline())?;
+    eprintln!(
+        "trace: {} event(s), {} dropped -> {}",
+        trace.events.len(),
+        trace.dropped,
+        path.display()
     );
     Ok(())
 }
@@ -426,6 +481,15 @@ mod tests {
     fn flags_toggle() {
         let o = parse(&["--profile", "--golden", "--list-workloads"]).unwrap();
         assert!(o.profile && o.golden && o.list);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&["--trace", "out.json", "--trace-filter", "ras,branch"]).unwrap();
+        assert_eq!(o.trace, Some(PathBuf::from("out.json")));
+        assert!(o.trace_filter != EventMask::all());
+        assert!(parse(&["--trace-filter", "bogus"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   with wrong-path execution and multipath forking;
 //! * [`workloads`] (`hydra-workloads`) — the SPECint95-like synthetic
 //!   benchmark suite;
-//! * [`stats`] (`hydra-stats`) — counters and report tables.
+//! * [`stats`] (`hydra-stats`) — counters and report tables;
+//! * [`trace`] (`hydra-trace`) — zero-cost-when-off event tracing,
+//!   metrics, and the leveled stderr logger (enable recording with the
+//!   `trace` cargo feature).
 //!
 //! The most commonly used types are also re-exported at the crate root.
 //!
@@ -53,6 +56,7 @@ pub use hydra_isa as isa;
 pub use hydra_mem as mem;
 pub use hydra_pipeline as pipeline;
 pub use hydra_stats as stats;
+pub use hydra_trace as trace;
 pub use hydra_workloads as workloads;
 pub use ras_core as ras;
 
