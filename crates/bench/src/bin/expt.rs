@@ -10,6 +10,9 @@
 //! expt all --out results/          per-experiment JSON + BENCH_expt.json
 //! expt --check-golden              diff quick-mode runs against goldens/
 //! expt --check-golden table4 --goldens goldens
+//! expt perf                        pinned-suite MIPS + allocation rates
+//! expt perf --out results/         ... and write BENCH_perf.json
+//! expt perf --baseline goldens/perf_baseline.json   fail on >30% MIPS loss
 //! ```
 //!
 //! Results go to **stdout** and are byte-identical for any `--jobs`
@@ -20,26 +23,71 @@
 //! `HYDRA_EXPT_SEED` / `HYDRA_EXPT_FAST_FORWARD` / `HYDRA_EXPT_HORIZON`
 //! overrides) — except `--check-golden`, which always runs the quick
 //! spec the committed goldens were generated with.
+//!
+//! Every failure is a typed [`hydra_bench::Error`]; `main` is the single
+//! place errors are printed.
 
 use hydra_bench::golden::{check, DiffOptions};
 use hydra_bench::results::{sink_for, write_out_dir, Format};
-use hydra_bench::{find, registry, run_experiment, EngineReport, Experiment, RunSpec};
+use hydra_bench::{perf, registry, run_experiment, EngineReport, Error, Experiment, RunSpec};
 use hydra_trace::{EventMask, TraceConfig, TraceSession};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// A counting wrapper around the system allocator. The library side
+/// (`hydra_bench::perf`) forbids `unsafe`, so the binary installs the
+/// allocator and hands the perf harness a closure over the counter. One
+/// relaxed atomic increment per allocation: unmeasurable against a
+/// cycle-level simulator, and exactly the observable the perf report's
+/// allocs-per-kilocycle column needs.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 const USAGE: &str = "usage: expt --list\n\
        expt <name>... | all  [--jobs N] [--format table|json|csv] [--out DIR]\n\
                              [-v|-q] [--trace FILE] [--trace-filter KINDS] [--profile]\n\
        expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]\n\
+       expt perf [--out DIR] [--baseline FILE]\n\
        expt --validate-trace FILE";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
         Ok(code) => code,
-        Err(msg) => {
-            eprintln!("expt: {msg}");
-            eprintln!("{USAGE}");
+        Err(err) => {
+            eprintln!("expt: {err}");
+            if matches!(err, Error::Usage(_) | Error::UnknownExperiment(_)) {
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -52,6 +100,8 @@ struct Cli {
     out: Option<PathBuf>,
     check_golden: bool,
     goldens: PathBuf,
+    perf: bool,
+    baseline: Option<PathBuf>,
     names: Vec<String>,
     quiet: bool,
     verbose: bool,
@@ -61,7 +111,8 @@ struct Cli {
     validate_trace: Option<PathBuf>,
 }
 
-fn parse(args: &[String]) -> Result<Cli, String> {
+fn parse(args: &[String]) -> Result<Cli, Error> {
+    let usage = |msg: &str| Error::Usage(msg.to_string());
     let mut cli = Cli {
         list: false,
         jobs: None,
@@ -69,6 +120,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         out: None,
         check_golden: false,
         goldens: PathBuf::from("goldens"),
+        perf: false,
+        baseline: None,
         names: Vec::new(),
         quiet: false,
         verbose: false,
@@ -85,42 +138,49 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--verbose" | "-v" => cli.verbose = true,
             "--profile" => cli.profile = true,
             "--trace" => {
-                let v = it.next().ok_or("--trace needs an output file")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--trace needs an output file"))?;
                 cli.trace = Some(PathBuf::from(v));
             }
             "--trace-filter" => {
-                let v = it.next().ok_or("--trace-filter needs event kinds")?;
-                cli.trace_filter = EventMask::parse(v)?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--trace-filter needs event kinds"))?;
+                cli.trace_filter = EventMask::parse(v).map_err(Error::Usage)?;
             }
             a if a.starts_with("--trace-filter=") => {
-                cli.trace_filter = EventMask::parse(&a["--trace-filter=".len()..])?;
+                cli.trace_filter =
+                    EventMask::parse(&a["--trace-filter=".len()..]).map_err(Error::Usage)?;
             }
             a if a.starts_with("--trace=") => {
                 cli.trace = Some(PathBuf::from(&a["--trace=".len()..]));
             }
             "--validate-trace" => {
-                let v = it.next().ok_or("--validate-trace needs a file")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--validate-trace needs a file"))?;
                 cli.validate_trace = Some(PathBuf::from(v));
             }
             a if a.starts_with("--validate-trace=") => {
                 cli.validate_trace = Some(PathBuf::from(&a["--validate-trace=".len()..]));
             }
             "--jobs" | "-j" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
+                let v = it.next().ok_or_else(|| usage("--jobs needs a value"))?;
                 cli.jobs = Some(parse_jobs(v)?);
             }
             a if a.starts_with("--jobs=") => {
                 cli.jobs = Some(parse_jobs(&a["--jobs=".len()..])?);
             }
             "--format" | "-f" => {
-                let v = it.next().ok_or("--format needs a value")?;
-                cli.format = v.parse()?;
+                let v = it.next().ok_or_else(|| usage("--format needs a value"))?;
+                cli.format = v.parse().map_err(Error::Usage)?;
             }
             a if a.starts_with("--format=") => {
-                cli.format = a["--format=".len()..].parse()?;
+                cli.format = a["--format=".len()..].parse().map_err(Error::Usage)?;
             }
             "--out" | "-o" => {
-                let v = it.next().ok_or("--out needs a directory")?;
+                let v = it.next().ok_or_else(|| usage("--out needs a directory"))?;
                 cli.out = Some(PathBuf::from(v));
             }
             a if a.starts_with("--out=") => {
@@ -128,38 +188,50 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--check-golden" => cli.check_golden = true,
             "--goldens" => {
-                let v = it.next().ok_or("--goldens needs a directory")?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--goldens needs a directory"))?;
                 cli.goldens = PathBuf::from(v);
             }
             a if a.starts_with("--goldens=") => {
                 cli.goldens = PathBuf::from(&a["--goldens=".len()..]);
             }
+            "--baseline" => {
+                let v = it.next().ok_or_else(|| usage("--baseline needs a file"))?;
+                cli.baseline = Some(PathBuf::from(v));
+            }
+            a if a.starts_with("--baseline=") => {
+                cli.baseline = Some(PathBuf::from(&a["--baseline=".len()..]));
+            }
             "--help" | "-h" => {
                 cli.list = true; // --help shows the list too
             }
-            a if a.starts_with('-') => return Err(format!("unknown flag {a:?}")),
+            a if a.starts_with('-') => return Err(Error::Usage(format!("unknown flag {a:?}"))),
+            "perf" => cli.perf = true,
             name => cli.names.push(name.to_string()),
         }
     }
     Ok(cli)
 }
 
-fn parse_jobs(v: &str) -> Result<usize, String> {
+fn parse_jobs(v: &str) -> Result<usize, Error> {
     let n: usize = v
         .parse()
-        .map_err(|e| format!("--jobs: cannot parse {v:?}: {e}"))?;
+        .map_err(|e| Error::Usage(format!("--jobs: cannot parse {v:?}: {e}")))?;
     if n == 0 {
-        return Err("--jobs must be at least 1".into());
+        return Err(Error::Usage("--jobs must be at least 1".into()));
     }
     Ok(n)
 }
 
 /// Resolves the experiment names on the command line (`all`, or empty in
 /// golden mode, selects the whole registry, in registry order).
-fn select(names: &[String], default_all: bool) -> Result<Vec<Box<dyn Experiment>>, String> {
+fn select(names: &[String], default_all: bool) -> Result<Vec<Box<dyn Experiment>>, Error> {
     if names.iter().any(|n| n == "all") {
         if names.len() > 1 {
-            return Err("'all' cannot be combined with experiment names".into());
+            return Err(Error::Usage(
+                "'all' cannot be combined with experiment names".into(),
+            ));
         }
         return Ok(registry());
     }
@@ -167,15 +239,14 @@ fn select(names: &[String], default_all: bool) -> Result<Vec<Box<dyn Experiment>
         if default_all {
             return Ok(registry());
         }
-        return Err("name an experiment, or use --list / all".into());
+        return Err(Error::Usage(
+            "name an experiment, or use --list / all".into(),
+        ));
     }
-    names
-        .iter()
-        .map(|n| find(n).ok_or_else(|| format!("unknown experiment {n:?} (try --list)")))
-        .collect()
+    names.iter().map(|n| hydra_bench::lookup(n)).collect()
 }
 
-fn run(args: Vec<String>) -> Result<ExitCode, String> {
+fn run(args: Vec<String>) -> Result<ExitCode, Error> {
     let cli = parse(&args)?;
     hydra_trace::log::set_level(if cli.quiet {
         hydra_trace::log::Level::Quiet
@@ -197,7 +268,17 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             println!("  {:<16} {}", e.name(), e.title());
         }
         println!("  {:<16} every experiment above, in order", "all");
+        println!("  {:<16} pinned-suite simulator throughput", "perf");
         return Ok(ExitCode::SUCCESS);
+    }
+
+    if cli.perf {
+        if !cli.names.is_empty() {
+            return Err(Error::Usage(
+                "'perf' cannot be combined with experiment names".into(),
+            ));
+        }
+        return run_perf(&cli);
     }
 
     let workers = cli.jobs.unwrap_or_else(|| {
@@ -208,14 +289,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
 
     if cli.check_golden {
         if cli.trace.is_some() {
-            return Err("--trace cannot be combined with --check-golden".into());
+            return Err(Error::Usage(
+                "--trace cannot be combined with --check-golden".into(),
+            ));
         }
         return check_goldens(&cli, workers);
     }
 
     let session = start_trace(&cli)?;
     let selected = select(&cli.names, false)?;
-    let rs = RunSpec::from_env().map_err(|e| e.to_string())?;
+    let rs = RunSpec::from_env()?;
 
     let mut sink = sink_for(cli.format);
     let mut stdout = std::io::stdout();
@@ -231,7 +314,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             dur_us: hydra_trace::session::now_us().saturating_sub(t0_us),
         });
         sink.emit(&mut stdout, e.as_ref(), &rs, &result)
-            .map_err(|io| format!("writing results: {io}"))?;
+            .map_err(|io| Error::io("writing results", io))?;
         hydra_trace::info!(
             "{}\n",
             result.report.to_table(format!("engine: {}", e.name()))
@@ -240,7 +323,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         finished.push((e.name().to_string(), e.title().to_string(), result));
     }
     sink.finish(&mut stdout, &rs)
-        .map_err(|io| format!("writing results: {io}"))?;
+        .map_err(|io| Error::io("writing results", io))?;
     if selected.len() > 1 {
         hydra_trace::info!(
             "{}",
@@ -248,8 +331,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         );
     }
     if let Some(dir) = &cli.out {
-        write_out_dir(dir, &rs, &finished)
-            .map_err(|io| format!("writing {}: {io}", dir.display()))?;
+        write_out_dir(dir, &rs, &finished)?;
         hydra_trace::info!(
             "wrote {} result document(s) + BENCH_expt.json to {}",
             finished.len(),
@@ -265,38 +347,69 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `expt perf`: measures the pinned suite serially, prints the report
+/// table, writes `BENCH_perf.json` under `--out`, and optionally gates
+/// against a committed baseline.
+fn run_perf(cli: &Cli) -> Result<ExitCode, Error> {
+    let rs = RunSpec::from_env()?;
+    let alloc_count = || counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed);
+    let report = perf::measure(&rs, &alloc_count);
+    println!("{}", report.to_table());
+    let doc = perf::perf_doc(&rs, &report);
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;
+        let path = dir.join("BENCH_perf.json");
+        std::fs::write(&path, doc.pretty())
+            .map_err(|io| Error::io(format!("writing {}", path.display()), io))?;
+        hydra_trace::info!("wrote {}", path.display());
+    }
+    if let Some(baseline) = &cli.baseline {
+        perf::check_baseline(&doc, baseline, perf::MIPS_REGRESSION_TOLERANCE)?;
+        println!(
+            "perf baseline ok: {:.3} sim MIPS (floor: {:.0}% of {})",
+            report.mips(),
+            (1.0 - perf::MIPS_REGRESSION_TOLERANCE) * 100.0,
+            baseline.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Starts a trace session when `--trace` was given, refusing cleanly if
 /// the binary lacks the `trace` cargo feature.
-fn start_trace(cli: &Cli) -> Result<Option<(TraceSession, PathBuf)>, String> {
+fn start_trace(cli: &Cli) -> Result<Option<(TraceSession, PathBuf)>, Error> {
     let Some(path) = &cli.trace else {
         return Ok(None);
     };
     if !hydra_trace::COMPILED {
-        return Err("--trace requires the `trace` feature; rebuild with \
+        return Err(Error::Usage(
+            "--trace requires the `trace` feature; rebuild with \
              `cargo build --release -p hydra-bench --features trace`"
-            .into());
+                .into(),
+        ));
     }
     let config = TraceConfig {
         mask: cli.trace_filter,
         ..TraceConfig::default()
     };
-    let session = TraceSession::start(config).map_err(|e| format!("--trace: {e}"))?;
+    let session = TraceSession::start(config).map_err(|e| Error::Usage(format!("--trace: {e}")))?;
     Ok(Some((session, path.clone())))
 }
 
 /// Writes the three trace artifacts: Chrome trace JSON at `path`, the
 /// NDJSON event stream at `path.ndjson`, and the human-readable RAS
 /// timeline at `path.ras.txt`.
-fn write_trace(trace: &hydra_trace::Trace, path: &Path) -> Result<(), String> {
+fn write_trace(trace: &hydra_trace::Trace, path: &Path) -> Result<(), Error> {
     let write = |p: &Path, contents: String| {
-        std::fs::write(p, contents).map_err(|io| format!("writing {}: {io}", p.display()))
+        std::fs::write(p, contents).map_err(|io| Error::io(format!("writing {}", p.display()), io))
     };
     write(path, trace.to_chrome_json().to_string())?;
     let ndjson = path.with_extension("ndjson");
     let mut buf = Vec::new();
     trace
         .write_ndjson(&mut buf)
-        .map_err(|io| format!("serialising event stream: {io}"))?;
+        .map_err(|io| Error::io("serialising event stream", io))?;
     write(
         &ndjson,
         String::from_utf8(buf).expect("ndjson output is UTF-8"),
@@ -316,15 +429,15 @@ fn write_trace(trace: &hydra_trace::Trace, path: &Path) -> Result<(), String> {
 
 /// Dumps the global metrics registry: to `DIR/PROFILE_expt.json` when
 /// `--out` is set, to stderr otherwise.
-fn write_profile(out: Option<&Path>) -> Result<(), String> {
+fn write_profile(out: Option<&Path>) -> Result<(), Error> {
     let doc = hydra_trace::metrics::metrics().to_json();
     match out {
         Some(dir) => {
             std::fs::create_dir_all(dir)
-                .map_err(|io| format!("creating {}: {io}", dir.display()))?;
+                .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;
             let path = dir.join("PROFILE_expt.json");
             std::fs::write(&path, doc.pretty())
-                .map_err(|io| format!("writing {}: {io}", path.display()))?;
+                .map_err(|io| Error::io(format!("writing {}", path.display()), io))?;
             hydra_trace::info!("wrote profile metrics to {}", path.display());
         }
         None => eprintln!("{}", doc.pretty()),
@@ -334,17 +447,20 @@ fn write_profile(out: Option<&Path>) -> Result<(), String> {
 
 /// `--validate-trace`: strict-parses a Chrome trace file and checks it
 /// has a non-empty `traceEvents` array. Used by CI's trace smoke step.
-fn validate_trace(path: &Path) -> Result<ExitCode, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|io| format!("reading {}: {io}", path.display()))?;
+fn validate_trace(path: &Path) -> Result<ExitCode, Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|io| Error::io(format!("reading {}", path.display()), io))?;
     let doc = hydra_stats::Json::parse(&text)
-        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        .map_err(|e| Error::Usage(format!("{}: invalid JSON: {e}", path.display())))?;
     let events = doc
         .get("traceEvents")
         .and_then(hydra_stats::Json::as_arr)
-        .ok_or_else(|| format!("{}: no traceEvents array", path.display()))?;
+        .ok_or_else(|| Error::Usage(format!("{}: no traceEvents array", path.display())))?;
     if events.is_empty() {
-        return Err(format!("{}: traceEvents is empty", path.display()));
+        return Err(Error::Usage(format!(
+            "{}: traceEvents is empty",
+            path.display()
+        )));
     }
     println!("trace {}: {} event(s) ok", path.display(), events.len());
     Ok(ExitCode::SUCCESS)
@@ -352,7 +468,7 @@ fn validate_trace(path: &Path) -> Result<ExitCode, String> {
 
 /// `--check-golden`: re-runs experiments at the goldens' quick sizing and
 /// diffs each result document against `goldens/<name>.json`.
-fn check_goldens(cli: &Cli, workers: usize) -> Result<ExitCode, String> {
+fn check_goldens(cli: &Cli, workers: usize) -> Result<ExitCode, Error> {
     // Goldens are quick-mode by definition; ignore HYDRA_EXPT_* so the
     // check means the same thing in every environment.
     let rs = RunSpec::quick();
@@ -362,10 +478,14 @@ fn check_goldens(cli: &Cli, workers: usize) -> Result<ExitCode, String> {
     for e in &selected {
         match check(e.as_ref(), &rs, workers, &cli.goldens, &opts) {
             Ok(()) => println!("golden {:<16} ok", e.name()),
-            Err(err) => {
+            Err(source) => {
                 failures += 1;
                 println!("golden {:<16} FAIL", e.name());
-                eprintln!("expt: {}: {err}", e.name());
+                let err = Error::Golden {
+                    experiment: e.name().to_string(),
+                    source,
+                };
+                eprintln!("expt: {err}");
             }
         }
     }

@@ -107,8 +107,8 @@ impl SimJob {
                 spec: spec.clone(),
                 seed,
                 config,
-                fast_forward: rs.warmup,
-                horizon: rs.measure,
+                fast_forward: rs.fast_forward,
+                horizon: rs.horizon,
             },
         }
     }
@@ -485,8 +485,8 @@ mod tests {
         let spec = WorkloadSpec::test_small();
         let rs = RunSpec {
             seed: 7,
-            warmup: 500,
-            measure: 2_000,
+            fast_forward: 500,
+            horizon: 2_000,
         };
         (0..n)
             .map(|i| SimJob::cycle(&spec, 7 + i as u64, CoreConfig::baseline(), &rs))

@@ -17,6 +17,7 @@ use hydra_workloads::WorkloadSpec;
 use ras_core::{MultipathStackPolicy, RepairPolicy};
 
 use crate::engine::{execute, EngineReport, Harvest, JobKind, JobOutput, SimJob};
+use crate::error::Error;
 use crate::{repair_ladder, RunSpec};
 
 /// One reproducible artifact of the paper's evaluation.
@@ -83,6 +84,18 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
 /// Looks an experiment up by its registry name.
 pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
     registry().into_iter().find(|e| e.name() == name)
+}
+
+/// Like [`find`], but reports an unmatched name as a typed
+/// [`Error::UnknownExperiment`] instead of `None` — the form binary
+/// frontends want.
+///
+/// # Errors
+///
+/// [`Error::UnknownExperiment`] when `name` matches no registered
+/// experiment.
+pub fn lookup(name: &str) -> Result<Box<dyn Experiment>, Error> {
+    find(name).ok_or_else(|| Error::UnknownExperiment(name.to_string()))
 }
 
 /// The suite's workload specs with their per-benchmark generation seeds
@@ -209,7 +222,7 @@ impl Experiment for Table2 {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             jobs.push(SimJob::cycle(&spec, seed, CoreConfig::baseline(), rs).tagged("baseline"));
-            jobs.push(SimJob::profile(&spec, seed, rs.measure));
+            jobs.push(SimJob::profile(&spec, seed, rs.horizon));
         }
         jobs
     }
@@ -487,10 +500,7 @@ impl Experiment for FigBudget {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (tag, budget) in BUDGETS {
-                let cfg = CoreConfig {
-                    checkpoint_budget: budget,
-                    ..CoreConfig::baseline()
-                };
+                let cfg = CoreConfig::builder().checkpoint_budget(budget).build();
                 jobs.push(SimJob::cycle(&spec, seed, cfg, rs).tagged(tag));
             }
         }
@@ -778,14 +788,13 @@ impl Experiment for FigFrontend {
                     ("none", RepairPolicy::None),
                     ("p+c", RepairPolicy::TosPointerAndContents),
                 ] {
-                    let cfg = CoreConfig {
-                        decode_latency: d,
-                        return_predictor: ReturnPredictor::Ras {
+                    let cfg = CoreConfig::builder()
+                        .decode_latency(d)
+                        .return_predictor(ReturnPredictor::Ras {
                             entries: 32,
                             repair,
-                        },
-                        ..CoreConfig::baseline()
-                    };
+                        })
+                        .build();
                     jobs.push(
                         SimJob::cycle(&spec, seed, cfg, rs).tagged(format!("depth {d} {tag}")),
                     );

@@ -33,8 +33,8 @@
 //!     .fast_forward(2_000)
 //!     .horizon(10_000)
 //!     .build();
-//! assert_eq!(rs.warmup, 2_000);
-//! assert_eq!(rs.measure, 10_000);
+//! assert_eq!(rs.fast_forward, 2_000);
+//! assert_eq!(rs.horizon, 10_000);
 //! ```
 //!
 //! or from the environment with [`RunSpec::from_env`]
@@ -55,12 +55,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod golden;
+pub mod perf;
 pub mod results;
 
 pub use engine::{execute, run_job, EngineReport, Harvest, JobKind, JobOutput, SimJob};
-pub use experiments::{find, registry, run_experiment, Experiment, ExperimentRun};
+pub use error::Error;
+pub use experiments::{find, lookup, registry, run_experiment, Experiment, ExperimentRun};
 pub use golden::{diff, DiffOptions, GoldenError, Mismatch};
 pub use results::{Format, ResultSink, SCHEMA_VERSION};
 
@@ -69,15 +72,23 @@ use hydra_workloads::Workload;
 use ras_core::RepairPolicy;
 
 /// Simulation sizing: seed, fast-forward commits, measured commits.
+///
+/// The field names follow the paper's methodology vocabulary — and every
+/// other surface of the harness: the `HYDRA_EXPT_FAST_FORWARD` /
+/// `HYDRA_EXPT_HORIZON` environment overrides, the builder setters, and
+/// the `fast_forward` / `horizon` keys in every result document's `run`
+/// header. The old `warmup` / `measure` names survive one release as
+/// deprecated accessors ([`RunSpec::warmup`], [`RunSpec::measure`]) and
+/// builder aliases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSpec {
     /// Workload-generation seed.
     pub seed: u64,
     /// Instructions committed before statistics are reset (the
     /// fast-forward phase).
-    pub warmup: u64,
+    pub fast_forward: u64,
     /// Instructions committed in the measurement window (the horizon).
-    pub measure: u64,
+    pub horizon: u64,
 }
 
 impl RunSpec {
@@ -86,8 +97,8 @@ impl RunSpec {
     pub fn full() -> Self {
         RunSpec {
             seed: 12345,
-            warmup: 100_000,
-            measure: 1_000_000,
+            fast_forward: 100_000,
+            horizon: 1_000_000,
         }
     }
 
@@ -95,9 +106,21 @@ impl RunSpec {
     pub fn quick() -> Self {
         RunSpec {
             seed: 12345,
-            warmup: 10_000,
-            measure: 60_000,
+            fast_forward: 10_000,
+            horizon: 60_000,
         }
+    }
+
+    /// The fast-forward phase length, under its pre-unification name.
+    #[deprecated(since = "0.2.0", note = "read the `fast_forward` field")]
+    pub fn warmup(&self) -> u64 {
+        self.fast_forward
+    }
+
+    /// The measurement horizon, under its pre-unification name.
+    #[deprecated(since = "0.2.0", note = "read the `horizon` field")]
+    pub fn measure(&self) -> u64 {
+        self.horizon
     }
 
     /// A builder seeded with the [`RunSpec::full`] defaults.
@@ -129,8 +152,8 @@ impl RunSpec {
             },
         };
         spec.seed = env_u64("HYDRA_EXPT_SEED", spec.seed)?;
-        spec.warmup = env_u64("HYDRA_EXPT_FAST_FORWARD", spec.warmup)?;
-        spec.measure = env_u64("HYDRA_EXPT_HORIZON", spec.measure)?;
+        spec.fast_forward = env_u64("HYDRA_EXPT_FAST_FORWARD", spec.fast_forward)?;
+        spec.horizon = env_u64("HYDRA_EXPT_HORIZON", spec.horizon)?;
         Ok(spec)
     }
 }
@@ -156,14 +179,28 @@ impl RunSpecBuilder {
 
     /// Sets the fast-forward phase length, in committed instructions.
     pub fn fast_forward(mut self, commits: u64) -> Self {
-        self.spec.warmup = commits;
+        self.spec.fast_forward = commits;
         self
     }
 
     /// Sets the measurement horizon, in committed instructions.
     pub fn horizon(mut self, commits: u64) -> Self {
-        self.spec.measure = commits;
+        self.spec.horizon = commits;
         self
+    }
+
+    /// Alias for [`RunSpecBuilder::fast_forward`] under its
+    /// pre-unification name.
+    #[deprecated(since = "0.2.0", note = "use `fast_forward`")]
+    pub fn warmup(self, commits: u64) -> Self {
+        self.fast_forward(commits)
+    }
+
+    /// Alias for [`RunSpecBuilder::horizon`] under its pre-unification
+    /// name.
+    #[deprecated(since = "0.2.0", note = "use `horizon`")]
+    pub fn measure(self, commits: u64) -> Self {
+        self.horizon(commits)
     }
 
     /// Finishes the spec.
@@ -242,9 +279,9 @@ pub fn suite(rs: &RunSpec) -> Vec<Workload> {
 /// statistics, measure.
 pub fn run_one(w: &Workload, config: CoreConfig, rs: &RunSpec) -> SimStats {
     let mut core = Core::new(config, w.program());
-    core.run(rs.warmup);
+    core.run(rs.fast_forward);
     core.reset_stats();
-    core.run(rs.measure)
+    core.run(rs.horizon)
 }
 
 /// The single-path return-predictor configurations the paper's evaluation
@@ -272,8 +309,8 @@ mod tests {
     fn tiny() -> RunSpec {
         RunSpec {
             seed: 7,
-            warmup: 2_000,
-            measure: 10_000,
+            fast_forward: 2_000,
+            horizon: 10_000,
         }
     }
 
@@ -315,7 +352,7 @@ mod tests {
 
     #[test]
     fn runspec_modes() {
-        assert!(RunSpec::quick().measure < RunSpec::full().measure);
+        assert!(RunSpec::quick().horizon < RunSpec::full().horizon);
         assert_eq!(RunSpec::default(), RunSpec::full());
     }
 
@@ -330,12 +367,22 @@ mod tests {
             rs,
             RunSpec {
                 seed: 99,
-                warmup: 1_000,
-                measure: 5_000
+                fast_forward: 1_000,
+                horizon: 5_000
             }
         );
         // Defaults come from full().
         assert_eq!(RunSpec::builder().build(), RunSpec::full());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_warmup_measure_aliases_still_work() {
+        let rs = RunSpec::builder().warmup(3).measure(4).build();
+        assert_eq!(rs.fast_forward, 3);
+        assert_eq!(rs.horizon, 4);
+        assert_eq!(rs.warmup(), 3);
+        assert_eq!(rs.measure(), 4);
     }
 
     // One test exercises every from_env case sequentially: the process
@@ -363,8 +410,8 @@ mod tests {
         std::env::set_var("HYDRA_EXPT_HORIZON", "1234");
         let rs = RunSpec::from_env().expect("overrides parse");
         assert_eq!(rs.seed, 42);
-        assert_eq!(rs.measure, 1234);
-        assert_eq!(rs.warmup, RunSpec::quick().warmup);
+        assert_eq!(rs.horizon, 1234);
+        assert_eq!(rs.fast_forward, RunSpec::quick().fast_forward);
 
         std::env::set_var("HYDRA_EXPT_MODE", "warp-speed");
         assert_eq!(

@@ -1,0 +1,312 @@
+//! The pinned-workload performance harness behind `expt perf`.
+//!
+//! The experiment layer answers "did the *results* change?"; this module
+//! answers "did the *simulator* get slower?". [`measure`] runs a pinned
+//! workload set — the eight-benchmark suite on the paper's baseline
+//! configuration, serially, in registry order — and reports two numbers
+//! per workload:
+//!
+//! * **simulated MIPS** — millions of committed instructions per second
+//!   of host wall time over the measurement window;
+//! * **allocations per kilocycle** — heap allocations observed during
+//!   the measurement window (fast-forward excluded), per thousand
+//!   simulated cycles. The slab-allocated hot loop is designed to hold
+//!   this at zero in steady state; a creeping value is an allocation
+//!   leaking back into the per-cycle path.
+//!
+//! The allocation counter is injected by the caller because only a
+//! binary can install a `#[global_allocator]` (this library forbids
+//! `unsafe`); the `expt` binary passes its counting allocator's reading,
+//! tests can pass a stub.
+//!
+//! [`perf_doc`] projects the report into the `BENCH_perf.json` artifact
+//! and [`check_baseline`] gates a fresh run against a committed baseline
+//! (`goldens/perf_baseline.json`) with a relative MIPS tolerance —
+//! that is CI's "the core did not get 30% slower" tripwire.
+
+use hydra_pipeline::CoreConfig;
+use hydra_stats::Json;
+use std::path::Path;
+use std::time::Instant;
+
+use crate::error::Error;
+use crate::{suite, RunSpec};
+
+/// Relative simulated-MIPS loss CI tolerates before failing the perf
+/// job: measured ≥ (1 − tolerance) × baseline passes.
+pub const MIPS_REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// One workload's measurement.
+#[derive(Debug, Clone)]
+pub struct PerfSample {
+    /// Workload name (suite order is pinned).
+    pub workload: String,
+    /// Instructions committed in the measurement window.
+    pub committed: u64,
+    /// Cycles simulated in the measurement window.
+    pub cycles: u64,
+    /// Host wall time of the measurement window, in seconds.
+    pub wall_secs: f64,
+    /// Heap allocations during the measurement window.
+    pub allocs: u64,
+}
+
+impl PerfSample {
+    /// Millions of committed instructions per host-second.
+    pub fn mips(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.wall_secs / 1e6
+        }
+    }
+
+    /// Heap allocations per thousand simulated cycles.
+    pub fn allocs_per_kilocycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.allocs as f64 * 1e3 / self.cycles as f64
+        }
+    }
+}
+
+/// The full pinned-suite measurement.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Per-workload samples, in suite order.
+    pub samples: Vec<PerfSample>,
+}
+
+impl PerfReport {
+    /// Suite-wide simulated MIPS (total committed over total wall time).
+    pub fn mips(&self) -> f64 {
+        let committed: u64 = self.samples.iter().map(|s| s.committed).sum();
+        let wall: f64 = self.samples.iter().map(|s| s.wall_secs).sum();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            committed as f64 / wall / 1e6
+        }
+    }
+
+    /// Suite-wide allocations per kilocycle.
+    pub fn allocs_per_kilocycle(&self) -> f64 {
+        let allocs: u64 = self.samples.iter().map(|s| s.allocs).sum();
+        let cycles: u64 = self.samples.iter().map(|s| s.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            allocs as f64 * 1e3 / cycles as f64
+        }
+    }
+
+    /// Renders the report as the table `expt perf` prints.
+    pub fn to_table(&self) -> hydra_stats::Table {
+        use hydra_stats::{Align, Cell, Table};
+        let mut t = Table::new(vec![
+            "workload",
+            "committed",
+            "cycles",
+            "wall (ms)",
+            "sim MIPS",
+            "allocs/kcycle",
+        ]);
+        t.set_title("perf: pinned suite, baseline config, serial");
+        for col in 1..=5 {
+            t.set_align(col, Align::Right);
+        }
+        for s in &self.samples {
+            t.add_row(vec![
+                Cell::text(&s.workload),
+                Cell::int(s.committed),
+                Cell::int(s.cycles),
+                Cell::text(format!("{:.1}", s.wall_secs * 1e3)),
+                Cell::text(format!("{:.3}", s.mips())),
+                Cell::text(format!("{:.3}", s.allocs_per_kilocycle())),
+            ]);
+        }
+        t.add_row(vec![
+            Cell::text("total"),
+            Cell::int(self.samples.iter().map(|s| s.committed).sum::<u64>()),
+            Cell::int(self.samples.iter().map(|s| s.cycles).sum::<u64>()),
+            Cell::text(format!(
+                "{:.1}",
+                self.samples.iter().map(|s| s.wall_secs).sum::<f64>() * 1e3
+            )),
+            Cell::text(format!("{:.3}", self.mips())),
+            Cell::text(format!("{:.3}", self.allocs_per_kilocycle())),
+        ]);
+        t
+    }
+}
+
+/// Runs the pinned workload set serially and measures each workload's
+/// measurement window.
+///
+/// `alloc_count` returns the process-wide allocation count; the window's
+/// delta is attributed to the workload (the harness itself allocates
+/// nothing between readings). Serial execution keeps the attribution
+/// exact — worker threads would interleave their allocations.
+pub fn measure(rs: &RunSpec, alloc_count: &dyn Fn() -> u64) -> PerfReport {
+    let config = CoreConfig::baseline();
+    let mut samples = Vec::new();
+    for w in suite(rs) {
+        let mut core = hydra_pipeline::Core::new(config, w.program());
+        core.run(rs.fast_forward);
+        core.reset_stats();
+        let allocs_before = alloc_count();
+        let t0 = Instant::now();
+        let stats = core.run(rs.horizon);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        samples.push(PerfSample {
+            workload: w.name().to_string(),
+            committed: stats.committed,
+            cycles: stats.cycles,
+            wall_secs,
+            allocs: alloc_count() - allocs_before,
+        });
+    }
+    PerfReport { samples }
+}
+
+/// The `BENCH_perf.json` document: per-workload throughput and
+/// allocation rates plus suite totals. Wall-clock fields carry the
+/// golden differ's `_ms`/`mips` timing markers; `allocs_per_kilocycle`
+/// is deterministic for a deterministic simulator.
+pub fn perf_doc(rs: &RunSpec, report: &PerfReport) -> Json {
+    Json::obj([
+        ("schema_version", Json::int(crate::SCHEMA_VERSION)),
+        (
+            "run",
+            Json::obj([
+                ("seed", Json::int(rs.seed)),
+                ("fast_forward", Json::int(rs.fast_forward)),
+                ("horizon", Json::int(rs.horizon)),
+            ]),
+        ),
+        (
+            "workloads",
+            Json::arr(report.samples.iter().map(|s| {
+                Json::obj([
+                    ("workload", Json::str(&s.workload)),
+                    ("committed", Json::int(s.committed)),
+                    ("cycles", Json::int(s.cycles)),
+                    ("wall_ms", Json::num(s.wall_secs * 1e3)),
+                    ("sim_mips", Json::num(s.mips())),
+                    ("allocs", Json::int(s.allocs)),
+                    ("allocs_per_kilocycle", Json::num(s.allocs_per_kilocycle())),
+                ])
+            })),
+        ),
+        (
+            "total",
+            Json::obj([
+                ("sim_mips", Json::num(report.mips())),
+                (
+                    "allocs_per_kilocycle",
+                    Json::num(report.allocs_per_kilocycle()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Reads `total.sim_mips` out of a `BENCH_perf.json`-shaped document.
+fn total_mips(doc: &Json) -> Option<f64> {
+    doc.get("total")?.get("sim_mips").and_then(Json::as_num)
+}
+
+/// Gates a fresh perf document against the committed baseline at
+/// `path`: measured MIPS must be at least
+/// `(1 - tolerance) × baseline MIPS`.
+///
+/// # Errors
+///
+/// [`Error::Io`] if the baseline is unreadable, [`Error::Usage`] if
+/// either document lacks `total.sim_mips`, and
+/// [`Error::PerfRegression`] when the measured throughput falls below
+/// the tolerated floor.
+pub fn check_baseline(fresh: &Json, path: &Path, tolerance: f64) -> Result<(), Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|io| Error::io(format!("reading {}", path.display()), io))?;
+    let baseline_doc = Json::parse(&text)
+        .map_err(|e| Error::Usage(format!("{}: invalid JSON: {e}", path.display())))?;
+    let baseline = total_mips(&baseline_doc)
+        .ok_or_else(|| Error::Usage(format!("{}: no total.sim_mips", path.display())))?;
+    let measured =
+        total_mips(fresh).ok_or_else(|| Error::Usage("fresh run: no total.sim_mips".into()))?;
+    if measured < baseline * (1.0 - tolerance) {
+        return Err(Error::PerfRegression {
+            measured_mips: measured,
+            baseline_mips: baseline,
+            tolerance,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunSpec {
+        RunSpec {
+            seed: 7,
+            fast_forward: 200,
+            horizon: 2_000,
+        }
+    }
+
+    fn fake(committed: u64, wall_secs: f64, allocs: u64, cycles: u64) -> PerfReport {
+        PerfReport {
+            samples: vec![PerfSample {
+                workload: "w".into(),
+                committed,
+                cycles,
+                wall_secs,
+                allocs,
+            }],
+        }
+    }
+
+    #[test]
+    fn measure_covers_the_whole_suite() {
+        let rs = tiny();
+        let report = measure(&rs, &|| 0);
+        assert_eq!(report.samples.len(), 8);
+        for s in &report.samples {
+            assert!(s.committed >= rs.horizon, "{}: {}", s.workload, s.committed);
+            assert!(s.cycles > 0);
+        }
+        assert!(report.mips() > 0.0);
+    }
+
+    #[test]
+    fn rates_come_out_right() {
+        let r = fake(2_000_000, 1.0, 500, 1_000_000);
+        assert!((r.mips() - 2.0).abs() < 1e-9);
+        assert!((r.allocs_per_kilocycle() - 0.5).abs() < 1e-9);
+        assert_eq!(fake(1, 0.0, 0, 0).mips(), 0.0);
+    }
+
+    #[test]
+    fn doc_carries_totals_and_baseline_gate_works() {
+        let rs = tiny();
+        let doc = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        assert_eq!(total_mips(&doc), Some(2.0));
+
+        let dir = std::env::temp_dir().join("hydra_perf_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf_baseline.json");
+        std::fs::write(&path, doc.pretty()).unwrap();
+
+        // Same speed: passes. 2× faster: passes. 2× slower: fails.
+        check_baseline(&doc, &path, MIPS_REGRESSION_TOLERANCE).unwrap();
+        let fast = perf_doc(&rs, &fake(4_000_000, 1.0, 0, 1_000_000));
+        check_baseline(&fast, &path, MIPS_REGRESSION_TOLERANCE).unwrap();
+        let slow = perf_doc(&rs, &fake(1_000_000, 1.0, 0, 1_000_000));
+        let err = check_baseline(&slow, &path, MIPS_REGRESSION_TOLERANCE).unwrap_err();
+        assert!(err.to_string().contains("regress"), "{err}");
+    }
+}

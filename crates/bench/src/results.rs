@@ -29,6 +29,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use crate::engine::EngineReport;
+use crate::error::Error;
 use crate::experiments::{Experiment, ExperimentRun};
 use crate::RunSpec;
 
@@ -69,8 +70,8 @@ impl std::str::FromStr for Format {
 fn run_json(rs: &RunSpec) -> Json {
     Json::obj([
         ("seed", Json::int(rs.seed)),
-        ("fast_forward", Json::int(rs.warmup)),
-        ("horizon", Json::int(rs.measure)),
+        ("fast_forward", Json::int(rs.fast_forward)),
+        ("horizon", Json::int(rs.horizon)),
     ])
 }
 
@@ -253,13 +254,19 @@ pub fn sink_for(format: Format) -> Box<dyn ResultSink> {
 ///
 /// # Errors
 ///
-/// Propagates directory-creation and file-write failures.
+/// [`Error::Io`] naming the directory creation or file write that
+/// failed.
 pub fn write_out_dir(
     dir: &Path,
     rs: &RunSpec,
     finished: &[(String, String, ExperimentRun)],
-) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+) -> Result<(), Error> {
+    std::fs::create_dir_all(dir)
+        .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;
+    let write = |path: std::path::PathBuf, contents: String| {
+        std::fs::write(&path, contents)
+            .map_err(|io| Error::io(format!("writing {}", path.display()), io))
+    };
     let mut reports = Vec::new();
     for (name, title, run) in finished {
         let doc = Json::obj([
@@ -269,10 +276,10 @@ pub fn write_out_dir(
             ("run", run_json(rs)),
             ("table", run.table.to_json()),
         ]);
-        std::fs::write(dir.join(format!("{name}.json")), doc.pretty())?;
+        write(dir.join(format!("{name}.json")), doc.pretty())?;
         reports.push((name.clone(), run.report.clone()));
     }
-    std::fs::write(
+    write(
         dir.join("BENCH_expt.json"),
         bench_doc(rs, &reports).pretty(),
     )
@@ -287,8 +294,8 @@ mod tests {
     fn tiny() -> RunSpec {
         RunSpec {
             seed: 7,
-            warmup: 200,
-            measure: 2_000,
+            fast_forward: 200,
+            horizon: 2_000,
         }
     }
 

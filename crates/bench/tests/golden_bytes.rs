@@ -1,0 +1,51 @@
+//! Byte-level differential test against the committed goldens.
+//!
+//! `expt --check-golden` diffs *structurally* (with a timing tolerance
+//! it never needs for result documents); this test pins the stronger
+//! contract the golden workflow actually relies on: a fresh quick-mode
+//! run serializes to **exactly** the bytes committed under `goldens/`.
+//! Any rewrite of the core's hot loop must keep this equality — same
+//! fetch order, same squash order, same counters, same rendering.
+//!
+//! Only the cheap experiments run here (full coverage is CI's golden
+//! job); together they still cross every output layer: a parameter
+//! table, the functional-profile path, and the trace-replay path.
+
+use hydra_bench::results::experiment_doc;
+use hydra_bench::{find, run_experiment, RunSpec};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../goldens")
+        .join(format!("{name}.json"))
+}
+
+fn assert_matches_golden_bytes(name: &str) {
+    // Goldens are generated at the quick sizing; workers must not matter.
+    let rs = RunSpec::quick();
+    let e = find(name).expect("experiment registered");
+    let run = run_experiment(e.as_ref(), &rs, 2);
+    let fresh = experiment_doc(e.as_ref(), &rs, &run).pretty();
+    let committed = std::fs::read_to_string(golden_path(name))
+        .unwrap_or_else(|io| panic!("reading golden for {name}: {io}"));
+    assert_eq!(
+        fresh, committed,
+        "{name}: fresh result document is not byte-identical to goldens/{name}.json"
+    );
+}
+
+#[test]
+fn table1_is_byte_identical_to_golden() {
+    assert_matches_golden_bytes("table1");
+}
+
+#[test]
+fn table2_is_byte_identical_to_golden() {
+    assert_matches_golden_bytes("table2");
+}
+
+#[test]
+fn fig_analytical_is_byte_identical_to_golden() {
+    assert_matches_golden_bytes("fig-analytical");
+}

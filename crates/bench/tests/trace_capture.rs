@@ -24,8 +24,8 @@ fn traced_run(workers: usize, mask: &str) -> hydra_trace::Trace {
     let spec = WorkloadSpec::test_small();
     let rs = RunSpec {
         seed: 7,
-        warmup: 200,
-        measure: 2_000,
+        fast_forward: 200,
+        horizon: 2_000,
     };
     let config = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
         entries: 8,

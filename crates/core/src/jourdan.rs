@@ -236,6 +236,19 @@ impl SelfCheckpointingStack {
         copy.reset_stats();
         copy
     }
+
+    /// [`SelfCheckpointingStack::fork`] into an existing (pooled) stack:
+    /// copies this stack's state over `dst` reusing `dst`'s entry buffer,
+    /// so forking a path costs no heap allocation. Statistics on `dst`
+    /// are reset, exactly as `fork` does.
+    pub fn fork_into(&self, dst: &mut Self) {
+        dst.entries.clear();
+        dst.entries.extend_from_slice(&self.entries);
+        dst.tos = self.tos;
+        dst.alloc = self.alloc;
+        dst.next_seq = self.next_seq;
+        dst.stats = RasStats::default();
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,10 @@ impl fmt::Display for RepairPolicy {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) enum SavedContents {
     None,
+    /// The single saved top entry — the common (`TosPointerAndContents`,
+    /// `TopContents { k: 1 }`) case, stored inline so the per-branch
+    /// checkpoint costs no heap allocation on the hot path.
+    TopOne(usize, Entry),
     /// `(physical index, entry)` pairs for the saved top entries.
     Top(Vec<(usize, Entry)>),
     Full(Vec<Entry>),
@@ -124,6 +128,7 @@ impl RasCheckpoint {
                 RepairPolicy::None | RepairPolicy::ValidBits => 0,
                 _ => 1,
             },
+            SavedContents::TopOne(..) => 2,
             SavedContents::Top(v) => 1 + v.len(),
             SavedContents::Full(v) => 1 + v.len(),
         }

@@ -179,8 +179,14 @@ impl ReturnAddressStack {
             RepairPolicy::None | RepairPolicy::ValidBits | RepairPolicy::TosPointer => {
                 SavedContents::None
             }
-            RepairPolicy::TosPointerAndContents => SavedContents::Top(self.save_top(1)),
-            RepairPolicy::TopContents { k } => SavedContents::Top(self.save_top(k)),
+            RepairPolicy::TosPointerAndContents => self.save_top_one(),
+            RepairPolicy::TopContents { k } => {
+                if k.min(self.capacity()) == 1 {
+                    self.save_top_one()
+                } else {
+                    SavedContents::Top(self.save_top(k))
+                }
+            }
             RepairPolicy::FullStack => SavedContents::Full(self.entries.clone()),
         };
         let ckpt = RasCheckpoint {
@@ -197,6 +203,11 @@ impl ReturnAddressStack {
             words: ckpt.storage_words() as u64,
         });
         ckpt
+    }
+
+    /// The `k = 1` save, stored inline (no heap allocation per branch).
+    fn save_top_one(&self) -> SavedContents {
+        SavedContents::TopOne(self.tos, self.entries[self.tos])
     }
 
     fn save_top(&self, k: usize) -> Vec<(usize, Entry)> {
@@ -255,6 +266,9 @@ impl ReturnAddressStack {
                 self.depth = ckpt.depth;
                 match &ckpt.saved {
                     SavedContents::None => {}
+                    SavedContents::TopOne(idx, entry) => {
+                        self.entries[*idx] = *entry;
+                    }
                     SavedContents::Top(saved) => {
                         for &(idx, entry) in saved {
                             self.entries[idx] = entry;
@@ -275,6 +289,19 @@ impl ReturnAddressStack {
         let mut copy = self.clone();
         copy.reset_stats();
         copy
+    }
+
+    /// [`ReturnAddressStack::fork`] into an existing (pooled) stack:
+    /// copies this stack's state over `dst` reusing `dst`'s entry buffer,
+    /// so forking a path costs no heap allocation. Statistics on `dst`
+    /// are reset, exactly as `fork` does.
+    pub fn fork_into(&self, dst: &mut Self) {
+        dst.entries.clear();
+        dst.entries.extend_from_slice(&self.entries);
+        dst.tos = self.tos;
+        dst.depth = self.depth;
+        dst.next_seq = self.next_seq;
+        dst.stats = RasStats::default();
     }
 }
 

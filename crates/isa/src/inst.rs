@@ -322,6 +322,57 @@ impl ControlKind {
     }
 }
 
+/// The source registers of one instruction, stored inline (no heap).
+///
+/// Every instruction reads at most two registers, so a fixed `[Reg; 2]`
+/// plus a length covers the whole ISA. Dereferences to `[Reg]`, so all
+/// slice iteration and comparison idioms work unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrcRegs {
+    regs: [Reg; 2],
+    len: u8,
+}
+
+impl SrcRegs {
+    fn none() -> Self {
+        SrcRegs {
+            regs: [Reg::ZERO; 2],
+            len: 0,
+        }
+    }
+
+    fn one(a: Reg) -> Self {
+        SrcRegs {
+            regs: [a, Reg::ZERO],
+            len: 1,
+        }
+    }
+
+    fn two(a: Reg, b: Reg) -> Self {
+        SrcRegs {
+            regs: [a, b],
+            len: 2,
+        }
+    }
+}
+
+impl std::ops::Deref for SrcRegs {
+    type Target = [Reg];
+
+    fn deref(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcRegs {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 impl Inst {
     /// The fetch-visible control class of this instruction.
     pub fn control_kind(&self) -> ControlKind {
@@ -339,16 +390,19 @@ impl Inst {
 
     /// Source registers read by this instruction (at most two, in operand
     /// order). Reads of `r0` are included; it always supplies zero.
-    pub fn sources(&self) -> Vec<Reg> {
+    ///
+    /// Returns an inline fixed-capacity list — this sits on the fetch
+    /// stage's per-instruction rename path, which must not heap-allocate.
+    pub fn sources(&self) -> SrcRegs {
         match *self {
-            Inst::Alu { rs, rt, .. } => vec![rs, rt],
-            Inst::AluImm { rs, .. } => vec![rs],
-            Inst::Load { base, .. } => vec![base],
-            Inst::Store { rs, base, .. } => vec![rs, base],
-            Inst::Branch { rs, rt, .. } => vec![rs, rt],
-            Inst::CallIndirect { rs } | Inst::JumpIndirect { rs } => vec![rs],
-            Inst::Return => vec![Reg::RA],
-            _ => vec![],
+            Inst::Alu { rs, rt, .. } => SrcRegs::two(rs, rt),
+            Inst::AluImm { rs, .. } => SrcRegs::one(rs),
+            Inst::Load { base, .. } => SrcRegs::one(base),
+            Inst::Store { rs, base, .. } => SrcRegs::two(rs, base),
+            Inst::Branch { rs, rt, .. } => SrcRegs::two(rs, rt),
+            Inst::CallIndirect { rs } | Inst::JumpIndirect { rs } => SrcRegs::one(rs),
+            Inst::Return => SrcRegs::one(Reg::RA),
+            _ => SrcRegs::none(),
         }
     }
 
@@ -484,10 +538,10 @@ mod tests {
             rs: Reg::R1,
             rt: Reg::R2,
         };
-        assert_eq!(i.sources(), vec![Reg::R1, Reg::R2]);
+        assert_eq!(&*i.sources(), [Reg::R1, Reg::R2]);
         assert_eq!(i.dest(), Some(Reg::R3));
 
-        assert_eq!(Inst::Return.sources(), vec![Reg::RA]);
+        assert_eq!(&*Inst::Return.sources(), [Reg::RA]);
         assert_eq!(Inst::Return.dest(), None);
 
         let call = Inst::Call {

@@ -94,7 +94,13 @@ impl Cache {
         );
         Cache {
             config,
-            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            // Built per-set (not `vec![..; sets]`): cloning a `Vec` does
+            // not preserve its capacity, which would push every set's
+            // first fills onto the heap mid-run. Full `ways` capacity up
+            // front keeps cold-set line installs allocation-free.
+            sets: (0..config.sets)
+                .map(|_| Vec::with_capacity(config.ways))
+                .collect(),
             clock: 0,
             stats: CacheStats::default(),
         }

@@ -84,6 +84,12 @@ impl Default for FuLatencies {
 /// baseline (loosely an Alpha 21264): 4-wide, 64-entry RUU, 32-entry LSQ,
 /// McFarling hybrid predictor, decoupled BTB, 32-entry RAS with
 /// TOS-pointer+contents repair, split L1 caches with unified L2.
+///
+/// The struct is `#[non_exhaustive]`: outside this crate it is
+/// constructed through [`CoreConfig::builder`] (or the named
+/// constructors), never by struct literal, so new machine parameters can
+/// be added without breaking downstream code.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle (per fetch block).
@@ -174,6 +180,15 @@ impl CoreConfig {
         }
     }
 
+    /// A builder seeded with the [`CoreConfig::baseline`] parameters —
+    /// the construction path for any machine the named constructors do
+    /// not cover.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            config: CoreConfig::default(),
+        }
+    }
+
     /// Validates structural parameters.
     ///
     /// # Panics
@@ -198,6 +213,129 @@ impl CoreConfig {
         if let Some(mp) = &self.multipath {
             assert!(mp.max_paths >= 2, "multipath needs at least two paths");
         }
+    }
+}
+
+/// Builds a [`CoreConfig`] field by field, starting from the paper's
+/// baseline; see [`CoreConfig::builder`].
+///
+/// ```
+/// use hydra_pipeline::{CoreConfig, ReturnPredictor};
+///
+/// let cfg = CoreConfig::builder()
+///     .ruu_size(32)
+///     .return_predictor(ReturnPredictor::BtbOnly)
+///     .build();
+/// assert_eq!(cfg.ruu_size, 32);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CoreConfigBuilder {
+    config: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Instructions fetched per cycle.
+    pub fn fetch_width(mut self, n: usize) -> Self {
+        self.config.fetch_width = n;
+        self
+    }
+
+    /// Instructions dispatched into the RUU per cycle.
+    pub fn dispatch_width(mut self, n: usize) -> Self {
+        self.config.dispatch_width = n;
+        self
+    }
+
+    /// Instructions issued to functional units per cycle.
+    pub fn issue_width(mut self, n: usize) -> Self {
+        self.config.issue_width = n;
+        self
+    }
+
+    /// Instructions committed per cycle.
+    pub fn commit_width(mut self, n: usize) -> Self {
+        self.config.commit_width = n;
+        self
+    }
+
+    /// Register-update-unit entries.
+    pub fn ruu_size(mut self, n: usize) -> Self {
+        self.config.ruu_size = n;
+        self
+    }
+
+    /// Load-store-queue entries.
+    pub fn lsq_size(mut self, n: usize) -> Self {
+        self.config.lsq_size = n;
+        self
+    }
+
+    /// Fetch-queue entries between fetch and dispatch.
+    pub fn fetch_queue(mut self, n: usize) -> Self {
+        self.config.fetch_queue = n;
+        self
+    }
+
+    /// Front-end depth in cycles.
+    pub fn decode_latency(mut self, cycles: u64) -> Self {
+        self.config.decode_latency = cycles;
+        self
+    }
+
+    /// Return-target prediction scheme.
+    pub fn return_predictor(mut self, p: ReturnPredictor) -> Self {
+        self.config.return_predictor = p;
+        self
+    }
+
+    /// Shadow-storage capacity for in-flight checkpoints (`None` =
+    /// unlimited).
+    pub fn checkpoint_budget(mut self, budget: Option<usize>) -> Self {
+        self.config.checkpoint_budget = budget;
+        self
+    }
+
+    /// Direction-predictor geometry.
+    pub fn hybrid(mut self, hybrid: HybridConfig) -> Self {
+        self.config.hybrid = hybrid;
+        self
+    }
+
+    /// BTB geometry.
+    pub fn btb(mut self, btb: BtbConfig) -> Self {
+        self.config.btb = btb;
+        self
+    }
+
+    /// Confidence-estimator geometry.
+    pub fn confidence(mut self, confidence: ConfidenceConfig) -> Self {
+        self.config.confidence = confidence;
+        self
+    }
+
+    /// Memory hierarchy.
+    pub fn mem(mut self, mem: HierarchyConfig) -> Self {
+        self.config.mem = mem;
+        self
+    }
+
+    /// Functional-unit latencies.
+    pub fn latencies(mut self, latencies: FuLatencies) -> Self {
+        self.config.latencies = latencies;
+        self
+    }
+
+    /// Multipath execution (`None` = conventional single-path).
+    pub fn multipath(mut self, multipath: Option<MultipathConfig>) -> Self {
+        self.config.multipath = multipath;
+        self
+    }
+
+    /// Finishes the configuration **without** validating it — callers
+    /// that want early structural checks use [`CoreConfig::validate`];
+    /// `Core::new` validates regardless.
+    pub fn build(self) -> CoreConfig {
+        self.config
     }
 }
 
@@ -228,6 +366,37 @@ mod tests {
         let c = CoreConfig::multipath(2, MultipathStackPolicy::PerPath);
         assert_eq!(c.multipath.unwrap().max_paths, 2);
         c.validate();
+    }
+
+    #[test]
+    fn builder_sets_every_structural_field() {
+        let cfg = CoreConfig::builder()
+            .fetch_width(2)
+            .dispatch_width(2)
+            .issue_width(2)
+            .commit_width(2)
+            .ruu_size(8)
+            .lsq_size(4)
+            .fetch_queue(4)
+            .decode_latency(5)
+            .return_predictor(ReturnPredictor::Perfect)
+            .checkpoint_budget(Some(4))
+            .multipath(Some(MultipathConfig {
+                max_paths: 2,
+                stack_policy: MultipathStackPolicy::PerPath,
+            }))
+            .build();
+        assert_eq!(cfg.fetch_width, 2);
+        assert_eq!(cfg.ruu_size, 8);
+        assert_eq!(cfg.lsq_size, 4);
+        assert_eq!(cfg.fetch_queue, 4);
+        assert_eq!(cfg.decode_latency, 5);
+        assert_eq!(cfg.return_predictor, ReturnPredictor::Perfect);
+        assert_eq!(cfg.checkpoint_budget, Some(4));
+        assert_eq!(cfg.multipath.unwrap().max_paths, 2);
+        cfg.validate();
+        // Untouched fields keep the baseline values.
+        assert_eq!(CoreConfig::builder().build(), CoreConfig::baseline());
     }
 
     #[test]

@@ -21,9 +21,9 @@
 use crate::config::{CoreConfig, ReturnPredictor};
 use crate::path::{PathId, PathTable};
 use crate::ptrace::PipeTrace;
-use crate::ras_unit::RasUnit;
+use crate::ras_unit::{CkptHandle, RasUnit};
 use crate::stats::{ReturnSource, SimStats};
-use crate::uop::{Src, Uop, UopState};
+use crate::uop::{Src, Uop, UopState, NIL};
 use hydra_bpred::{Btb, ConfidenceEstimator, HybridPredictor};
 use hydra_isa::semantics::{alu, branch_taken, effective_address};
 use hydra_isa::{Addr, ControlKind, Inst, Program, Reg};
@@ -35,12 +35,21 @@ use std::collections::VecDeque;
 /// wedged (a simulator bug, not a program property).
 const DEADLOCK_HORIZON: u64 = 200_000;
 
+/// A rename-map entry: the latest in-flight producer of a register,
+/// identified both by sequence number (for `Src::Pending`) and by slab
+/// slot (so wakeup registration at fetch is O(1)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MapEntry {
+    seq: u64,
+    slot: u32,
+}
+
 #[derive(Debug, Clone)]
 struct PathCtx {
     fetch_pc: Addr,
     stall_until: u64,
     fetch_stopped: bool,
-    map: [Option<u64>; Reg::COUNT],
+    map: [Option<MapEntry>; Reg::COUNT],
     /// Speculative global branch history: shifted at fetch, repaired on
     /// mispredictions (per-path, so forked arms see opposite last bits).
     history: u64,
@@ -58,7 +67,7 @@ impl PathCtx {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct LsqEntry {
     seq: u64,
     path: PathId,
@@ -66,6 +75,88 @@ struct LsqEntry {
     addr: Option<u64>,
     value: Option<i64>,
     squashed: bool,
+}
+
+impl LsqEntry {
+    /// Placeholder for unoccupied slots.
+    fn vacant() -> Self {
+        LsqEntry {
+            seq: 0,
+            path: PathId::ROOT,
+            is_store: false,
+            addr: None,
+            value: None,
+            squashed: false,
+        }
+    }
+}
+
+/// The load/store queue as an index-linked list over a fixed slab:
+/// entries keep queue (= program) order through `next`/`prev` links, and
+/// removal by slot — the micro-op records its slot at dispatch — is O(1)
+/// instead of a full `retain` scan per commit or squash.
+#[derive(Debug, Clone)]
+struct Lsq {
+    entries: Vec<LsqEntry>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl Lsq {
+    fn new(capacity: usize) -> Self {
+        Lsq {
+            entries: vec![LsqEntry::vacant(); capacity],
+            next: vec![NIL; capacity],
+            prev: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            free: (0..capacity as u32).rev().collect(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends an entry at the queue tail; returns its slot.
+    fn push_back(&mut self, e: LsqEntry) -> u32 {
+        let slot = self.free.pop().expect("LSQ slab exhausted");
+        self.entries[slot as usize] = e;
+        self.next[slot as usize] = NIL;
+        self.prev[slot as usize] = self.tail;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.next[self.tail as usize] = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+        slot
+    }
+
+    /// Unlinks and frees a slot (O(1)).
+    fn remove(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = NIL;
+        self.free.push(slot);
+        self.len -= 1;
+    }
 }
 
 /// An in-core architectural interpreter used for the optional golden
@@ -209,9 +300,16 @@ pub struct Core {
     paths: PathTable,
     path_ctx: Vec<PathCtx>,
     fetch_rotor: usize,
-    fetch_queue: VecDeque<(u64, Uop)>,
-    ruu: VecDeque<Uop>,
-    lsq: VecDeque<LsqEntry>,
+    /// The micro-op slab: every in-flight micro-op lives here, and the
+    /// fetch queue and RUU hold slot indices into it. Its capacity
+    /// (`fetch_queue + ruu_size`) bounds total occupancy, so the free
+    /// list can never run dry and the steady-state hot loop performs no
+    /// heap allocation per cycle.
+    slab: Vec<Uop>,
+    slab_free: Vec<u32>,
+    fetch_queue: VecDeque<(u64, u32)>,
+    ruu: VecDeque<u32>,
+    lsq: Lsq,
 
     stats: SimStats,
     /// Cycle count at the last statistics reset (warm-up boundary).
@@ -220,6 +318,14 @@ pub struct Core {
     golden: Option<GoldenMachine>,
     ptrace: Option<PipeTrace>,
     occupancy: Occupancy,
+
+    // Persistent scratch buffers for squash bookkeeping, taken with
+    // `mem::take` while in use so their capacity survives across calls.
+    scratch_doomed: Vec<PathId>,
+    scratch_subtree: Vec<PathId>,
+    scratch_killed: Vec<PathId>,
+    scratch_released: Vec<CkptHandle>,
+    scratch_seqs: Vec<u64>,
 }
 
 /// Per-cycle occupancy samples of the core's queues (see
@@ -259,6 +365,7 @@ impl Core {
     pub fn new(config: CoreConfig, program: &Program) -> Self {
         config.validate();
         let max_paths = config.multipath.map(|m| m.max_paths).unwrap_or(1);
+        let slab_cap = config.fetch_queue + config.ruu_size;
         Core {
             ras: RasUnit::new(&config),
             hybrid: HybridPredictor::new(config.hybrid),
@@ -274,9 +381,21 @@ impl Core {
             paths: PathTable::new(max_paths),
             path_ctx: vec![PathCtx::new(Addr::ZERO)],
             fetch_rotor: 0,
-            fetch_queue: VecDeque::new(),
-            ruu: VecDeque::new(),
-            lsq: VecDeque::new(),
+            slab: (0..slab_cap)
+                .map(|_| {
+                    let mut u = Uop::new(0, PathId::ROOT, Addr::ZERO, Inst::Nop, Addr::ZERO);
+                    // Wakeup lists grow toward a workload-dependent
+                    // high-water mark; reserving the window-wide bound
+                    // (every RUU entry registering both operands) up
+                    // front keeps rename-time registration off the heap.
+                    u.consumers.reserve(2 * config.ruu_size);
+                    u
+                })
+                .collect(),
+            slab_free: (0..slab_cap as u32).rev().collect(),
+            fetch_queue: VecDeque::with_capacity(config.fetch_queue + 1),
+            ruu: VecDeque::with_capacity(config.ruu_size + 1),
+            lsq: Lsq::new(config.lsq_size),
             stats: SimStats {
                 max_live_paths: 1,
                 ..SimStats::default()
@@ -286,6 +405,11 @@ impl Core {
             golden: None,
             ptrace: None,
             occupancy: Occupancy::new(&config),
+            scratch_doomed: Vec::new(),
+            scratch_subtree: Vec::new(),
+            scratch_killed: Vec::new(),
+            scratch_released: Vec::new(),
+            scratch_seqs: Vec::new(),
             config,
         }
     }
@@ -430,136 +554,162 @@ impl Core {
     fn commit(&mut self) {
         let mut slots = self.config.commit_width;
         while slots > 0 {
-            let Some(head) = self.ruu.front() else { break };
-            if head.squashed {
+            let Some(&head) = self.ruu.front() else { break };
+            let hu = head as usize;
+            if self.slab[hu].squashed {
                 // Squashed entries drain through the RUU front consuming
                 // retire bandwidth, as the paper's footnote describes.
-                let seq = head.seq;
+                let seq = self.slab[hu].seq;
                 self.ruu.pop_front();
-                self.lsq.retain(|e| e.seq != seq);
+                self.lsq_remove_for(head);
                 if let Some(t) = &mut self.ptrace {
                     t.on_retire(seq, self.cycle);
                 }
+                self.free_slot(head);
                 slots -= 1;
                 continue;
             }
-            if !head.is_done() {
+            if !self.slab[hu].is_done() {
                 break;
             }
             if self.halted {
                 break;
             }
-            let uop = self.ruu.pop_front().expect("checked non-empty");
-            self.lsq.retain(|e| e.seq != uop.seq);
+            let seq = self.slab[hu].seq;
+            self.ruu.pop_front();
+            self.lsq_remove_for(head);
             if let Some(t) = &mut self.ptrace {
-                t.on_retire(uop.seq, self.cycle);
+                t.on_retire(seq, self.cycle);
             }
-            self.retire(&uop);
+            self.retire(head);
+            self.free_slot(head);
             slots -= 1;
         }
     }
 
-    fn retire(&mut self, uop: &Uop) {
-        assert!(!uop.wild, "wild (out-of-image) micro-op reached commit");
+    /// Returns a retired or flushed micro-op's slot to the slab free
+    /// list. The slot's contents stay in place (the wakeup list keeps
+    /// its buffer) until [`Uop::reset`] on reuse.
+    fn free_slot(&mut self, slot: u32) {
+        self.slab_free.push(slot);
+    }
+
+    /// Drops the LSQ entry belonging to the micro-op in `slot`, if any.
+    fn lsq_remove_for(&mut self, slot: u32) {
+        let ls = self.slab[slot as usize].lsq_slot;
+        if ls != NIL {
+            self.lsq.remove(ls);
+            self.slab[slot as usize].lsq_slot = NIL;
+        }
+    }
+
+    fn retire(&mut self, slot: u32) {
+        let su = slot as usize;
+        let (seq, pc, inst, wild) = {
+            let u = &self.slab[su];
+            (u.seq, u.pc, u.inst, u.wild)
+        };
+        let (result, actual_next_pc, taken_actual, dir_pred) = {
+            let u = &self.slab[su];
+            (u.result, u.actual_next_pc, u.taken_actual, u.dir_pred)
+        };
+        let (pred_next_pc, return_source, mem_addr, store_value) = {
+            let u = &self.slab[su];
+            (u.pred_next_pc, u.return_source, u.mem_addr, u.store_value)
+        };
+        assert!(!wild, "wild (out-of-image) micro-op reached commit");
         if let Some(golden) = &mut self.golden {
             assert_eq!(
-                golden.pc, uop.pc,
-                "commit diverged from golden machine at seq {}",
-                uop.seq
+                golden.pc, pc,
+                "commit diverged from golden machine at seq {seq}"
             );
-            let (dest_val, next) = golden.step(uop.inst, self.program.data_words());
+            let (dest_val, next) = golden.step(inst, self.program.data_words());
             if let Some(v) = dest_val {
-                assert_eq!(
-                    uop.result,
-                    Some(v),
-                    "result diverged at {} ({})",
-                    uop.pc,
-                    uop.inst
-                );
+                assert_eq!(result, Some(v), "result diverged at {pc} ({inst})");
             }
-            if uop.is_control() {
+            if inst.control_kind().is_control() {
                 assert_eq!(
-                    uop.actual_next_pc,
+                    actual_next_pc,
                     Some(next),
-                    "control target diverged at {} ({})",
-                    uop.pc,
-                    uop.inst
+                    "control target diverged at {pc} ({inst})"
                 );
             }
         }
 
         // Architectural effects.
-        if let Some(dest) = uop.inst.dest() {
-            let value = uop.result.expect("done uop has result");
+        if let Some(dest) = inst.dest() {
+            let value = result.expect("done uop has result");
             self.regfile[dest.index() as usize] = value;
-            // The producer is leaving the window: patch waiting consumers
-            // to the concrete value and clear rename-map entries that
-            // still name it, so later fetches read the register file.
-            let patch = |srcs: &mut [Src; 2]| {
-                for s in srcs.iter_mut() {
-                    if *s == Src::Pending(uop.seq) {
-                        *s = Src::Value(value);
-                    }
+            // The producer is leaving the window: patch the consumers it
+            // registered at rename time to the concrete value — only
+            // those, not the whole window — and clear live rename-map
+            // entries that still name it, so later fetches read the
+            // register file. Entries for since-recycled consumer slots
+            // fail the `Pending(seq)` check and are skipped; maps of
+            // dead paths are rebuilt from scratch if ever revived.
+            let consumers = std::mem::take(&mut self.slab[su].consumers);
+            for &(cslot, i) in &consumers {
+                let s = &mut self.slab[cslot as usize].srcs[i as usize];
+                if *s == Src::Pending(seq) {
+                    *s = Src::Value(value);
                 }
-            };
-            for u in self.ruu.iter_mut() {
-                patch(&mut u.srcs);
             }
-            for (_, u) in self.fetch_queue.iter_mut() {
-                patch(&mut u.srcs);
-            }
-            for ctx in self.path_ctx.iter_mut() {
-                if ctx.map[dest.index() as usize] == Some(uop.seq) {
-                    ctx.map[dest.index() as usize] = None;
+            self.slab[su].consumers = consumers;
+            let paths = &self.paths;
+            let ctxs = &mut self.path_ctx;
+            for &p in paths.alive_ids() {
+                let m = &mut ctxs[p.index()].map[dest.index() as usize];
+                if m.is_some_and(|e| e.seq == seq) {
+                    *m = None;
                 }
             }
         }
-        if uop.inst.is_store() {
-            let addr = uop.mem_addr.expect("store has address") as usize;
-            self.mem_data[addr] = uop.store_value.expect("store has value");
+        if inst.is_store() {
+            let addr = mem_addr.expect("store has address") as usize;
+            self.mem_data[addr] = store_value.expect("store has value");
         }
 
         // Statistics and predictor training.
         self.stats.committed += 1;
         self.last_commit_cycle = self.cycle;
-        let kind = uop.inst.control_kind();
+        let kind = inst.control_kind();
         match kind {
             ControlKind::Halt => self.halted = true,
             ControlKind::CondBranch { .. } => {
-                let taken = uop.taken_actual.expect("resolved branch");
-                let pred = uop.dir_pred.expect("conditional branch was predicted");
+                let taken = taken_actual.expect("resolved branch");
+                let pred = dir_pred.expect("conditional branch was predicted");
                 let correct = pred.taken == taken;
                 self.stats.cond_branches += 1;
                 if !correct {
                     self.stats.cond_mispredictions += 1;
                 }
-                self.hybrid.train(uop.pc, &pred, taken);
-                self.confidence.update(uop.pc, correct);
+                self.hybrid.train(pc, &pred, taken);
+                self.confidence.update(pc, correct);
             }
             ControlKind::Call { .. } | ControlKind::IndirectCall => {
                 self.stats.calls += 1;
                 if kind == ControlKind::IndirectCall {
-                    let target = uop.actual_next_pc.expect("resolved call");
-                    self.btb.update(uop.pc, target);
-                    if uop.pred_next_pc != target {
+                    let target = actual_next_pc.expect("resolved call");
+                    self.btb.update(pc, target);
+                    if pred_next_pc != target {
                         self.stats.target_mispredictions += 1;
                     }
                 }
             }
             ControlKind::IndirectJump => {
-                let target = uop.actual_next_pc.expect("resolved jump");
-                self.btb.update(uop.pc, target);
-                if uop.pred_next_pc != target {
+                let target = actual_next_pc.expect("resolved jump");
+                self.btb.update(pc, target);
+                if pred_next_pc != target {
                     self.stats.target_mispredictions += 1;
                 }
             }
             ControlKind::Return => {
-                let target = uop.actual_next_pc.expect("resolved return");
+                let target = actual_next_pc.expect("resolved return");
                 self.stats.returns += 1;
-                let hit = uop.pred_next_pc == target;
+                let hit = pred_next_pc == target;
                 if hit {
                     self.stats.return_hits += 1;
-                    match uop.return_source {
+                    match return_source {
                         Some(ReturnSource::Ras) | Some(ReturnSource::Oracle) => {
                             self.stats.return_hits_ras += 1
                         }
@@ -569,12 +719,12 @@ impl Core {
                 } else {
                     self.stats.target_mispredictions += 1;
                 }
-                if uop.return_source == Some(ReturnSource::Fallthrough) {
+                if return_source == Some(ReturnSource::Fallthrough) {
                     self.stats.return_no_prediction += 1;
                 }
                 // Returns occupy BTB entries only when there is no stack.
                 if matches!(self.config.return_predictor, ReturnPredictor::BtbOnly) {
-                    self.btb.update(uop.pc, target);
+                    self.btb.update(pc, target);
                 }
             }
             ControlKind::Jump { .. } | ControlKind::Sequential => {}
@@ -586,36 +736,40 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn writeback(&mut self) {
-        // Collect completions oldest-first so an older misprediction
-        // squashes younger control before it resolves.
-        let completed: Vec<u64> = self
-            .ruu
-            .iter()
-            .filter(|u| matches!(u.state, UopState::Issued { done_at } if done_at <= self.cycle))
-            .map(|u| u.seq)
-            .collect();
-        for seq in completed {
-            let Some(idx) = self.ruu_index(seq) else {
+        // Walk oldest-first so an older misprediction squashes younger
+        // control before it resolves. Resolution never adds or removes
+        // RUU entries (squashes only mark flags), so positional
+        // iteration is safe and needs no snapshot of completions.
+        for i in 0..self.ruu.len() {
+            let slot = self.ruu[i];
+            let su = slot as usize;
+            let done = matches!(
+                self.slab[su].state,
+                UopState::Issued { done_at } if done_at <= self.cycle
+            );
+            if !done {
                 continue;
-            };
-            self.ruu[idx].state = UopState::Done;
+            }
+            self.slab[su].state = UopState::Done;
+            let seq = self.slab[su].seq;
             if let Some(t) = &mut self.ptrace {
                 t.on_complete(seq, self.cycle);
             }
-            let u = &self.ruu[idx];
+            let u = &self.slab[su];
             if u.squashed || !u.is_control() || u.resolved {
                 continue;
             }
-            self.resolve(seq);
+            self.resolve(slot);
         }
     }
 
-    fn resolve(&mut self, seq: u64) {
-        let idx = self.ruu_index(seq).expect("resolving an in-flight uop");
-        let (path, pred_next, actual_next, forked_child) = {
-            let u = &mut self.ruu[idx];
+    fn resolve(&mut self, slot: u32) {
+        let su = slot as usize;
+        let (seq, path, pred_next, actual_next, forked_child) = {
+            let u = &mut self.slab[su];
             u.resolved = true;
             (
+                u.seq,
                 u.path,
                 u.pred_next_pc,
                 u.actual_next_pc.expect("control uop executed"),
@@ -626,15 +780,18 @@ impl Core {
         hydra_trace::trace_event!(hydra_trace::TraceEvent::BranchResolve {
             cycle: self.cycle,
             path: path.index() as u64,
-            pc: self.ruu[idx].pc.word(),
+            pc: self.slab[su].pc.word(),
             mispredict: !correct,
         });
 
         if let Some(child) = forked_child {
             if correct {
                 // The fetched (predicted) arm wins: the child subtree dies.
-                let killed = self.paths.kill_subtree(child);
-                self.squash_paths(&killed);
+                let mut subtree = std::mem::take(&mut self.scratch_subtree);
+                subtree.clear();
+                self.paths.kill_subtree_into(child, &mut subtree);
+                self.squash_paths(&subtree);
+                self.scratch_subtree = subtree;
             } else {
                 // The forked arm wins: squash the parent's continuation
                 // (strictly younger than the branch; the child forked at
@@ -650,10 +807,10 @@ impl Core {
         }
 
         // Conventional speculation point.
-        let ckpt = self.ruu[idx].ras_ckpt.take();
+        let ckpt = self.slab[su].ras_ckpt.take();
         if correct {
             if let Some(handle) = ckpt {
-                self.ras.release(&handle);
+                self.ras.release(handle);
             }
             return;
         }
@@ -666,10 +823,10 @@ impl Core {
         self.squash_lineage(path, seq);
         self.paths.revive(path);
         if let Some(handle) = ckpt {
-            self.ras.restore(&handle);
+            self.ras.restore(handle);
         }
         let (history_at_fetch, taken_actual) = {
-            let u = &self.ruu[self.ruu_index(seq).expect("still in flight")];
+            let u = &self.slab[su];
             (u.history_at_fetch, u.taken_actual)
         };
         let ctx = &mut self.path_ctx[path.index()];
@@ -696,74 +853,104 @@ impl Core {
         // `min_seq` — including paths that already stopped fetching
         // (retired fork parents): their in-flight micro-ops are part of
         // the squashed continuation too.
-        let doomed: Vec<PathId> = self
-            .paths
-            .all_paths()
-            .into_iter()
-            .filter(|&q| q != base && self.paths.on_lineage(q, u64::MAX, base, min_seq))
-            .collect();
-        let mut killed: Vec<PathId> = Vec::new();
-        for q in doomed {
-            for k in self.paths.kill_subtree(q) {
+        let mut doomed = std::mem::take(&mut self.scratch_doomed);
+        doomed.clear();
+        for i in 0..self.paths.path_count() {
+            let q = PathId::from_index(i);
+            if q != base && self.paths.on_lineage(q, u64::MAX, base, min_seq) {
+                doomed.push(q);
+            }
+        }
+        let mut killed = std::mem::take(&mut self.scratch_killed);
+        killed.clear();
+        let mut subtree = std::mem::take(&mut self.scratch_subtree);
+        for &q in &doomed {
+            subtree.clear();
+            self.paths.kill_subtree_into(q, &mut subtree);
+            for &k in &subtree {
                 if !killed.contains(&k) {
                     killed.push(k);
                 }
             }
         }
+        self.scratch_subtree = subtree;
+        self.scratch_doomed = doomed;
         for &q in &killed {
             self.ras.on_path_death(q);
         }
 
-        let paths = &self.paths;
-        let should_squash = |u: &Uop| {
-            !u.squashed
-                && (paths.on_lineage(u.path, u.seq, base, min_seq) || killed.contains(&u.path))
-        };
-
-        let mut released = Vec::new();
-        let mut squashed_seqs = Vec::new();
-        for u in self.ruu.iter_mut() {
-            if should_squash(u) {
+        let mut released = std::mem::take(&mut self.scratch_released);
+        let mut squashed_seqs = std::mem::take(&mut self.scratch_seqs);
+        released.clear();
+        squashed_seqs.clear();
+        for i in 0..self.ruu.len() {
+            let su = self.ruu[i] as usize;
+            let (upath, useq, usq) = {
+                let u = &self.slab[su];
+                (u.path, u.seq, u.squashed)
+            };
+            if !usq
+                && (self.paths.on_lineage(upath, useq, base, min_seq) || killed.contains(&upath))
+            {
+                let u = &mut self.slab[su];
                 u.squashed = true;
-                squashed_seqs.push(u.seq);
+                squashed_seqs.push(useq);
                 self.stats.squashed_uops += 1;
                 if let Some(handle) = u.ras_ckpt.take() {
                     released.push(handle);
                 }
             }
         }
-        for e in self.lsq.iter_mut() {
-            if paths.on_lineage(e.path, e.seq, base, min_seq) || killed.contains(&e.path) {
-                e.squashed = true;
+        {
+            let paths = &self.paths;
+            let lsq = &mut self.lsq;
+            let mut s = lsq.head;
+            while s != NIL {
+                let e = &mut lsq.entries[s as usize];
+                if paths.on_lineage(e.path, e.seq, base, min_seq) || killed.contains(&e.path) {
+                    e.squashed = true;
+                }
+                s = lsq.next[s as usize];
             }
         }
-        // Flush matching fetch-queue entries entirely (front-end flush).
-        let mut kept = VecDeque::with_capacity(self.fetch_queue.len());
-        for (ready, u) in self.fetch_queue.drain(..) {
-            if should_squash(&u) {
-                squashed_seqs.push(u.seq);
+        // Flush matching fetch-queue entries entirely (front-end flush),
+        // rotating kept entries back so their order is preserved.
+        for _ in 0..self.fetch_queue.len() {
+            let (ready, slot) = self.fetch_queue.pop_front().expect("counted");
+            let su = slot as usize;
+            let (upath, useq, usq) = {
+                let u = &self.slab[su];
+                (u.path, u.seq, u.squashed)
+            };
+            if !usq
+                && (self.paths.on_lineage(upath, useq, base, min_seq) || killed.contains(&upath))
+            {
+                squashed_seqs.push(useq);
                 self.stats.squashed_uops += 1;
-                if let Some(handle) = u.ras_ckpt {
+                if let Some(handle) = self.slab[su].ras_ckpt.take() {
                     released.push(handle);
                 }
+                self.free_slot(slot);
             } else {
-                kept.push_back((ready, u));
+                self.fetch_queue.push_back((ready, slot));
             }
         }
-        self.fetch_queue = kept;
+        self.scratch_killed = killed;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
             cycle: self.cycle,
             path: base.index() as u64,
             uops: squashed_seqs.len() as u64,
         });
-        for handle in released {
-            self.ras.release(&handle);
+        for handle in released.drain(..) {
+            self.ras.release(handle);
         }
+        self.scratch_released = released;
         if let Some(t) = &mut self.ptrace {
-            for seq in squashed_seqs {
+            for &seq in &squashed_seqs {
                 t.on_squash(seq, self.cycle);
             }
         }
+        self.scratch_seqs = squashed_seqs;
     }
 
     /// Squashes every micro-op belonging to the given (killed) paths.
@@ -771,9 +958,13 @@ impl Core {
         for &q in killed {
             self.ras.on_path_death(q);
         }
-        let mut released = Vec::new();
-        let mut squashed_seqs = Vec::new();
-        for u in self.ruu.iter_mut() {
+        let mut released = std::mem::take(&mut self.scratch_released);
+        let mut squashed_seqs = std::mem::take(&mut self.scratch_seqs);
+        released.clear();
+        squashed_seqs.clear();
+        for i in 0..self.ruu.len() {
+            let su = self.ruu[i] as usize;
+            let u = &mut self.slab[su];
             if !u.squashed && killed.contains(&u.path) {
                 u.squashed = true;
                 squashed_seqs.push(u.seq);
@@ -783,57 +974,67 @@ impl Core {
                 }
             }
         }
-        for e in self.lsq.iter_mut() {
-            if killed.contains(&e.path) {
-                e.squashed = true;
+        {
+            let lsq = &mut self.lsq;
+            let mut s = lsq.head;
+            while s != NIL {
+                let e = &mut lsq.entries[s as usize];
+                if killed.contains(&e.path) {
+                    e.squashed = true;
+                }
+                s = lsq.next[s as usize];
             }
         }
-        let mut kept = VecDeque::with_capacity(self.fetch_queue.len());
-        for (ready, u) in self.fetch_queue.drain(..) {
-            if killed.contains(&u.path) {
-                squashed_seqs.push(u.seq);
+        for _ in 0..self.fetch_queue.len() {
+            let (ready, slot) = self.fetch_queue.pop_front().expect("counted");
+            let su = slot as usize;
+            if killed.contains(&self.slab[su].path) {
+                squashed_seqs.push(self.slab[su].seq);
                 self.stats.squashed_uops += 1;
-                if let Some(handle) = u.ras_ckpt {
+                if let Some(handle) = self.slab[su].ras_ckpt.take() {
                     released.push(handle);
                 }
+                self.free_slot(slot);
             } else {
-                kept.push_back((ready, u));
+                self.fetch_queue.push_back((ready, slot));
             }
         }
-        self.fetch_queue = kept;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
             cycle: self.cycle,
             path: killed.first().map_or(0, |p| p.index() as u64),
             uops: squashed_seqs.len() as u64,
         });
-        for handle in released {
-            self.ras.release(&handle);
+        for handle in released.drain(..) {
+            self.ras.release(handle);
         }
+        self.scratch_released = released;
         if let Some(t) = &mut self.ptrace {
-            for seq in squashed_seqs {
+            for &seq in &squashed_seqs {
                 t.on_squash(seq, self.cycle);
             }
         }
+        self.scratch_seqs = squashed_seqs;
     }
 
     /// Rebuilds a path's rename map from the surviving in-flight
     /// micro-ops after a squash.
     fn rebuild_map(&mut self, path: PathId) {
         let mut map = [None; Reg::COUNT];
-        let visible = |u: &Uop| !u.squashed && self.paths.visible(u.path, u.seq, path);
-        for u in self.ruu.iter() {
-            if visible(u) {
+        let paths = &self.paths;
+        let slab = &self.slab;
+        let mut scan = |slot: u32| {
+            let u = &slab[slot as usize];
+            if !u.squashed && paths.visible(u.path, u.seq, path) {
                 if let Some(dest) = u.inst.dest() {
-                    map[dest.index() as usize] = Some(u.seq);
+                    map[dest.index() as usize] = Some(MapEntry { seq: u.seq, slot });
                 }
             }
+        };
+        for &slot in self.ruu.iter() {
+            scan(slot);
         }
-        for (_, u) in self.fetch_queue.iter() {
-            if visible(u) {
-                if let Some(dest) = u.inst.dest() {
-                    map[dest.index() as usize] = Some(u.seq);
-                }
-            }
+        for &(_, slot) in self.fetch_queue.iter() {
+            scan(slot);
         }
         self.path_ctx[path.index()].map = map;
     }
@@ -843,7 +1044,9 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn ruu_index(&self, seq: u64) -> Option<usize> {
-        self.ruu.binary_search_by_key(&seq, |u| u.seq).ok()
+        self.ruu
+            .binary_search_by_key(&seq, |&slot| self.slab[slot as usize].seq)
+            .ok()
     }
 
     fn src_value(&self, src: Src) -> Option<i64> {
@@ -852,7 +1055,7 @@ impl Core {
             Src::Value(v) => Some(v),
             Src::Pending(seq) => match self.ruu_index(seq) {
                 Some(idx) => {
-                    let p = &self.ruu[idx];
+                    let p = &self.slab[self.ruu[idx] as usize];
                     if p.is_done() {
                         Some(p.result.unwrap_or(0))
                     } else {
@@ -870,35 +1073,38 @@ impl Core {
 
     fn issue(&mut self) {
         let mut slots = self.config.issue_width;
-        let seqs: Vec<u64> = self.ruu.iter().map(|u| u.seq).collect();
-        for seq in seqs {
+        // Positional iteration oldest-first: execution never adds or
+        // removes RUU entries, so no sequence snapshot is needed.
+        for i in 0..self.ruu.len() {
             if slots == 0 {
                 break;
             }
-            let Some(idx) = self.ruu_index(seq) else {
+            let slot = self.ruu[i];
+            let (s0, s1) = {
+                let u = &self.slab[slot as usize];
+                if u.squashed || u.state != UopState::Waiting {
+                    continue;
+                }
+                (u.srcs[0], u.srcs[1])
+            };
+            let (Some(a), Some(b)) = (self.src_value(s0), self.src_value(s1)) else {
                 continue;
             };
-            if self.ruu[idx].squashed || self.ruu[idx].state != UopState::Waiting {
-                continue;
-            }
-            let (a, b) = {
-                let u = &self.ruu[idx];
-                (self.src_value(u.srcs[0]), self.src_value(u.srcs[1]))
-            };
-            let (Some(a), Some(b)) = (a, b) else { continue };
-            if self.try_execute(seq, a, b) {
+            if self.try_execute(slot, a, b) {
                 slots -= 1;
             }
         }
     }
 
-    /// Attempts to execute the micro-op `seq` with operand values `a`,
-    /// `b`. Returns false if it must keep waiting (memory ordering).
-    fn try_execute(&mut self, seq: u64, a: i64, b: i64) -> bool {
-        let idx = self.ruu_index(seq).expect("issuing an in-flight uop");
-        let inst = self.ruu[idx].inst;
-        let pc = self.ruu[idx].pc;
-        let path = self.ruu[idx].path;
+    /// Attempts to execute the micro-op in slab slot `slot` with operand
+    /// values `a`, `b`. Returns false if it must keep waiting (memory
+    /// ordering).
+    fn try_execute(&mut self, slot: u32, a: i64, b: i64) -> bool {
+        let su = slot as usize;
+        let (seq, inst, pc, path) = {
+            let u = &self.slab[su];
+            (u.seq, u.inst, u.pc, u.path)
+        };
         let lat = &self.config.latencies;
         let data_words = self.program.data_words();
 
@@ -967,7 +1173,9 @@ impl Core {
                     addr: ea,
                     hit: latency - lat.agen <= self.config.mem.l1_latency,
                 });
-                if let Some(e) = self.lsq.iter_mut().find(|e| e.seq == seq) {
+                let ls = self.slab[su].lsq_slot;
+                if ls != NIL {
+                    let e = &mut self.lsq.entries[ls as usize];
                     e.addr = Some(ea);
                     e.value = Some(a);
                 }
@@ -1002,7 +1210,7 @@ impl Core {
             }
         }
 
-        let u = &mut self.ruu[idx];
+        let u = &mut self.slab[su];
         u.result = result;
         u.actual_next_pc = actual_next;
         u.taken_actual = taken_actual;
@@ -1019,7 +1227,11 @@ impl Core {
 
     fn load_forward(&self, seq: u64, path: PathId, ea: u64) -> LoadOutcome {
         let mut forwarded = None;
-        for e in self.lsq.iter() {
+        // Walk the LSQ in queue (= program) order through the links.
+        let mut s = self.lsq.head;
+        while s != NIL {
+            let e = &self.lsq.entries[s as usize];
+            s = self.lsq.next[s as usize];
             if e.seq >= seq || !e.is_store || e.squashed {
                 continue;
             }
@@ -1047,34 +1259,39 @@ impl Core {
     fn dispatch(&mut self) {
         let mut slots = self.config.dispatch_width;
         while slots > 0 {
-            let Some((ready_at, _)) = self.fetch_queue.front() else {
+            let Some(&(ready_at, slot)) = self.fetch_queue.front() else {
                 break;
             };
-            if *ready_at > self.cycle {
+            if ready_at > self.cycle {
                 break;
             }
             if self.ruu.len() >= self.config.ruu_size {
                 break;
             }
-            let needs_lsq = self.fetch_queue.front().expect("checked").1.inst.is_mem();
+            let needs_lsq = self.slab[slot as usize].inst.is_mem();
             if needs_lsq && self.lsq.len() >= self.config.lsq_size {
                 break;
             }
-            let (_, uop) = self.fetch_queue.pop_front().expect("checked non-empty");
+            self.fetch_queue.pop_front();
+            let (seq, path, is_store, squashed) = {
+                let u = &self.slab[slot as usize];
+                (u.seq, u.path, u.inst.is_store(), u.squashed)
+            };
             if let Some(t) = &mut self.ptrace {
-                t.on_dispatch(uop.seq, self.cycle);
+                t.on_dispatch(seq, self.cycle);
             }
             if needs_lsq {
-                self.lsq.push_back(LsqEntry {
-                    seq: uop.seq,
-                    path: uop.path,
-                    is_store: uop.inst.is_store(),
+                let ls = self.lsq.push_back(LsqEntry {
+                    seq,
+                    path,
+                    is_store,
                     addr: None,
                     value: None,
-                    squashed: uop.squashed,
+                    squashed,
                 });
+                self.slab[slot as usize].lsq_slot = ls;
             }
-            self.ruu.push_back(uop);
+            self.ruu.push_back(slot);
             slots -= 1;
         }
     }
@@ -1083,35 +1300,75 @@ impl Core {
     // Fetch (with fetch-time renaming and speculative RAS update)
     // ------------------------------------------------------------------
 
-    /// Renames one source register on `path` at fetch time.
-    fn rename_src(&self, path: PathId, reg: Reg) -> Src {
-        if reg.is_zero() {
-            return Src::Value(0);
-        }
-        match self.path_ctx[path.index()].map[reg.index() as usize] {
-            Some(seq) => Src::Pending(seq),
-            None => Src::Value(self.regfile[reg.index() as usize]),
-        }
+    /// Renames one source register of the micro-op in slab slot
+    /// `consumer` at fetch time, registering it on the producer's wakeup
+    /// list when the operand is pending.
+    fn rename_src(&mut self, path: PathId, reg: Reg, consumer: u32, i: u8) {
+        let src = if reg.is_zero() {
+            Src::Value(0)
+        } else {
+            match self.path_ctx[path.index()].map[reg.index() as usize] {
+                Some(e) => {
+                    debug_assert_eq!(
+                        self.slab[e.slot as usize].seq, e.seq,
+                        "rename map names a recycled slab slot"
+                    );
+                    // A long-lived producer accumulates stale entries
+                    // (squashed consumers whose slots were recycled stay
+                    // registered until it retires). When the recycled
+                    // buffer fills, drop entries that no longer pass the
+                    // patch-time validity check instead of growing the
+                    // buffer — this bounds the list by live consumers and
+                    // keeps steady-state rename off the heap. Patching
+                    // skips stale entries anyway, so behaviour is
+                    // unchanged.
+                    let pu = e.slot as usize;
+                    if self.slab[pu].consumers.len() == self.slab[pu].consumers.capacity() {
+                        let mut consumers = std::mem::take(&mut self.slab[pu].consumers);
+                        let slab = &self.slab;
+                        consumers.retain(|&(c, si)| {
+                            slab[c as usize].srcs[si as usize] == Src::Pending(e.seq)
+                        });
+                        self.slab[pu].consumers = consumers;
+                    }
+                    self.slab[pu].consumers.push((consumer, i));
+                    Src::Pending(e.seq)
+                }
+                None => Src::Value(self.regfile[reg.index() as usize]),
+            }
+        };
+        self.slab[consumer as usize].srcs[i as usize] = src;
     }
 
     fn fetch(&mut self) {
         if self.halted {
             return;
         }
-        // Round-robin path selection.
-        let alive = self.paths.alive_paths();
-        let candidates: Vec<PathId> = alive
-            .into_iter()
-            .filter(|&p| {
-                let ctx = &self.path_ctx[p.index()];
-                !ctx.fetch_stopped && ctx.stall_until <= self.cycle
-            })
-            .collect();
-        if candidates.is_empty() {
+        // Round-robin path selection over fetchable live paths: count
+        // them, advance the rotor, then walk to the rotor-th candidate
+        // (two passes over the live list — no candidate buffer).
+        let fetchable = |ctx: &PathCtx, cycle: u64| !ctx.fetch_stopped && ctx.stall_until <= cycle;
+        let mut count = 0;
+        for &p in self.paths.alive_ids() {
+            if fetchable(&self.path_ctx[p.index()], self.cycle) {
+                count += 1;
+            }
+        }
+        if count == 0 {
             return;
         }
-        self.fetch_rotor = (self.fetch_rotor + 1) % candidates.len();
-        let path = candidates[self.fetch_rotor];
+        self.fetch_rotor = (self.fetch_rotor + 1) % count;
+        let mut path = PathId::ROOT;
+        let mut nth = 0;
+        for &p in self.paths.alive_ids() {
+            if fetchable(&self.path_ctx[p.index()], self.cycle) {
+                if nth == self.fetch_rotor {
+                    path = p;
+                    break;
+                }
+                nth += 1;
+            }
+        }
 
         let mut fetched = 0;
         while fetched < self.config.fetch_width && self.fetch_queue.len() < self.config.fetch_queue
@@ -1136,19 +1393,25 @@ impl Core {
             let seq = self.next_seq;
             self.next_seq += 1;
 
-            let mut uop = Uop::new(seq, path, pc, inst, pc.next());
-            uop.wild = wild;
+            // Recycle a slab slot in place; the slab's capacity bounds
+            // total occupancy, so the free list cannot be empty here.
+            let slot = self.slab_free.pop().expect("uop slab exhausted");
+            let su = slot as usize;
+            self.slab[su].reset(seq, path, pc, inst, pc.next());
+            self.slab[su].wild = wild;
 
-            // Rename sources (operand order matters; see `try_execute`).
+            // Rename sources (operand order matters; see `try_execute`),
+            // registering this micro-op on each pending producer's
+            // wakeup list.
             let srcs = inst.sources();
             match inst {
                 Inst::Store { rs, base, .. } => {
-                    uop.srcs[0] = self.rename_src(path, rs);
-                    uop.srcs[1] = self.rename_src(path, base);
+                    self.rename_src(path, rs, slot, 0);
+                    self.rename_src(path, base, slot, 1);
                 }
                 _ => {
                     for (i, &r) in srcs.iter().take(2).enumerate() {
-                        uop.srcs[i] = self.rename_src(path, r);
+                        self.rename_src(path, r, slot, i as u8);
                     }
                 }
             }
@@ -1166,8 +1429,8 @@ impl Core {
                 ControlKind::CondBranch { target } => {
                     let history = self.path_ctx[path.index()].history;
                     let pred = self.hybrid.predict_with_history(pc, history);
-                    uop.dir_pred = Some(pred);
-                    uop.history_at_fetch = Some(history);
+                    self.slab[su].dir_pred = Some(pred);
+                    self.slab[su].history_at_fetch = Some(history);
                     self.path_ctx[path.index()].history = (history << 1) | u64::from(pred.taken);
                     let mut forked = false;
                     if self.config.multipath.is_some() && !self.confidence.is_confident(pc) {
@@ -1185,7 +1448,7 @@ impl Core {
                             debug_assert_eq!(self.path_ctx.len(), child.index());
                             self.path_ctx.push(ctx);
                             self.ras.on_fork(path, child);
-                            uop.forked_child = Some(child);
+                            self.slab[su].forked_child = Some(child);
                             self.stats.forks += 1;
                             self.stats.max_live_paths = self
                                 .stats
@@ -1195,7 +1458,7 @@ impl Core {
                         }
                     }
                     if !forked {
-                        uop.ras_ckpt = self.ras.checkpoint(path);
+                        self.slab[su].ras_ckpt = self.ras.checkpoint(path);
                     }
                     if pred.taken {
                         stop_block = true;
@@ -1215,34 +1478,37 @@ impl Core {
                 }
                 ControlKind::IndirectCall => {
                     self.ras.push(path, pc.next().word());
-                    uop.ras_ckpt = self.ras.checkpoint(path);
-                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     self.btb.lookup(pc).unwrap_or_else(|| pc.next())
                 }
                 ControlKind::IndirectJump => {
-                    uop.ras_ckpt = self.ras.checkpoint(path);
-                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     self.btb.lookup(pc).unwrap_or_else(|| pc.next())
                 }
                 ControlKind::Return => {
                     let (target, source) = self.predict_return(path, pc);
-                    uop.return_source = Some(source);
-                    uop.ras_ckpt = self.ras.checkpoint(path);
-                    uop.history_at_fetch = Some(self.path_ctx[path.index()].history);
+                    self.slab[su].return_source = Some(source);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     target
                 }
             };
-            uop.pred_next_pc = next;
+            self.slab[su].pred_next_pc = next;
             self.stats.fetched_uops += 1;
             if let Some(t) = &mut self.ptrace {
                 t.on_fetch(seq, pc, inst, self.cycle);
             }
-            self.update_fetch_map(path, &uop);
+            if let Some(dest) = inst.dest() {
+                self.path_ctx[path.index()].map[dest.index() as usize] =
+                    Some(MapEntry { seq, slot });
+            }
             self.fetch_queue
-                .push_back((self.cycle + self.config.decode_latency, uop));
+                .push_back((self.cycle + self.config.decode_latency, slot));
             self.path_ctx[path.index()].fetch_pc = next;
             fetched += 1;
             if wild {
@@ -1254,12 +1520,6 @@ impl Core {
             if stop_block {
                 break;
             }
-        }
-    }
-
-    fn update_fetch_map(&mut self, path: PathId, uop: &Uop) {
-        if let Some(dest) = uop.inst.dest() {
-            self.path_ctx[path.index()].map[dest.index() as usize] = Some(uop.seq);
         }
     }
 

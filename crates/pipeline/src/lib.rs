@@ -57,7 +57,7 @@ mod stats;
 mod uop;
 
 pub use crate::core::{Core, Occupancy};
-pub use config::{CoreConfig, FuLatencies, MultipathConfig, ReturnPredictor};
+pub use config::{CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, ReturnPredictor};
 pub use path::{PathId, PathTable};
 pub use ptrace::{PipeTrace, UopRecord};
 pub use stats::{ReturnSource, SimStats};

@@ -28,6 +28,11 @@ impl PathId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The inverse of [`PathId::index`], for iterating dense tables.
+    pub(crate) fn from_index(i: usize) -> PathId {
+        PathId(i as u32)
+    }
 }
 
 impl fmt::Display for PathId {
@@ -65,6 +70,9 @@ struct PathInfo {
 pub struct PathTable {
     paths: Vec<PathInfo>,
     max_live: usize,
+    /// Live paths in creation order, maintained incrementally so the
+    /// per-cycle fetch loop never scans every path ever created.
+    alive_ids: Vec<PathId>,
 }
 
 impl PathTable {
@@ -83,12 +91,18 @@ impl PathTable {
                 alive: true,
             }],
             max_live,
+            alive_ids: vec![PathId::ROOT],
         }
     }
 
     /// Number of currently live paths.
     pub fn live_count(&self) -> usize {
-        self.paths.iter().filter(|p| p.alive).count()
+        self.alive_ids.len()
+    }
+
+    /// Number of paths ever created (dense identifier space).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
     }
 
     /// Whether `path` is alive (may fetch and fork).
@@ -98,10 +112,20 @@ impl PathTable {
 
     /// Live paths in creation order.
     pub fn alive_paths(&self) -> Vec<PathId> {
-        (0..self.paths.len() as u32)
-            .map(PathId)
-            .filter(|&p| self.is_alive(p))
-            .collect()
+        self.alive_ids.clone()
+    }
+
+    /// Live paths in creation order, without allocating (the hot-path
+    /// form of [`PathTable::alive_paths`]).
+    pub fn alive_ids(&self) -> &[PathId] {
+        &self.alive_ids
+    }
+
+    /// Removes `path` from the live list, keeping creation order.
+    fn alive_ids_remove(&mut self, path: PathId) {
+        if let Some(pos) = self.alive_ids.iter().position(|&p| p == path) {
+            self.alive_ids.remove(pos);
+        }
     }
 
     /// The parent of `path`, if it has one.
@@ -126,6 +150,7 @@ impl PathTable {
             fork_seq: seq,
             alive: true,
         });
+        self.alive_ids.push(id); // new ids are largest: order preserved
         Some(id)
     }
 
@@ -146,14 +171,24 @@ impl PathTable {
     /// dead (e.g. retired parents whose fork lost): a squash triggered at
     /// the subtree root must discard their in-flight micro-ops too.
     pub fn kill_subtree(&mut self, root: PathId) -> Vec<PathId> {
-        let ids: Vec<PathId> = (0..self.paths.len() as u32)
-            .map(PathId)
-            .filter(|&p| self.in_subtree(p, root))
-            .collect();
-        for &p in &ids {
-            self.paths[p.index()].alive = false;
-        }
+        let mut ids = Vec::new();
+        self.kill_subtree_into(root, &mut ids);
         ids
+    }
+
+    /// [`PathTable::kill_subtree`] appending into a caller-provided
+    /// buffer instead of allocating (the hot-path form).
+    pub fn kill_subtree_into(&mut self, root: PathId, out: &mut Vec<PathId>) {
+        for i in 0..self.paths.len() {
+            let p = PathId(i as u32);
+            if self.in_subtree(p, root) {
+                out.push(p);
+                if self.paths[i].alive {
+                    self.paths[i].alive = false;
+                    self.alive_ids_remove(p);
+                }
+            }
+        }
     }
 
     /// Every path ever created, in creation order.
@@ -165,7 +200,10 @@ impl PathTable {
     /// when a forked branch resolves *against* the parent: the parent's
     /// fetch stops but the surviving child subtree lives on).
     pub fn retire_path(&mut self, path: PathId) {
-        self.paths[path.index()].alive = false;
+        if self.paths[path.index()].alive {
+            self.paths[path.index()].alive = false;
+            self.alive_ids_remove(path);
+        }
     }
 
     /// Brings a retired path back to life. Needed when a branch *older*
@@ -173,7 +211,11 @@ impl PathTable {
     /// the subtree that had taken over, and the retired path is the
     /// correct continuation again.
     pub fn revive(&mut self, path: PathId) {
-        self.paths[path.index()].alive = true;
+        if !self.paths[path.index()].alive {
+            self.paths[path.index()].alive = true;
+            let pos = self.alive_ids.partition_point(|&p| p < path);
+            self.alive_ids.insert(pos, path);
+        }
     }
 
     /// **Lineage**: is a micro-op at `(uop_path, uop_seq)` part of the
@@ -216,10 +258,24 @@ impl PathTable {
     }
 
     /// Whether a micro-op at `(uop_path, uop_seq)` is visible to `path`.
+    ///
+    /// Equivalent to scanning [`PathTable::visibility`], but walks the
+    /// ancestor chain directly — this runs per LSQ entry per load in the
+    /// core's hot loop and must not allocate.
     pub fn visible(&self, uop_path: PathId, uop_seq: u64, path: PathId) -> bool {
-        self.visibility(path)
-            .iter()
-            .any(|&(p, h)| p == uop_path && uop_seq <= h)
+        if uop_path == path {
+            return true;
+        }
+        let mut cur = path;
+        let mut horizon = u64::MAX;
+        while let Some(parent) = self.parent(cur) {
+            horizon = horizon.min(self.fork_seq(cur));
+            if parent == uop_path {
+                return uop_seq <= horizon;
+            }
+            cur = parent;
+        }
+        false
     }
 }
 

@@ -92,6 +92,14 @@ pub(crate) struct RasUnit {
     mode: Mode,
     budget: CheckpointBudget,
     stats: RasUnitStats,
+    /// Recycled oracle stack images (checkpoints and dead-path stacks):
+    /// taking an oracle checkpoint or forking a path reuses a pooled
+    /// buffer instead of allocating on the hot path.
+    oracle_pool: Vec<Vec<u64>>,
+    /// Recycled per-path hardware stacks, reused via `fork_into`.
+    real_pool: Vec<ReturnAddressStack>,
+    /// Recycled per-path self-checkpointing stacks.
+    jourdan_pool: Vec<SelfCheckpointingStack>,
 }
 
 impl RasUnit {
@@ -133,6 +141,9 @@ impl RasUnit {
             mode,
             budget,
             stats: RasUnitStats::default(),
+            oracle_pool: Vec::new(),
+            real_pool: Vec::new(),
+            jourdan_pool: Vec::new(),
         }
     }
 
@@ -166,7 +177,11 @@ impl RasUnit {
         match &mut self.mode {
             Mode::Off => {}
             Mode::Oracle { stacks } => {
-                let copy = stacks.get(&parent).cloned().unwrap_or_default();
+                let mut copy = self.oracle_pool.pop().unwrap_or_default();
+                copy.clear();
+                if let Some(parent_stack) = stacks.get(&parent) {
+                    copy.extend_from_slice(parent_stack);
+                }
                 stacks.insert(child, copy);
             }
             Mode::Real {
@@ -177,10 +192,16 @@ impl RasUnit {
             } => {
                 if *per_path {
                     let cap = *capacity;
-                    let copy = stacks
-                        .get(&parent)
-                        .map(ReturnAddressStack::fork)
-                        .unwrap_or_else(|| ReturnAddressStack::new(cap));
+                    // Fork into a pooled stack when one is available so
+                    // the fork path allocates nothing in steady state.
+                    let copy = match (stacks.get(&parent), self.real_pool.pop()) {
+                        (Some(p), Some(mut pooled)) => {
+                            p.fork_into(&mut pooled);
+                            pooled
+                        }
+                        (Some(p), None) => p.fork(),
+                        (None, _) => ReturnAddressStack::new(cap),
+                    };
                     stacks.insert(child, copy);
                 }
             }
@@ -191,22 +212,28 @@ impl RasUnit {
             } => {
                 if *per_path {
                     let cap = *capacity;
-                    let copy = stacks
-                        .get(&parent)
-                        .map(SelfCheckpointingStack::fork)
-                        .unwrap_or_else(|| SelfCheckpointingStack::new(cap));
+                    let copy = match (stacks.get(&parent), self.jourdan_pool.pop()) {
+                        (Some(p), Some(mut pooled)) => {
+                            p.fork_into(&mut pooled);
+                            pooled
+                        }
+                        (Some(p), None) => p.fork(),
+                        (None, _) => SelfCheckpointingStack::new(cap),
+                    };
                     stacks.insert(child, copy);
                 }
             }
         }
     }
 
-    /// A path died: harvest and drop its private stack.
+    /// A path died: harvest its private stack into the reuse pool.
     pub fn on_path_death(&mut self, path: PathId) {
         match &mut self.mode {
             Mode::Off => {}
             Mode::Oracle { stacks } => {
-                stacks.remove(&path);
+                if let Some(s) = stacks.remove(&path) {
+                    self.oracle_pool.push(s);
+                }
             }
             Mode::Real {
                 stacks, per_path, ..
@@ -214,6 +241,7 @@ impl RasUnit {
                 if *per_path && path != PathId::ROOT {
                     if let Some(s) = stacks.remove(&path) {
                         self.stats.absorb(s.stats());
+                        self.real_pool.push(s);
                     }
                 }
             }
@@ -223,6 +251,7 @@ impl RasUnit {
                 if *per_path && path != PathId::ROOT {
                     if let Some(s) = stacks.remove(&path) {
                         self.stats.absorb(s.stats());
+                        self.jourdan_pool.push(s);
                     }
                 }
             }
@@ -279,10 +308,17 @@ impl RasUnit {
         let key = self.stack_key(path);
         match &mut self.mode {
             Mode::Off => unreachable!("handled above"),
-            Mode::Oracle { stacks } => Some(CkptHandle::Oracle {
-                path: key,
-                stack: stacks.get(&key).cloned().unwrap_or_default(),
-            }),
+            Mode::Oracle { stacks } => {
+                let mut image = self.oracle_pool.pop().unwrap_or_default();
+                image.clear();
+                if let Some(s) = stacks.get(&key) {
+                    image.extend_from_slice(s);
+                }
+                Some(CkptHandle::Oracle {
+                    path: key,
+                    stack: image,
+                })
+            }
             Mode::Real { stacks, repair, .. } => {
                 let repair = *repair;
                 stacks.get_mut(&key).map(|s| CkptHandle::Real {
@@ -298,16 +334,20 @@ impl RasUnit {
     }
 
     /// Releases the budget slot of a checkpoint whose branch resolved
-    /// correctly or was squashed.
-    pub fn release(&mut self, _handle: &CkptHandle) {
+    /// correctly or was squashed, recycling any saved stack image.
+    pub fn release(&mut self, handle: CkptHandle) {
         self.budget.release();
+        if let CkptHandle::Oracle { stack, .. } = handle {
+            self.oracle_pool.push(stack);
+        }
     }
 
     /// Repairs the owning stack from a checkpoint (mispredicted branch)
-    /// and releases the budget slot.
-    pub fn restore(&mut self, handle: &CkptHandle) {
+    /// and releases the budget slot. Consumes the handle: saved images
+    /// move into place (or back to the pool) instead of being cloned.
+    pub fn restore(&mut self, handle: CkptHandle) {
         self.budget.release();
-        hydra_trace::trace_path!(match handle {
+        hydra_trace::trace_path!(match &handle {
             CkptHandle::Real { path, .. }
             | CkptHandle::Oracle { path, .. }
             | CkptHandle::Jourdan { path, .. } => path.index() as u64,
@@ -315,18 +355,21 @@ impl RasUnit {
         match (&mut self.mode, handle) {
             (Mode::Oracle { stacks }, CkptHandle::Oracle { path, stack }) => {
                 // The path may have died between checkpoint and restore.
-                if let Some(s) = stacks.get_mut(path) {
-                    s.clone_from(stack);
+                if let Some(s) = stacks.get_mut(&path) {
+                    let displaced = std::mem::replace(s, stack);
+                    self.oracle_pool.push(displaced);
+                } else {
+                    self.oracle_pool.push(stack);
                 }
             }
             (Mode::Real { stacks, .. }, CkptHandle::Real { path, ckpt }) => {
-                if let Some(s) = stacks.get_mut(path) {
-                    s.restore(ckpt);
+                if let Some(s) = stacks.get_mut(&path) {
+                    s.restore(&ckpt);
                 }
             }
             (Mode::Jourdan { stacks, .. }, CkptHandle::Jourdan { path, ckpt }) => {
-                if let Some(s) = stacks.get_mut(path) {
-                    s.restore(ckpt);
+                if let Some(s) = stacks.get_mut(&path) {
+                    s.restore(&ckpt);
                 }
             }
             (Mode::Off, _) => {}
@@ -402,7 +445,7 @@ mod tests {
         let ckpt = u.checkpoint(PathId::ROOT).unwrap();
         assert_eq!(u.pop(PathId::ROOT), Some(0x40)); // wrong path
         u.push(PathId::ROOT, 0xbad);
-        u.restore(&ckpt);
+        u.restore(ckpt);
         assert_eq!(u.pop(PathId::ROOT), Some(0x40));
         assert!(u.stats().restores >= 1);
     }
@@ -417,7 +460,7 @@ mod tests {
         u.pop(PathId::ROOT);
         u.pop(PathId::ROOT);
         u.push(PathId::ROOT, 99);
-        u.restore(&ckpt);
+        u.restore(ckpt);
         assert_eq!(u.pop(PathId::ROOT), Some(3));
         assert_eq!(u.pop(PathId::ROOT), Some(2));
         assert_eq!(u.pop(PathId::ROOT), Some(1));
@@ -433,7 +476,7 @@ mod tests {
         let c1 = u.checkpoint(PathId::ROOT).unwrap();
         assert!(u.checkpoint(PathId::ROOT).is_none());
         assert_eq!(u.stats().budget_misses, 1);
-        u.release(&c1);
+        u.release(c1);
         assert!(u.checkpoint(PathId::ROOT).is_some());
     }
 

@@ -94,6 +94,17 @@ impl SimStats {
         }
     }
 
+    /// Simulator throughput in millions of committed instructions per
+    /// second of host wall time — the "simulated MIPS" metric the perf
+    /// harness pins.
+    pub fn sim_mips(&self, wall_secs: f64) -> f64 {
+        if wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / wall_secs / 1e6
+        }
+    }
+
     /// Conditional-branch direction-prediction accuracy.
     pub fn branch_accuracy(&self) -> Ratio {
         Ratio::of(

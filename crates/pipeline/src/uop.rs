@@ -20,6 +20,9 @@ pub(crate) enum UopState {
     Done,
 }
 
+/// Sentinel for "no slot" in slab/LSQ index links.
+pub(crate) const NIL: u32 = u32::MAX;
+
 /// A source operand after renaming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Src {
@@ -80,6 +83,16 @@ pub(crate) struct Uop {
     pub squashed: bool,
     /// Control resolution already handled (guards double resolution).
     pub resolved: bool,
+    /// Wakeup list: `(consumer slab slot, source index)` pairs registered
+    /// at rename time. When this producer retires, only these entries are
+    /// patched — no window-wide broadcast scan. Entries are validated at
+    /// patch time (`srcs[i] == Pending(seq)`), so stale registrations
+    /// from recycled slots are harmless. The buffer's capacity is kept
+    /// across slot reuse, so steady state allocates nothing.
+    pub consumers: Vec<(u32, u8)>,
+    /// This micro-op's LSQ slot ([`NIL`] when it holds none), making
+    /// commit- and squash-time LSQ removal O(1) instead of a retain scan.
+    pub lsq_slot: u32,
 }
 
 impl Uop {
@@ -106,7 +119,18 @@ impl Uop {
             store_value: None,
             squashed: false,
             resolved: false,
+            consumers: Vec::new(),
+            lsq_slot: NIL,
         }
+    }
+
+    /// Resets a recycled slab slot to the freshly-fetched state of
+    /// [`Uop::new`], keeping the wakeup list's allocated capacity.
+    pub fn reset(&mut self, seq: u64, path: PathId, pc: Addr, inst: Inst, pred_next_pc: Addr) {
+        let consumers = std::mem::take(&mut self.consumers);
+        *self = Uop::new(seq, path, pc, inst, pred_next_pc);
+        self.consumers = consumers;
+        self.consumers.clear();
     }
 
     /// Whether this micro-op's result is available.

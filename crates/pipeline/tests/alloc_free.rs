@@ -1,0 +1,91 @@
+//! Proves the per-cycle hot path is allocation-free in steady state.
+//!
+//! The core slab-allocates micro-ops, links the LSQ through fixed index
+//! arrays, registers wakeups on per-producer consumer lists whose
+//! buffers are recycled with their slots, and reuses persistent scratch
+//! vectors for squash traversals. Every remaining allocation source is
+//! *amortized*: buffers grow toward a plateau during warm-up and are
+//! never released. This test pins the contract those designs add up to:
+//! once warm, `Core::run` performs **zero** heap allocations per cycle.
+//!
+//! A counting `#[global_allocator]` observes the whole process; the
+//! measurement window is single-threaded, so any nonzero delta is an
+//! allocation on the simulated path.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hydra_pipeline::{Core, CoreConfig};
+use hydra_workloads::{Workload, WorkloadSpec};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while `f` runs.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_cycles_allocate_nothing() {
+    // gcc is the suite's most call-heavy workload: deep recursion plus
+    // frequent mispredictions exercise fetch, rename, wakeup, LSQ
+    // insert/remove, RAS checkpoint/restore, and full squash recovery.
+    let w = Workload::generate(&WorkloadSpec::by_name("gcc").expect("known"), 12345)
+        .expect("generates");
+    let mut core = Core::new(CoreConfig::baseline(), w.program());
+
+    // Warm up past the allocation plateau: slab wakeup buffers, scratch
+    // vectors, and pooled checkpoints all reach their high-water marks.
+    core.run(30_000);
+
+    let allocs = allocs_during(|| {
+        core.run(90_000);
+    });
+    assert_eq!(
+        allocs, 0,
+        "heap allocations leaked back into the steady-state hot loop"
+    );
+}
+
+#[test]
+fn warmup_allocations_plateau() {
+    // The same window re-run on a fresh core must allocate during
+    // warm-up (building the plateau) — otherwise the zero above would be
+    // vacuous, e.g. a broken counter.
+    let w = Workload::generate(&WorkloadSpec::by_name("gcc").expect("known"), 12345)
+        .expect("generates");
+    let allocs = allocs_during(|| {
+        let mut core = Core::new(CoreConfig::baseline(), w.program());
+        core.run(30_000);
+        std::hint::black_box(&mut core);
+    });
+    assert!(allocs > 0, "counter should observe construction/warm-up");
+}

@@ -213,12 +213,7 @@ fn build_config(o: &Options) -> CoreConfig {
         PredictorChoice::BtbOnly => ReturnPredictor::BtbOnly,
         PredictorChoice::Perfect => ReturnPredictor::Perfect,
     };
-    let mut config = CoreConfig {
-        return_predictor,
-        checkpoint_budget: o.budget,
-        ..CoreConfig::baseline()
-    };
-    if let Some(paths) = o.multipath {
+    let multipath = o.multipath.map(|paths| {
         let stack_policy = match o.stack {
             StackChoice::Unified => MultipathStackPolicy::Unified {
                 repair: RepairPolicy::None,
@@ -228,12 +223,16 @@ fn build_config(o: &Options) -> CoreConfig {
             },
             StackChoice::PerPath => MultipathStackPolicy::PerPath,
         };
-        config.multipath = Some(hydrascalar::MultipathConfig {
+        hydrascalar::MultipathConfig {
             max_paths: paths,
             stack_policy,
-        });
-    }
-    config
+        }
+    });
+    CoreConfig::builder()
+        .return_predictor(return_predictor)
+        .checkpoint_budget(o.budget)
+        .multipath(multipath)
+        .build()
 }
 
 fn run(o: &Options) -> Result<(), String> {

@@ -31,13 +31,16 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Generate a benchmark and run it on two machines: an unrepaired
-//! // stack and the paper's TOS-pointer+contents repair.
+//! // stack and the paper's TOS-pointer+contents repair. Configurations
+//! // are assembled with [`CoreConfig::builder`]; any field left unset
+//! // keeps the paper's baseline value.
 //! let workload = Workload::generate(&WorkloadSpec::test_small(), 42)?;
 //!
-//! let ras = |repair| CoreConfig::with_return_predictor(ReturnPredictor::Ras {
-//!     entries: 32,
-//!     repair,
-//! });
+//! let ras = |repair| {
+//!     CoreConfig::builder()
+//!         .return_predictor(ReturnPredictor::Ras { entries: 32, repair })
+//!         .build()
+//! };
 //!
 //! let broken = Core::new(ras(RepairPolicy::None), workload.program()).run(50_000);
 //! let repaired = Core::new(ras(RepairPolicy::TosPointerAndContents), workload.program())
@@ -61,7 +64,9 @@ pub use hydra_workloads as workloads;
 pub use ras_core as ras;
 
 pub use hydra_isa::{Addr, Inst, Machine, Program, ProgramBuilder, Reg};
-pub use hydra_pipeline::{Core, CoreConfig, MultipathConfig, ReturnPredictor, SimStats};
+pub use hydra_pipeline::{
+    Core, CoreConfig, CoreConfigBuilder, MultipathConfig, ReturnPredictor, SimStats,
+};
 pub use hydra_stats::Json;
 pub use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
 pub use ras_core::{MultipathStackPolicy, RepairPolicy, ReturnAddressStack};

@@ -53,16 +53,15 @@ fn btb_only_machine_matches() {
 #[test]
 fn tiny_structures_machine_matches() {
     // Stress structural stalls: tiny RUU/LSQ/fetch queue.
-    let cfg = CoreConfig {
-        ruu_size: 8,
-        lsq_size: 4,
-        fetch_queue: 4,
-        fetch_width: 2,
-        dispatch_width: 2,
-        issue_width: 2,
-        commit_width: 2,
-        ..CoreConfig::baseline()
-    };
+    let cfg = CoreConfig::builder()
+        .ruu_size(8)
+        .lsq_size(4)
+        .fetch_queue(4)
+        .fetch_width(2)
+        .dispatch_width(2)
+        .issue_width(2)
+        .commit_width(2)
+        .build();
     assert_architecturally_equal(cfg, 2_000_000);
 }
 

@@ -122,10 +122,7 @@ fn different_seeds_change_the_program_not_the_conclusions() {
 fn checkpoint_budget_degrades_gracefully() {
     let w = Workload::generate(&WorkloadSpec::by_name("perl").unwrap(), 11).unwrap();
     let run = |budget| {
-        let cfg = CoreConfig {
-            checkpoint_budget: budget,
-            ..CoreConfig::baseline()
-        };
+        let cfg = CoreConfig::builder().checkpoint_budget(budget).build();
         let mut core = Core::new(cfg, w.program());
         core.run(20_000);
         core.reset_stats();
