@@ -13,6 +13,9 @@
 //! expt perf                        pinned-suite MIPS + allocation rates
 //! expt perf --out results/         ... and write BENCH_perf.json
 //! expt perf --baseline goldens/perf_baseline.json   fail on >30% MIPS loss
+//! expt fuzz                        differential fuzz: pipeline vs references
+//! expt fuzz --cases 500 --seed 7   a longer, differently-seeded campaign
+//! expt fuzz --replay repro.json    re-run a minimized divergence repro
 //! ```
 //!
 //! Results go to **stdout** and are byte-identical for any `--jobs`
@@ -78,6 +81,7 @@ const USAGE: &str = "usage: expt --list\n\
                              [-v|-q] [--trace FILE] [--trace-filter KINDS] [--profile]\n\
        expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]\n\
        expt perf [--out DIR] [--baseline FILE]\n\
+       expt fuzz [--cases N] [--seed S] [--replay FILE] [--out DIR]\n\
        expt --validate-trace FILE";
 
 fn main() -> ExitCode {
@@ -102,6 +106,10 @@ struct Cli {
     goldens: PathBuf,
     perf: bool,
     baseline: Option<PathBuf>,
+    fuzz: bool,
+    cases: u64,
+    fuzz_seed: u64,
+    replay: Option<PathBuf>,
     names: Vec<String>,
     quiet: bool,
     verbose: bool,
@@ -122,6 +130,10 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
         goldens: PathBuf::from("goldens"),
         perf: false,
         baseline: None,
+        fuzz: false,
+        cases: 200,
+        fuzz_seed: 0xC0FFEE,
+        replay: None,
         names: Vec::new(),
         quiet: false,
         verbose: false,
@@ -203,15 +215,47 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
             a if a.starts_with("--baseline=") => {
                 cli.baseline = Some(PathBuf::from(&a["--baseline=".len()..]));
             }
+            "--cases" => {
+                let v = it.next().ok_or_else(|| usage("--cases needs a value"))?;
+                cli.cases = parse_u64("--cases", v)?;
+            }
+            a if a.starts_with("--cases=") => {
+                cli.cases = parse_u64("--cases", &a["--cases=".len()..])?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| usage("--seed needs a value"))?;
+                cli.fuzz_seed = parse_u64("--seed", v)?;
+            }
+            a if a.starts_with("--seed=") => {
+                cli.fuzz_seed = parse_u64("--seed", &a["--seed=".len()..])?;
+            }
+            "--replay" => {
+                let v = it.next().ok_or_else(|| usage("--replay needs a file"))?;
+                cli.replay = Some(PathBuf::from(v));
+            }
+            a if a.starts_with("--replay=") => {
+                cli.replay = Some(PathBuf::from(&a["--replay=".len()..]));
+            }
             "--help" | "-h" => {
                 cli.list = true; // --help shows the list too
             }
             a if a.starts_with('-') => return Err(Error::Usage(format!("unknown flag {a:?}"))),
             "perf" => cli.perf = true,
+            "fuzz" => cli.fuzz = true,
             name => cli.names.push(name.to_string()),
         }
     }
     Ok(cli)
+}
+
+/// Parses a `u64` flag value, accepting decimal or `0x`-prefixed hex
+/// (seeds read naturally either way).
+fn parse_u64(flag: &str, v: &str) -> Result<u64, Error> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|e| Error::Usage(format!("{flag}: cannot parse {v:?}: {e}")))
 }
 
 fn parse_jobs(v: &str) -> Result<usize, Error> {
@@ -269,6 +313,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, Error> {
         }
         println!("  {:<16} every experiment above, in order", "all");
         println!("  {:<16} pinned-suite simulator throughput", "perf");
+        println!(
+            "  {:<16} differential fuzz: pipeline vs reference models",
+            "fuzz"
+        );
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -279,6 +327,15 @@ fn run(args: Vec<String>) -> Result<ExitCode, Error> {
             ));
         }
         return run_perf(&cli);
+    }
+
+    if cli.fuzz {
+        if !cli.names.is_empty() {
+            return Err(Error::Usage(
+                "'fuzz' cannot be combined with experiment names".into(),
+            ));
+        }
+        return run_fuzz(&cli);
     }
 
     let workers = cli.jobs.unwrap_or_else(|| {
@@ -374,6 +431,76 @@ fn run_perf(cli: &Cli) -> Result<ExitCode, Error> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `expt fuzz`: runs a seeded differential-fuzzing campaign (or replays
+/// one repro with `--replay`), writing any minimized divergence to
+/// `fuzz_repro.json` under `--out` (default: the current directory).
+///
+/// Case horizons follow `HYDRA_EXPT_MODE`: `quick` keeps each case small
+/// enough for a per-PR CI smoke job; `full` is the nightly depth.
+fn run_fuzz(cli: &Cli) -> Result<ExitCode, Error> {
+    if let Some(path) = &cli.replay {
+        let text = std::fs::read_to_string(path)
+            .map_err(|io| Error::io(format!("reading {}", path.display()), io))?;
+        let case = hydra_check::case_from_json(&text).map_err(Error::Usage)?;
+        let report = hydra_check::run_case(&case).map_err(Error::Usage)?;
+        return match report.divergence {
+            Some(d) => Err(Error::FuzzDivergence {
+                case: 0,
+                commits: d.commits,
+                what: d.what,
+                repro: path.clone(),
+            }),
+            None => {
+                println!(
+                    "replay {}: no divergence in {} commits",
+                    path.display(),
+                    report.commits
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+        };
+    }
+
+    let rs = RunSpec::from_env()?;
+    let opts = hydra_check::FuzzOptions {
+        cases: cli.cases,
+        seed: cli.fuzz_seed,
+        quick: rs.horizon <= RunSpec::quick().horizon,
+        ..hydra_check::FuzzOptions::default()
+    };
+    let outcome = hydra_check::fuzz(&opts).map_err(Error::Usage)?;
+    match outcome.failure {
+        None => {
+            println!(
+                "fuzz: {} case(s), seed {:#x}: no divergence",
+                outcome.cases_run, opts.seed
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(failure) => {
+            let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+            std::fs::create_dir_all(&dir)
+                .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;
+            let path = dir.join("fuzz_repro.json");
+            let doc = hydra_check::repro_to_json(&failure.minimized, &failure.divergence);
+            std::fs::write(&path, doc.pretty())
+                .map_err(|io| Error::io(format!("writing {}", path.display()), io))?;
+            eprintln!(
+                "fuzz: original divergence (case {}, after {} commits): {}",
+                failure.case_index,
+                failure.original_divergence.commits,
+                failure.original_divergence.what
+            );
+            Err(Error::FuzzDivergence {
+                case: failure.case_index,
+                commits: failure.divergence.commits,
+                what: failure.divergence.what,
+                repro: path,
+            })
+        }
+    }
 }
 
 /// Starts a trace session when `--trace` was given, refusing cleanly if

@@ -12,6 +12,7 @@ use crate::golden::GoldenError;
 use crate::RunSpecError;
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Any failure the experiment harness can report.
 #[derive(Debug)]
@@ -43,6 +44,18 @@ pub enum Error {
         baseline_mips: f64,
         /// Relative loss tolerated before failing (e.g. `0.30`).
         tolerance: f64,
+    },
+    /// The differential fuzzer found a divergence between the optimized
+    /// pipeline and the reference models.
+    FuzzDivergence {
+        /// Zero-based index of the diverging case within the campaign.
+        case: u64,
+        /// Commits checked before the minimized case diverged.
+        commits: u64,
+        /// What disagreed.
+        what: String,
+        /// Where the minimized replayable repro was written.
+        repro: PathBuf,
     },
     /// The command line itself is invalid (unknown flag, missing value).
     Usage(String),
@@ -79,6 +92,17 @@ impl fmt::Display for Error {
                 baseline_mips * (1.0 - tolerance),
                 tolerance * 100.0,
             ),
+            Error::FuzzDivergence {
+                case,
+                commits,
+                what,
+                repro,
+            } => write!(
+                f,
+                "differential fuzz case {case} diverged after {commits} commits: \
+                 {what} (repro: {})",
+                repro.display(),
+            ),
             Error::Usage(msg) => write!(f, "{msg}"),
         }
     }
@@ -90,7 +114,10 @@ impl std::error::Error for Error {
             Error::Spec(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             Error::Golden { source, .. } => Some(source),
-            Error::UnknownExperiment(_) | Error::PerfRegression { .. } | Error::Usage(_) => None,
+            Error::UnknownExperiment(_)
+            | Error::PerfRegression { .. }
+            | Error::FuzzDivergence { .. }
+            | Error::Usage(_) => None,
         }
     }
 }
@@ -129,5 +156,54 @@ mod tests {
         let e: Error = RunSpecError::UnknownMode("warp".into()).into();
         assert!(e.to_string().contains("warp"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn golden_display_names_the_experiment() {
+        let e = Error::Golden {
+            experiment: "table1".into(),
+            source: GoldenError::Missing("goldens/table1.json".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("table1:"), "{msg}");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn perf_regression_display_shows_floor_and_baseline() {
+        let e = Error::PerfRegression {
+            measured_mips: 1.0,
+            baseline_mips: 2.0,
+            tolerance: 0.30,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("measured 1.000"), "{msg}");
+        assert!(msg.contains("1.400"), "{msg}"); // 2.0 * (1 - 0.30)
+        assert!(msg.contains("baseline 2.000"), "{msg}");
+        assert!(msg.contains("30%"), "{msg}");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn fuzz_divergence_display_points_at_the_repro() {
+        let e = Error::FuzzDivergence {
+            case: 17,
+            commits: 412,
+            what: "return prediction diverged".into(),
+            repro: PathBuf::from("out/fuzz_repro.json"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("case 17"), "{msg}");
+        assert!(msg.contains("412 commits"), "{msg}");
+        assert!(msg.contains("return prediction diverged"), "{msg}");
+        assert!(msg.contains("out/fuzz_repro.json"), "{msg}");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn usage_display_is_verbatim() {
+        let e = Error::Usage("--cases needs a value".into());
+        assert_eq!(e.to_string(), "--cases needs a value");
+        assert!(e.source().is_none());
     }
 }

@@ -77,9 +77,7 @@ use ras_core::RepairPolicy;
 /// other surface of the harness: the `HYDRA_EXPT_FAST_FORWARD` /
 /// `HYDRA_EXPT_HORIZON` environment overrides, the builder setters, and
 /// the `fast_forward` / `horizon` keys in every result document's `run`
-/// header. The old `warmup` / `measure` names survive one release as
-/// deprecated accessors ([`RunSpec::warmup`], [`RunSpec::measure`]) and
-/// builder aliases.
+/// header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSpec {
     /// Workload-generation seed.
@@ -109,18 +107,6 @@ impl RunSpec {
             fast_forward: 10_000,
             horizon: 60_000,
         }
-    }
-
-    /// The fast-forward phase length, under its pre-unification name.
-    #[deprecated(since = "0.2.0", note = "read the `fast_forward` field")]
-    pub fn warmup(&self) -> u64 {
-        self.fast_forward
-    }
-
-    /// The measurement horizon, under its pre-unification name.
-    #[deprecated(since = "0.2.0", note = "read the `horizon` field")]
-    pub fn measure(&self) -> u64 {
-        self.horizon
     }
 
     /// A builder seeded with the [`RunSpec::full`] defaults.
@@ -187,20 +173,6 @@ impl RunSpecBuilder {
     pub fn horizon(mut self, commits: u64) -> Self {
         self.spec.horizon = commits;
         self
-    }
-
-    /// Alias for [`RunSpecBuilder::fast_forward`] under its
-    /// pre-unification name.
-    #[deprecated(since = "0.2.0", note = "use `fast_forward`")]
-    pub fn warmup(self, commits: u64) -> Self {
-        self.fast_forward(commits)
-    }
-
-    /// Alias for [`RunSpecBuilder::horizon`] under its pre-unification
-    /// name.
-    #[deprecated(since = "0.2.0", note = "use `horizon`")]
-    pub fn measure(self, commits: u64) -> Self {
-        self.horizon(commits)
     }
 
     /// Finishes the spec.
@@ -373,16 +345,6 @@ mod tests {
         );
         // Defaults come from full().
         assert_eq!(RunSpec::builder().build(), RunSpec::full());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_warmup_measure_aliases_still_work() {
-        let rs = RunSpec::builder().warmup(3).measure(4).build();
-        assert_eq!(rs.fast_forward, 3);
-        assert_eq!(rs.horizon, 4);
-        assert_eq!(rs.warmup(), 3);
-        assert_eq!(rs.measure(), 4);
     }
 
     // One test exercises every from_env case sequentially: the process

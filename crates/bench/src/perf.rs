@@ -309,4 +309,59 @@ mod tests {
         let err = check_baseline(&slow, &path, MIPS_REGRESSION_TOLERANCE).unwrap_err();
         assert!(err.to_string().contains("regress"), "{err}");
     }
+
+    #[test]
+    fn baseline_gate_failure_carries_the_numbers() {
+        let rs = tiny();
+        let dir = std::env::temp_dir().join("hydra_perf_baseline_failure_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf_baseline.json");
+        let baseline = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        std::fs::write(&path, baseline.pretty()).unwrap();
+
+        let slow = perf_doc(&rs, &fake(1_000_000, 1.0, 0, 1_000_000));
+        match check_baseline(&slow, &path, MIPS_REGRESSION_TOLERANCE) {
+            Err(Error::PerfRegression {
+                measured_mips,
+                baseline_mips,
+                tolerance,
+            }) => {
+                assert!((measured_mips - 1.0).abs() < 1e-9);
+                assert!((baseline_mips - 2.0).abs() < 1e-9);
+                assert!((tolerance - MIPS_REGRESSION_TOLERANCE).abs() < 1e-9);
+            }
+            other => panic!("expected PerfRegression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_gate_reports_unusable_baselines_distinctly() {
+        let rs = tiny();
+        let fresh = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        let dir = std::env::temp_dir().join("hydra_perf_baseline_unusable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file: an I/O error naming the path.
+        let missing = dir.join("nope.json");
+        match check_baseline(&fresh, &missing, MIPS_REGRESSION_TOLERANCE) {
+            Err(Error::Io { what, .. }) => assert!(what.contains("nope.json"), "{what}"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+
+        // Unparseable file: a usage error, not a panic.
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{not json").unwrap();
+        assert!(matches!(
+            check_baseline(&fresh, &garbled, MIPS_REGRESSION_TOLERANCE),
+            Err(Error::Usage(_))
+        ));
+
+        // Valid JSON without total.sim_mips: also a usage error.
+        let hollow = dir.join("hollow.json");
+        std::fs::write(&hollow, "{\"total\": {}}").unwrap();
+        match check_baseline(&fresh, &hollow, MIPS_REGRESSION_TOLERANCE) {
+            Err(Error::Usage(msg)) => assert!(msg.contains("sim_mips"), "{msg}"),
+            other => panic!("expected Usage, got {other:?}"),
+        }
+    }
 }

@@ -1,0 +1,132 @@
+//! The in-order reference simulator.
+//!
+//! [`RefSim`] wraps the functional `hydra-isa` [`Machine`] — zero
+//! pipeline cleverness, one instruction per step — and checks the
+//! optimized pipeline's architectural commit stream against it record by
+//! record. It also maintains an *unbounded* architectural call stack, so
+//! every committed return is additionally checked against the address
+//! its matching call pushed: the ground truth all the speculative RAS
+//! machinery is trying to predict.
+
+use crate::Divergence;
+use hydra_isa::{Addr, ControlKind, Inst, Machine, Program};
+
+/// An in-order architectural simulator consuming the pipeline's commit
+/// stream.
+#[derive(Debug)]
+pub struct RefSim<'p> {
+    machine: Machine<'p>,
+    calls: Vec<u64>,
+    commits: u64,
+}
+
+impl<'p> RefSim<'p> {
+    /// Creates a reference simulator at the program entry.
+    pub fn new(program: &'p Program) -> Self {
+        RefSim {
+            machine: Machine::new(program),
+            calls: Vec::new(),
+            commits: 0,
+        }
+    }
+
+    /// Commit records checked so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    fn diverge(&self, what: String) -> Divergence {
+        Divergence {
+            commits: self.commits,
+            what,
+        }
+    }
+
+    /// Checks one pipeline commit record (`pc`, `inst`, `next_pc`)
+    /// against the next in-order architectural step.
+    pub fn check_commit(&mut self, pc: Addr, inst: Inst, next_pc: Addr) -> Result<(), Divergence> {
+        let retired = self
+            .machine
+            .step()
+            .map_err(|e| self.diverge(format!("reference machine cannot step: {e}")))?;
+        if retired.pc != pc {
+            return Err(self.diverge(format!(
+                "commit pc diverged: pipeline retired {pc}, reference executed {}",
+                retired.pc
+            )));
+        }
+        if retired.inst != inst {
+            return Err(self.diverge(format!(
+                "instruction diverged at {pc}: pipeline retired {inst:?}, \
+                 reference fetched {:?}",
+                retired.inst
+            )));
+        }
+        if retired.next_pc != next_pc {
+            return Err(self.diverge(format!(
+                "next-pc diverged at {pc}: pipeline says {next_pc}, reference says {}",
+                retired.next_pc
+            )));
+        }
+        self.commits += 1;
+        match retired.inst.control_kind() {
+            ControlKind::Call { .. } | ControlKind::IndirectCall => {
+                self.calls.push(retired.pc.next().word());
+            }
+            ControlKind::Return => {
+                // Generated workloads keep call/return discipline; the
+                // program epilogue may return past the stack bottom, so
+                // an empty architectural stack is not checked.
+                if let Some(expected) = self.calls.pop() {
+                    if retired.next_pc.word() != expected {
+                        return Err(self.diverge(format!(
+                            "architectural return at {pc} went to {}, but its call \
+                             site pushed {}",
+                            retired.next_pc,
+                            Addr::new(expected)
+                        )));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_isa::ProgramBuilder;
+
+    #[test]
+    fn accepts_its_own_machine_stream() {
+        let mut b = ProgramBuilder::new();
+        let f = b.fresh_label();
+        b.call(f);
+        b.halt();
+        b.bind(f).unwrap();
+        b.ret();
+        let program = b.build().unwrap();
+        let mut gold = Machine::new(&program);
+        let mut sim = RefSim::new(&program);
+        while let Ok(r) = gold.step() {
+            sim.check_commit(r.pc, r.inst, r.next_pc).expect("matches");
+        }
+        assert_eq!(sim.commits(), 3);
+    }
+
+    #[test]
+    fn rejects_a_wrong_next_pc() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut gold = Machine::new(&program);
+        let r = gold.step().unwrap();
+        let mut sim = RefSim::new(&program);
+        let err = sim
+            .check_commit(r.pc, r.inst, r.next_pc.next())
+            .expect_err("diverges");
+        assert!(err.what.contains("next-pc"), "{}", err.what);
+    }
+}

@@ -1,9 +1,96 @@
 //! Core configuration.
 
 use hydra_bpred::{BtbConfig, ConfidenceConfig, HybridConfig};
-use hydra_mem::HierarchyConfig;
+use hydra_mem::{CacheConfig, HierarchyConfig};
 use ras_core::{MultipathStackPolicy, RepairPolicy};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural problem in a [`CoreConfig`], reported by
+/// [`CoreConfig::check`] and [`CoreConfigBuilder::try_build`].
+///
+/// [`CoreConfig::validate`] panics with the same message, so callers that
+/// want a typed error instead of a panic use `check`/`try_build`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A per-cycle width (fetch/dispatch/issue/commit) is zero.
+    ZeroWidth {
+        /// Which width: `"fetch"`, `"dispatch"`, `"issue"` or `"commit"`.
+        stage: &'static str,
+    },
+    /// The register update unit has zero entries.
+    EmptyRuu,
+    /// The load/store queue has zero entries.
+    EmptyLsq,
+    /// The fetch queue has zero entries.
+    EmptyFetchQueue,
+    /// The return-address stack has zero entries.
+    EmptyRas,
+    /// A multipath configuration with fewer than two path contexts.
+    TooFewPaths {
+        /// The offending `max_paths` value.
+        max_paths: usize,
+    },
+    /// A cache's set count is zero or not a power of two.
+    CacheSets {
+        /// Which cache: `"L1I"`, `"L1D"` or `"L2"`.
+        cache: &'static str,
+        /// The offending set count.
+        sets: usize,
+    },
+    /// A cache's associativity is zero or exceeds its set count.
+    CacheWays {
+        /// Which cache: `"L1I"`, `"L1D"` or `"L2"`.
+        cache: &'static str,
+        /// The offending associativity.
+        ways: usize,
+        /// The cache's set count.
+        sets: usize,
+    },
+    /// A cache's line size is zero or not a power of two.
+    CacheLine {
+        /// Which cache: `"L1I"`, `"L1D"` or `"L2"`.
+        cache: &'static str,
+        /// The offending words-per-line value.
+        line_words: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWidth { stage } => write!(f, "{stage} width must be > 0"),
+            ConfigError::EmptyRuu => write!(f, "RUU must be non-empty"),
+            ConfigError::EmptyLsq => write!(f, "LSQ must be non-empty"),
+            ConfigError::EmptyFetchQueue => write!(f, "fetch queue must be non-empty"),
+            ConfigError::EmptyRas => write!(f, "RAS must have at least one entry"),
+            ConfigError::TooFewPaths { max_paths } => {
+                write!(f, "multipath needs at least two paths (got {max_paths})")
+            }
+            ConfigError::CacheSets { cache, sets } => {
+                write!(
+                    f,
+                    "{cache} sets must be a nonzero power of two (got {sets})"
+                )
+            }
+            ConfigError::CacheWays { cache, ways, sets } => {
+                write!(
+                    f,
+                    "{cache} ways must be between 1 and the set count {sets} (got {ways})"
+                )
+            }
+            ConfigError::CacheLine { cache, line_words } => {
+                write!(
+                    f,
+                    "{cache} line words must be a nonzero power of two (got {line_words})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the front end predicts procedure-return targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -193,27 +280,83 @@ impl CoreConfig {
     ///
     /// # Panics
     ///
-    /// Panics on zero-sized structures or a multipath configuration with
-    /// fewer than two paths.
+    /// Panics on the first problem [`CoreConfig::check`] reports:
+    /// zero-sized structures, a multipath configuration with fewer than
+    /// two paths, or broken cache geometry.
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0, "fetch width must be > 0");
-        assert!(self.dispatch_width > 0, "dispatch width must be > 0");
-        assert!(self.issue_width > 0, "issue width must be > 0");
-        assert!(self.commit_width > 0, "commit width must be > 0");
-        assert!(self.ruu_size > 0, "RUU must be non-empty");
-        assert!(self.lsq_size > 0, "LSQ must be non-empty");
-        assert!(self.fetch_queue > 0, "fetch queue must be non-empty");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks structural parameters, returning the first problem found
+    /// as a typed [`ConfigError`] instead of panicking.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        for (stage, width) in [
+            ("fetch", self.fetch_width),
+            ("dispatch", self.dispatch_width),
+            ("issue", self.issue_width),
+            ("commit", self.commit_width),
+        ] {
+            if width == 0 {
+                return Err(ConfigError::ZeroWidth { stage });
+            }
+        }
+        if self.ruu_size == 0 {
+            return Err(ConfigError::EmptyRuu);
+        }
+        if self.lsq_size == 0 {
+            return Err(ConfigError::EmptyLsq);
+        }
+        if self.fetch_queue == 0 {
+            return Err(ConfigError::EmptyFetchQueue);
+        }
         match self.return_predictor {
-            ReturnPredictor::Ras { entries, .. }
-            | ReturnPredictor::SelfCheckpointing { entries } => {
-                assert!(entries > 0, "RAS must have at least one entry");
+            ReturnPredictor::Ras { entries: 0, .. }
+            | ReturnPredictor::SelfCheckpointing { entries: 0 } => {
+                return Err(ConfigError::EmptyRas);
             }
             _ => {}
         }
         if let Some(mp) = &self.multipath {
-            assert!(mp.max_paths >= 2, "multipath needs at least two paths");
+            if mp.max_paths < 2 {
+                return Err(ConfigError::TooFewPaths {
+                    max_paths: mp.max_paths,
+                });
+            }
         }
+        for (cache, geom) in [
+            ("L1I", &self.mem.l1i),
+            ("L1D", &self.mem.l1d),
+            ("L2", &self.mem.l2),
+        ] {
+            check_cache(cache, geom)?;
+        }
+        Ok(())
     }
+}
+
+fn check_cache(cache: &'static str, geom: &CacheConfig) -> Result<(), ConfigError> {
+    if geom.sets == 0 || !geom.sets.is_power_of_two() {
+        return Err(ConfigError::CacheSets {
+            cache,
+            sets: geom.sets,
+        });
+    }
+    if geom.ways == 0 || geom.ways > geom.sets {
+        return Err(ConfigError::CacheWays {
+            cache,
+            ways: geom.ways,
+            sets: geom.sets,
+        });
+    }
+    if geom.line_words == 0 || !geom.line_words.is_power_of_two() {
+        return Err(ConfigError::CacheLine {
+            cache,
+            line_words: geom.line_words,
+        });
+    }
+    Ok(())
 }
 
 /// Builds a [`CoreConfig`] field by field, starting from the paper's
@@ -332,10 +475,24 @@ impl CoreConfigBuilder {
     }
 
     /// Finishes the configuration **without** validating it — callers
-    /// that want early structural checks use [`CoreConfig::validate`];
-    /// `Core::new` validates regardless.
+    /// that want early structural checks use [`CoreConfigBuilder::try_build`]
+    /// or [`CoreConfig::validate`]; `Core::new` validates regardless.
     pub fn build(self) -> CoreConfig {
         self.config
+    }
+
+    /// Finishes the configuration, rejecting structurally invalid
+    /// machines with a typed [`ConfigError`] instead of panicking.
+    ///
+    /// ```
+    /// use hydra_pipeline::{ConfigError, CoreConfig};
+    ///
+    /// let err = CoreConfig::builder().ruu_size(0).try_build().unwrap_err();
+    /// assert_eq!(err, ConfigError::EmptyRuu);
+    /// ```
+    pub fn try_build(self) -> Result<CoreConfig, ConfigError> {
+        self.config.check()?;
+        Ok(self.config)
     }
 }
 
@@ -413,5 +570,101 @@ mod tests {
             ..CoreConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn try_build_rejects_zero_ruu() {
+        let err = CoreConfig::builder().ruu_size(0).try_build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyRuu);
+        assert_eq!(err.to_string(), "RUU must be non-empty");
+    }
+
+    #[test]
+    fn try_build_rejects_depth_zero_ras() {
+        let err = CoreConfig::builder()
+            .return_predictor(ReturnPredictor::Ras {
+                entries: 0,
+                repair: RepairPolicy::TosPointer,
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyRas);
+        assert!(err.to_string().contains("at least one entry"));
+    }
+
+    #[test]
+    fn try_build_rejects_ways_exceeding_sets() {
+        let mut mem = HierarchyConfig::default();
+        mem.l1d.sets = 4;
+        mem.l1d.ways = 8;
+        let err = CoreConfig::builder().mem(mem).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CacheWays {
+                cache: "L1D",
+                ways: 8,
+                sets: 4
+            }
+        );
+        assert!(err.to_string().contains("L1D"));
+    }
+
+    #[test]
+    fn try_build_rejects_non_power_of_two_cache_geometry() {
+        let mut mem = HierarchyConfig::default();
+        mem.l2.sets = 100;
+        let err = CoreConfig::builder().mem(mem).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CacheSets {
+                cache: "L2",
+                sets: 100
+            }
+        );
+
+        let mut mem = HierarchyConfig::default();
+        mem.l1i.line_words = 3;
+        let err = CoreConfig::builder().mem(mem).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CacheLine {
+                cache: "L1I",
+                line_words: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_build_reports_zero_widths_and_empty_queues() {
+        let err = CoreConfig::builder()
+            .fetch_width(0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWidth { stage: "fetch" });
+        assert_eq!(err.to_string(), "fetch width must be > 0");
+        let err = CoreConfig::builder().lsq_size(0).try_build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyLsq);
+        let err = CoreConfig::builder()
+            .fetch_queue(0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyFetchQueue);
+        let err = CoreConfig::builder()
+            .multipath(Some(MultipathConfig {
+                max_paths: 1,
+                stack_policy: MultipathStackPolicy::Unified {
+                    repair: ras_core::RepairPolicy::TosPointerAndContents,
+                },
+            }))
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TooFewPaths { max_paths: 1 });
+        assert!(err.to_string().contains("at least two paths"));
+    }
+
+    #[test]
+    fn try_build_accepts_the_baseline() {
+        let cfg = CoreConfig::builder().try_build().unwrap();
+        assert_eq!(cfg, CoreConfig::baseline());
     }
 }

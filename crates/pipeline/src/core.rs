@@ -18,6 +18,7 @@
 //! architectural register file at issue time — which is correct exactly
 //! because commit writes the register file in program order.
 
+use crate::check_stream::CheckEvent;
 use crate::config::{CoreConfig, ReturnPredictor};
 use crate::path::{PathId, PathTable};
 use crate::ptrace::PipeTrace;
@@ -317,6 +318,11 @@ pub struct Core {
     last_commit_cycle: u64,
     golden: Option<GoldenMachine>,
     ptrace: Option<PipeTrace>,
+    /// Differential-check event buffer; `None` until enabled, so the
+    /// recording sites cost one branch when the feature is compiled in
+    /// but the stream is off.
+    #[cfg(feature = "commit-stream")]
+    check_stream: Option<Vec<CheckEvent>>,
     occupancy: Occupancy,
 
     // Persistent scratch buffers for squash bookkeeping, taken with
@@ -404,6 +410,8 @@ impl Core {
             last_commit_cycle: 0,
             golden: None,
             ptrace: None,
+            #[cfg(feature = "commit-stream")]
+            check_stream: None,
             occupancy: Occupancy::new(&config),
             scratch_doomed: Vec::new(),
             scratch_subtree: Vec::new(),
@@ -420,6 +428,39 @@ impl Core {
     pub fn enable_golden_check(&mut self) {
         self.golden = Some(GoldenMachine::new(&self.program));
     }
+
+    /// Enables recording of the differential-check stream: one
+    /// [`CheckEvent`] per commit and per speculative RAS interaction,
+    /// drained with [`Core::drain_check_stream`]. Intended for the
+    /// `hydra-check` oracles; slows simulation.
+    #[cfg(feature = "commit-stream")]
+    pub fn enable_check_stream(&mut self) {
+        self.check_stream = Some(Vec::new());
+    }
+
+    /// Moves the recorded check events into `into` (appending), leaving
+    /// the internal buffer empty but enabled. Call between bounded
+    /// [`Core::run`] windows to keep the buffer small.
+    #[cfg(feature = "commit-stream")]
+    pub fn drain_check_stream(&mut self, into: &mut Vec<CheckEvent>) {
+        if let Some(buf) = &mut self.check_stream {
+            into.append(buf);
+        }
+    }
+
+    /// Records one check event when the stream is enabled. The
+    /// feature-off twin below compiles every call site away entirely.
+    #[cfg(feature = "commit-stream")]
+    #[inline]
+    fn emit_check(&mut self, ev: CheckEvent) {
+        if let Some(buf) = &mut self.check_stream {
+            buf.push(ev);
+        }
+    }
+
+    #[cfg(not(feature = "commit-stream"))]
+    #[inline(always)]
+    fn emit_check(&mut self, _ev: CheckEvent) {}
 
     /// Enables pipeline tracing: the lifetimes of the most recent
     /// `capacity` micro-ops are recorded and can be rendered as a stage
@@ -618,6 +659,14 @@ impl Core {
             (u.pred_next_pc, u.return_source, u.mem_addr, u.store_value)
         };
         assert!(!wild, "wild (out-of-image) micro-op reached commit");
+        self.emit_check(CheckEvent::Commit {
+            seq,
+            pc,
+            inst,
+            next_pc: actual_next_pc.unwrap_or_else(|| pc.next()),
+            pred_next_pc,
+            return_source,
+        });
         if let Some(golden) = &mut self.golden {
             assert_eq!(
                 golden.pc, pc,
@@ -810,6 +859,7 @@ impl Core {
         let ckpt = self.slab[su].ras_ckpt.take();
         if correct {
             if let Some(handle) = ckpt {
+                self.emit_check(CheckEvent::RasRelease { id: seq });
                 self.ras.release(handle);
             }
             return;
@@ -823,6 +873,10 @@ impl Core {
         self.squash_lineage(path, seq);
         self.paths.revive(path);
         if let Some(handle) = ckpt {
+            self.emit_check(CheckEvent::RasRestore {
+                path: path.index() as u32,
+                id: seq,
+            });
             self.ras.restore(handle);
         }
         let (history_at_fetch, taken_actual) = {
@@ -892,11 +946,15 @@ impl Core {
             if !usq
                 && (self.paths.on_lineage(upath, useq, base, min_seq) || killed.contains(&upath))
             {
-                let u = &mut self.slab[su];
-                u.squashed = true;
+                let handle = {
+                    let u = &mut self.slab[su];
+                    u.squashed = true;
+                    u.ras_ckpt.take()
+                };
                 squashed_seqs.push(useq);
                 self.stats.squashed_uops += 1;
-                if let Some(handle) = u.ras_ckpt.take() {
+                if let Some(handle) = handle {
+                    self.emit_check(CheckEvent::RasRelease { id: useq });
                     released.push(handle);
                 }
             }
@@ -928,6 +986,7 @@ impl Core {
                 squashed_seqs.push(useq);
                 self.stats.squashed_uops += 1;
                 if let Some(handle) = self.slab[su].ras_ckpt.take() {
+                    self.emit_check(CheckEvent::RasRelease { id: useq });
                     released.push(handle);
                 }
                 self.free_slot(slot);
@@ -964,14 +1023,19 @@ impl Core {
         squashed_seqs.clear();
         for i in 0..self.ruu.len() {
             let su = self.ruu[i] as usize;
-            let u = &mut self.slab[su];
-            if !u.squashed && killed.contains(&u.path) {
-                u.squashed = true;
-                squashed_seqs.push(u.seq);
-                self.stats.squashed_uops += 1;
-                if let Some(handle) = u.ras_ckpt.take() {
-                    released.push(handle);
+            let (useq, handle) = {
+                let u = &mut self.slab[su];
+                if u.squashed || !killed.contains(&u.path) {
+                    continue;
                 }
+                u.squashed = true;
+                (u.seq, u.ras_ckpt.take())
+            };
+            squashed_seqs.push(useq);
+            self.stats.squashed_uops += 1;
+            if let Some(handle) = handle {
+                self.emit_check(CheckEvent::RasRelease { id: useq });
+                released.push(handle);
             }
         }
         {
@@ -989,9 +1053,11 @@ impl Core {
             let (ready, slot) = self.fetch_queue.pop_front().expect("counted");
             let su = slot as usize;
             if killed.contains(&self.slab[su].path) {
-                squashed_seqs.push(self.slab[su].seq);
+                let useq = self.slab[su].seq;
+                squashed_seqs.push(useq);
                 self.stats.squashed_uops += 1;
                 if let Some(handle) = self.slab[su].ras_ckpt.take() {
+                    self.emit_check(CheckEvent::RasRelease { id: useq });
                     released.push(handle);
                 }
                 self.free_slot(slot);
@@ -1459,6 +1525,12 @@ impl Core {
                     }
                     if !forked {
                         self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                        if self.slab[su].ras_ckpt.is_some() {
+                            self.emit_check(CheckEvent::RasCheckpoint {
+                                path: path.index() as u32,
+                                id: seq,
+                            });
+                        }
                     }
                     if pred.taken {
                         stop_block = true;
@@ -1473,18 +1545,38 @@ impl Core {
                 }
                 ControlKind::Call { target } => {
                     self.ras.push(path, pc.next().word());
+                    self.emit_check(CheckEvent::RasPush {
+                        path: path.index() as u32,
+                        addr: pc.next().word(),
+                    });
                     stop_block = true;
                     target
                 }
                 ControlKind::IndirectCall => {
                     self.ras.push(path, pc.next().word());
+                    self.emit_check(CheckEvent::RasPush {
+                        path: path.index() as u32,
+                        addr: pc.next().word(),
+                    });
                     self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    if self.slab[su].ras_ckpt.is_some() {
+                        self.emit_check(CheckEvent::RasCheckpoint {
+                            path: path.index() as u32,
+                            id: seq,
+                        });
+                    }
                     self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     self.btb.lookup(pc).unwrap_or_else(|| pc.next())
                 }
                 ControlKind::IndirectJump => {
                     self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    if self.slab[su].ras_ckpt.is_some() {
+                        self.emit_check(CheckEvent::RasCheckpoint {
+                            path: path.index() as u32,
+                            id: seq,
+                        });
+                    }
                     self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     self.btb.lookup(pc).unwrap_or_else(|| pc.next())
@@ -1493,6 +1585,12 @@ impl Core {
                     let (target, source) = self.predict_return(path, pc);
                     self.slab[su].return_source = Some(source);
                     self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    if self.slab[su].ras_ckpt.is_some() {
+                        self.emit_check(CheckEvent::RasCheckpoint {
+                            path: path.index() as u32,
+                            id: seq,
+                        });
+                    }
                     self.slab[su].history_at_fetch = Some(self.path_ctx[path.index()].history);
                     stop_block = true;
                     target
@@ -1525,12 +1623,24 @@ impl Core {
 
     fn predict_return(&mut self, path: PathId, pc: Addr) -> (Addr, ReturnSource) {
         match self.config.return_predictor {
-            ReturnPredictor::Perfect => match self.ras.pop(path) {
-                Some(t) => (Addr::new(t), ReturnSource::Oracle),
-                None => (pc.next(), ReturnSource::Fallthrough),
-            },
+            ReturnPredictor::Perfect => {
+                let popped = self.ras.pop(path);
+                self.emit_check(CheckEvent::RasPop {
+                    path: path.index() as u32,
+                    predicted: popped,
+                });
+                match popped {
+                    Some(t) => (Addr::new(t), ReturnSource::Oracle),
+                    None => (pc.next(), ReturnSource::Fallthrough),
+                }
+            }
             ReturnPredictor::Ras { .. } | ReturnPredictor::SelfCheckpointing { .. } => {
-                match self.ras.pop(path) {
+                let popped = self.ras.pop(path);
+                self.emit_check(CheckEvent::RasPop {
+                    path: path.index() as u32,
+                    predicted: popped,
+                });
+                match popped {
                     Some(t) => (Addr::new(t), ReturnSource::Ras),
                     // Invalidated entry (valid-bits) or stale slot: fall back
                     // to the BTB, then to sequential.

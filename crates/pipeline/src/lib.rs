@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check_stream;
 mod config;
 mod core;
 mod path;
@@ -57,7 +58,10 @@ mod stats;
 mod uop;
 
 pub use crate::core::{Core, Occupancy};
-pub use config::{CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, ReturnPredictor};
+pub use check_stream::CheckEvent;
+pub use config::{
+    ConfigError, CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, ReturnPredictor,
+};
 pub use path::{PathId, PathTable};
 pub use ptrace::{PipeTrace, UopRecord};
 pub use stats::{ReturnSource, SimStats};
