@@ -3,8 +3,8 @@
 //! simulation kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hydra_bench::{find, run_experiment, run_one, suite, RunSpec};
-use hydra_pipeline::CoreConfig;
+use hydra_bench::{find, run_experiment, suite, RunSpec};
+use hydra_pipeline::{Core, CoreConfig};
 
 fn bench(c: &mut Criterion) {
     let rs = RunSpec::quick();
@@ -20,7 +20,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig_stack_depth");
     g.sample_size(10);
     g.bench_function("m88ksim_10k_baseline", |b| {
-        b.iter(|| run_one(w, CoreConfig::baseline(), &kernel))
+        b.iter(|| {
+            let mut core = Core::new(CoreConfig::baseline(), w.program());
+            core.run(kernel.fast_forward);
+            core.reset_stats();
+            core.run(kernel.horizon)
+        })
     });
     g.finish();
 }

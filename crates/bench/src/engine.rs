@@ -17,7 +17,7 @@
 //! jobs/sec, simulated cycles/sec, committed instructions/sec) is
 //! reported in an [`EngineReport`] the `expt` binary prints to stderr.
 
-use hydra_pipeline::{Core, CoreConfig, SimStats};
+use hydra_pipeline::{Core, CoreConfig, SimStats, System};
 use hydra_stats::{Cell, Histogram, Meter, Summary, Table};
 use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
 use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
@@ -78,6 +78,22 @@ pub enum JobKind {
         /// Instructions to interpret.
         horizon: u64,
     },
+    /// Simulated SMT: `config.harts` hardware threads on one core, each
+    /// running a sibling workload (same spec, consecutive seeds), sharing
+    /// the core's RAS under `config.ras_sharing`. Fast-forwards and
+    /// measures per hart, like [`JobKind::Cycle`].
+    Smt {
+        /// Workload generation profile (shared by all harts).
+        spec: WorkloadSpec,
+        /// Hart 0's workload seed; hart `i` uses `seed + i`.
+        seed: u64,
+        /// Machine configuration (`config.harts > 1`).
+        config: CoreConfig,
+        /// Commits per hart before statistics reset.
+        fast_forward: u64,
+        /// Commits per hart in the measurement window.
+        horizon: u64,
+    },
     /// Trace-model replay on a synthetic speculation trace (the
     /// analytical figure).
     Replay {
@@ -119,6 +135,21 @@ impl SimJob {
         self
     }
 
+    /// A simulated-SMT job for `spec` × `config` sized by `rs`; hart `i`
+    /// runs the sibling workload generated with `seed + i`.
+    pub fn smt(spec: &WorkloadSpec, seed: u64, config: CoreConfig, rs: &RunSpec) -> Self {
+        SimJob {
+            label: format!("{} ×{}smt", spec.name, config.harts),
+            kind: JobKind::Smt {
+                spec: spec.clone(),
+                seed,
+                config,
+                fast_forward: rs.fast_forward,
+                horizon: rs.horizon,
+            },
+        }
+    }
+
     /// A functional-profile job for `spec` over `horizon` instructions.
     pub fn profile(spec: &WorkloadSpec, seed: u64, horizon: u64) -> Self {
         SimJob {
@@ -137,6 +168,10 @@ impl SimJob {
 pub enum JobOutput {
     /// From [`JobKind::Cycle`].
     Stats(SimStats),
+    /// From [`JobKind::Smt`]: one [`SimStats`] per hart, in hart order.
+    /// Per-hart commit counters are private; RAS and cache counters
+    /// reflect the shared structures (see [`System::stats`]).
+    SmtStats(Vec<SimStats>),
     /// From [`JobKind::Profile`].
     Profile(DynamicProfile),
     /// From [`JobKind::Replay`]: correct-path return hits over the total
@@ -164,6 +199,24 @@ pub fn run_job(job: &SimJob) -> JobOutput {
             core.run(*fast_forward);
             core.reset_stats();
             JobOutput::Stats(core.run(*horizon))
+        }
+        JobKind::Smt {
+            spec,
+            seed,
+            config,
+            fast_forward,
+            horizon,
+        } => {
+            let workloads: Vec<Workload> = (0..config.harts as u64)
+                .map(|h| {
+                    Workload::generate(spec, seed.wrapping_add(h)).expect("job spec generates")
+                })
+                .collect();
+            let programs: Vec<_> = workloads.iter().map(Workload::program).collect();
+            let mut sys = System::new(1, *config, &programs);
+            sys.run(*fast_forward);
+            sys.reset_stats();
+            JobOutput::SmtStats(sys.run(*horizon))
         }
         JobKind::Profile {
             spec,
@@ -385,9 +438,18 @@ pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport
             .expect("worker pool ran every job");
         job_millis.push(took.as_secs_f64() * 1e3);
         jobs_per_sec.add(1);
-        if let JobOutput::Stats(s) = &out {
-            sim_cycles_per_sec.add(s.cycles);
-            sim_instrs_per_sec.add(s.committed);
+        match &out {
+            JobOutput::Stats(s) => {
+                sim_cycles_per_sec.add(s.cycles);
+                sim_instrs_per_sec.add(s.committed);
+            }
+            JobOutput::SmtStats(v) => {
+                // Harts advance in lockstep cycles; the machine's wall
+                // clock is the busiest hart's.
+                sim_cycles_per_sec.add(v.iter().map(|s| s.cycles).max().unwrap_or(0));
+                sim_instrs_per_sec.add(v.iter().map(|s| s.committed).sum());
+            }
+            _ => {}
         }
         outputs.push(out);
     }
@@ -445,6 +507,14 @@ impl<'a> Harvest<'a> {
         match self.take() {
             JobOutput::Stats(s) => s,
             other => panic!("expected Stats output, got {other:?}"),
+        }
+    }
+
+    /// The next output, which must be per-hart SMT stats.
+    pub fn smt_stats(&mut self) -> &'a [SimStats] {
+        match self.take() {
+            JobOutput::SmtStats(s) => s,
+            other => panic!("expected SmtStats output, got {other:?}"),
         }
     }
 

@@ -11,7 +11,7 @@
 //! [`registry`] lists every experiment; the `expt` binary dispatches on
 //! [`Experiment::name`] (`expt --list`, `expt table1`, `expt all`).
 
-use hydra_pipeline::{CoreConfig, ReturnPredictor};
+use hydra_pipeline::{CoreConfig, RasSharing, ReturnPredictor};
 use hydra_stats::{Align, Cell, Summary, Table};
 use hydra_workloads::WorkloadSpec;
 use ras_core::{MultipathStackPolicy, RepairPolicy};
@@ -77,6 +77,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(FigAnalytical),
         Box::new(FigFrontend),
         Box::new(FigJourdan),
+        Box::new(FigSmt),
         Box::new(FigSeeds::default()),
     ]
 }
@@ -916,6 +917,120 @@ impl Experiment for FigJourdan {
     }
 }
 
+/// **Extension: SMT shared-RAS contention** — two hardware threads on
+/// one core, each running a sibling workload, with the core's RAS unit
+/// shared under three policies: one contended stack (`shared`), half the
+/// entries statically per hart (`partitioned`), or full-size per-hart
+/// stacks selected by a hart tag (`tagged`). Swept over every repair
+/// policy against a single-hart reference: sharing destroys the LIFO
+/// call/return discipline the stack depends on — no repair policy can
+/// recover what a sibling hart overwrote — while partitioning or tagging
+/// restores nearly all of the single-hart hit rate.
+pub struct FigSmt;
+
+fn smt_repairs() -> [(&'static str, RepairPolicy); 6] {
+    [
+        ("no repair", RepairPolicy::None),
+        ("valid bits", RepairPolicy::ValidBits),
+        ("TOS ptr", RepairPolicy::TosPointer),
+        ("ptr+contents", RepairPolicy::TosPointerAndContents),
+        ("top-4", RepairPolicy::TopContents { k: 4 }),
+        ("full", RepairPolicy::FullStack),
+    ]
+}
+
+fn smt_sharings() -> [(&'static str, RasSharing); 3] {
+    [
+        ("shared", RasSharing::Shared),
+        ("partitioned", RasSharing::Partitioned),
+        ("tagged", RasSharing::Tagged { tag_bits: 1 }),
+    ]
+}
+
+impl Experiment for FigSmt {
+    fn name(&self) -> &'static str {
+        "fig-smt"
+    }
+
+    fn title(&self) -> &'static str {
+        "2-hart SMT: RAS contention by sharing policy and repair"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in frontend_specs(rs) {
+            for (rtag, repair) in smt_repairs() {
+                let rp = ReturnPredictor::Ras {
+                    entries: 32,
+                    repair,
+                };
+                jobs.push(
+                    SimJob::cycle(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(format!("1-hart {rtag}")),
+                );
+                for (stag, sharing) in smt_sharings() {
+                    let cfg = CoreConfig::builder()
+                        .harts(2)
+                        .ras_sharing(sharing)
+                        .return_predictor(rp)
+                        .build();
+                    jobs.push(SimJob::smt(&spec, seed, cfg, rs).tagged(format!("{stag} {rtag}")));
+                }
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        let mut h = Harvest::new(outputs);
+        let mut header = vec!["benchmark".to_string(), "repair".to_string()];
+        header.push("1-hart hit".to_string());
+        for (stag, _) in smt_sharings() {
+            header.push(format!("{stag} hit"));
+        }
+        for (stag, _) in smt_sharings() {
+            header.push(format!("{stag} IPC"));
+        }
+        let mut t = Table::new(header);
+        t.set_title(
+            "Extension (SMT): 2-hart return hit rate and aggregate IPC by RAS sharing policy",
+        );
+        for col in 2..=2 + smt_sharings().len() * 2 {
+            t.set_align(col, Align::Right);
+        }
+        // Aggregates over harts: hit rate pools every committed return;
+        // IPC sums per-hart throughput (the usual SMT figure of merit).
+        let agg_hit = |v: &[hydra_pipeline::SimStats]| {
+            let hits: u64 = v.iter().map(|s| s.return_hits).sum();
+            let returns: u64 = v.iter().map(|s| s.returns).sum();
+            hits as f64 / returns.max(1) as f64 * 100.0
+        };
+        let agg_ipc = |v: &[hydra_pipeline::SimStats]| v.iter().map(|s| s.ipc()).sum::<f64>();
+        for (spec, _) in frontend_specs(rs) {
+            for (rtag, _) in smt_repairs() {
+                let single = h.stats();
+                let mut row = vec![
+                    Cell::text(&spec.name),
+                    Cell::text(rtag),
+                    Cell::percent(single.return_hit_rate().percent()),
+                ];
+                let mut hits = Vec::new();
+                let mut ipcs = Vec::new();
+                for _ in smt_sharings() {
+                    let v = h.smt_stats();
+                    hits.push(agg_hit(v));
+                    ipcs.push(agg_ipc(v));
+                }
+                row.extend(hits.into_iter().map(Cell::percent));
+                row.extend(ipcs.into_iter().map(|i| Cell::fixed(i, 3)));
+                t.add_row(row);
+            }
+        }
+        h.finish();
+        t
+    }
+}
+
 /// **Robustness: multi-seed repair comparison** — the headline comparison
 /// (no repair vs the paper's mechanism vs perfect) repeated across
 /// several workload-generation seeds, reported as mean ± stddev. The
@@ -1040,6 +1155,7 @@ mod tests {
         assert_eq!(Table2.jobs(&rs).len(), 8 * 2);
         assert_eq!(FigRepair.jobs(&rs).len(), 8 * repair_ladder().len());
         assert_eq!(FigAnalytical.jobs(&rs).len(), 6 * 5);
+        assert_eq!(FigSmt.jobs(&rs).len(), 4 * 6 * 4);
         assert_eq!(FigSeeds::default().jobs(&rs).len(), 8 * 3 * 2);
     }
 }

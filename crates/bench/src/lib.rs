@@ -249,6 +249,13 @@ pub fn suite(rs: &RunSpec) -> Vec<Workload> {
 
 /// Runs one workload on one configuration: fast-forward, reset
 /// statistics, measure.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct the machine explicitly — single stream: \
+            `Core::new(config, w.program())`, then `run(rs.fast_forward)`, \
+            `reset_stats()`, `run(rs.horizon)`; multi-hart: build a \
+            `hydra_pipeline::System` and use `System::run`"
+)]
 pub fn run_one(w: &Workload, config: CoreConfig, rs: &RunSpec) -> SimStats {
     let mut core = Core::new(config, w.program());
     core.run(rs.fast_forward);
@@ -287,6 +294,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_one_measures_requested_window() {
         let w = &suite(&tiny())[1]; // m88ksim: quick
         let s = run_one(w, CoreConfig::baseline(), &tiny());

@@ -70,7 +70,14 @@ impl Btb {
         assert!(config.ways > 0, "BTB associativity must be > 0");
         Btb {
             config,
-            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            // Not `vec![Vec::with_capacity(ways); sets]`: `Vec::clone`
+            // does not preserve capacity, so every clone would start at
+            // zero and allocate lazily on first touch — leaking
+            // allocations into the steady-state hot path long after
+            // warm-up.
+            sets: (0..config.sets)
+                .map(|_| Vec::with_capacity(config.ways))
+                .collect(),
             clock: 0,
             hits: 0,
             lookups: 0,

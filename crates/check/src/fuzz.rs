@@ -16,7 +16,9 @@
 //! [`case_from_json`], surfaced as `expt fuzz --replay FILE`).
 
 use crate::{Divergence, RasOracle, RefSim};
-use hydra_pipeline::{CheckEvent, Core, CoreConfig, MultipathConfig, ReturnPredictor};
+use hydra_pipeline::{
+    CheckEvent, Core, CoreConfig, MultipathConfig, RasSharing, ReturnPredictor, System,
+};
 use hydra_stats::Json;
 use hydra_workloads::{Workload, WorkloadSpec};
 use rand::rngs::StdRng;
@@ -48,13 +50,22 @@ pub struct CaseConfig {
     /// Per-path stacks (`true`) or one unified stack (`false`) when
     /// multipath.
     pub per_path_stacks: bool,
+    /// Hardware threads per core; `> 1` runs the case as 2-hart SMT
+    /// (mutually exclusive with multipath).
+    pub harts: u8,
+    /// How harts share the RAS when `harts > 1`.
+    pub ras_sharing: RasSharing,
 }
 
 impl CaseConfig {
     /// Whether the RAS reference oracle applies: a single-path machine
-    /// predicting returns from a real (non-oracle) stack.
+    /// predicting returns from a real (non-oracle) stack whose mutation
+    /// order the per-engine check streams preserve. `Shared` multi-hart
+    /// is excluded: each engine drains its own stream, so the global
+    /// cross-hart interleaving on the one physical stack is lost.
     pub fn ras_oracle_applies(&self) -> bool {
         self.multipath_paths < 2
+            && (self.harts <= 1 || !matches!(self.ras_sharing, RasSharing::Shared))
     }
 
     /// Builds the pipeline configuration, rejecting invalid combinations
@@ -85,6 +96,8 @@ impl CaseConfig {
             })
             .checkpoint_budget(self.checkpoint_budget)
             .multipath(multipath)
+            .harts(self.harts)
+            .ras_sharing(self.ras_sharing)
             .try_build()
             .map_err(|e| format!("invalid fuzz config: {e}"))
     }
@@ -119,6 +132,9 @@ pub struct CaseReport {
 /// `Err` means the case could not run at all (workload generation or
 /// configuration rejected) — a fuzzer bug, not a divergence.
 pub fn run_case(case: &FuzzCase) -> Result<CaseReport, String> {
+    if case.config.harts > 1 {
+        return run_case_smt(case);
+    }
     let workload = Workload::generate(&case.spec, case.workload_seed)
         .map_err(|e| format!("workload generation failed: {e}"))?;
     let config = case.config.to_core_config()?;
@@ -164,6 +180,86 @@ pub fn run_case(case: &FuzzCase) -> Result<CaseReport, String> {
             });
         }
         committed = stats.committed;
+    }
+}
+
+/// Runs a multi-hart case as a one-core SMT [`System`]: each hart gets a
+/// sibling workload (same spec, consecutive seeds) and its own reference
+/// simulator; each hart's check stream replays against a sharing-aware
+/// [`RasOracle`] where the oracle applies (see
+/// [`CaseConfig::ras_oracle_applies`]).
+fn run_case_smt(case: &FuzzCase) -> Result<CaseReport, String> {
+    let harts = case.config.harts as usize;
+    let workloads: Vec<Workload> = (0..harts as u64)
+        .map(|h| Workload::generate(&case.spec, case.workload_seed.wrapping_add(h)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("workload generation failed: {e}"))?;
+    let config = case.config.to_core_config()?;
+    let programs: Vec<_> = workloads.iter().map(Workload::program).collect();
+    let mut sys = System::new(1, config, &programs);
+    let mut refsims: Vec<RefSim> = workloads.iter().map(|w| RefSim::new(w.program())).collect();
+    let mut oracles: Vec<Option<RasOracle>> = (0..harts)
+        .map(|_| {
+            case.config.ras_oracle_applies().then(|| {
+                RasOracle::with_sharing(
+                    case.config.repair,
+                    case.config.ras_entries,
+                    case.config.harts,
+                    case.config.ras_sharing,
+                )
+            })
+        })
+        .collect();
+    for h in 0..harts {
+        sys.hart(h).enable_check_stream();
+    }
+
+    let mut events: Vec<CheckEvent> = Vec::new();
+    let mut target = 0u64;
+    let mut last_total = u64::MAX;
+    loop {
+        target = (target + 4096).min(case.horizon);
+        let stats = sys.run(target);
+        let commits_high = stats.iter().map(|s| s.committed).max().unwrap_or(0);
+        for h in 0..harts {
+            sys.hart(h).drain_check_stream(&mut events);
+            for ev in events.drain(..) {
+                if let CheckEvent::Commit {
+                    pc, inst, next_pc, ..
+                } = ev
+                {
+                    if let Err(d) = refsims[h].check_commit(pc, inst, next_pc) {
+                        return Ok(CaseReport {
+                            commits: commits_high,
+                            divergence: Some(Divergence {
+                                what: format!("hart {h}: {}", d.what),
+                                ..d
+                            }),
+                        });
+                    }
+                }
+                if let Some(oracle) = &mut oracles[h] {
+                    if let Err(d) = oracle.apply(&ev) {
+                        return Ok(CaseReport {
+                            commits: commits_high,
+                            divergence: Some(Divergence {
+                                what: format!("hart {h}: {}", d.what),
+                                ..d
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        let total: u64 = stats.iter().map(|s| s.committed).sum();
+        let all_done = stats.iter().all(|s| s.committed >= case.horizon);
+        if all_done || total == last_total {
+            return Ok(CaseReport {
+                commits: commits_high,
+                divergence: None,
+            });
+        }
+        last_total = total;
     }
 }
 
@@ -213,6 +309,22 @@ pub fn gen_case(rng: &mut StdRng, index: u64, quick: bool) -> FuzzCase {
         // Weight the paper's proposed mechanism a little heavier.
         _ => RepairPolicy::TosPointerAndContents,
     };
+    // Front-end shape: multipath and SMT are mutually exclusive, so one
+    // roll picks conventional (70%), multipath (10%), or 2-hart SMT (20%).
+    let shape = rng.gen_range(0..10);
+    let multipath_paths = if shape < 1 { rng.gen_range(2..=4) } else { 1 };
+    let (harts, ras_sharing) = if (1..3).contains(&shape) {
+        let sharing = match rng.gen_range(0..3) {
+            0 => RasSharing::Shared,
+            1 => RasSharing::Partitioned,
+            _ => RasSharing::Tagged {
+                tag_bits: rng.gen_range(1..=3),
+            },
+        };
+        (2, sharing)
+    } else {
+        (1, RasSharing::Shared)
+    };
     let config = CaseConfig {
         ras_entries: choose(rng, &[1, 2, 3, 4, 8, 16, 32]),
         repair,
@@ -226,12 +338,10 @@ pub fn gen_case(rng: &mut StdRng, index: u64, quick: bool) -> FuzzCase {
         lsq_size: choose(rng, &[4, 8, 16, 32]),
         fetch_queue: choose(rng, &[2, 4, 8, 16]),
         decode_latency: rng.gen_range(1..=4),
-        multipath_paths: if rng.gen_bool(0.1) {
-            rng.gen_range(2..=4)
-        } else {
-            1
-        },
+        multipath_paths,
         per_path_stacks: rng.gen_bool(0.5),
+        harts,
+        ras_sharing,
     };
     let horizon = if quick {
         rng.gen_range(1_000..8_000)
@@ -345,6 +455,16 @@ pub fn shrink(case: &FuzzCase, divergence: &Divergence, max_runs: usize) -> (Fuz
             (c.config.ras_entries > 1).then(|| {
                 let mut n = c.clone();
                 n.config.ras_entries /= 2;
+                n
+            })
+        },
+        // Try collapsing SMT to a single hart — kept only when the bug
+        // is not actually about cross-hart interaction.
+        |c, _| {
+            (c.config.harts > 1).then(|| {
+                let mut n = c.clone();
+                n.config.harts = 1;
+                n.config.ras_sharing = RasSharing::Shared;
                 n
             })
         },
@@ -507,6 +627,15 @@ fn config_to_json(c: &CaseConfig) -> Json {
         ("decode_latency", Json::int(c.decode_latency)),
         ("multipath_paths", Json::int(c.multipath_paths as u64)),
         ("per_path_stacks", Json::int(c.per_path_stacks as u64)),
+        ("harts", Json::int(c.harts as u64)),
+        ("ras_sharing", Json::str(c.ras_sharing.short_name())),
+        (
+            "ras_tag_bits",
+            Json::int(match c.ras_sharing {
+                RasSharing::Tagged { tag_bits } => tag_bits as u64,
+                _ => 0,
+            }),
+        ),
     ])
 }
 
@@ -594,6 +723,20 @@ fn config_from_json(j: &Json) -> Result<CaseConfig, String> {
         other => return Err(format!("repro JSON: unknown repair policy {other:?}")),
     };
     let budget = get_usize(j, "checkpoint_budget")?;
+    // Absent in pre-SMT repro files: default to a single hart.
+    let harts = j
+        .get("harts")
+        .and_then(Json::as_num)
+        .map(|v| v as u8)
+        .unwrap_or(1);
+    let ras_sharing = match j.get("ras_sharing").and_then(Json::as_str) {
+        None | Some("shared") => RasSharing::Shared,
+        Some("partitioned") => RasSharing::Partitioned,
+        Some("tagged") => RasSharing::Tagged {
+            tag_bits: get_u64(j, "ras_tag_bits")?.max(1) as u8,
+        },
+        Some(other) => return Err(format!("repro JSON: unknown ras_sharing {other:?}")),
+    };
     Ok(CaseConfig {
         ras_entries: get_usize(j, "ras_entries")?,
         repair,
@@ -605,6 +748,8 @@ fn config_from_json(j: &Json) -> Result<CaseConfig, String> {
         decode_latency: get_u64(j, "decode_latency")?,
         multipath_paths: get_usize(j, "multipath_paths")?,
         per_path_stacks: get_u64(j, "per_path_stacks")? != 0,
+        harts,
+        ras_sharing,
     })
 }
 
@@ -666,6 +811,68 @@ mod tests {
         let text = repro_to_json(&case, &div).pretty();
         let back = case_from_json(&text).expect("parses");
         assert_eq!(back, case);
+    }
+
+    #[test]
+    fn smt_cases_run_clean_under_every_sharing_mode() {
+        for sharing in [
+            RasSharing::Shared,
+            RasSharing::Partitioned,
+            RasSharing::Tagged { tag_bits: 1 },
+        ] {
+            let mut case = tiny_case();
+            case.config.harts = 2;
+            case.config.ras_sharing = sharing;
+            let report = run_case(&case).expect("case runs");
+            assert!(
+                report.divergence.is_none(),
+                "{sharing:?}: {:?}",
+                report.divergence
+            );
+            assert!(report.commits > 0);
+        }
+    }
+
+    #[test]
+    fn smt_case_json_round_trips() {
+        let mut case = tiny_case();
+        case.config.harts = 2;
+        case.config.ras_sharing = RasSharing::Tagged { tag_bits: 2 };
+        let div = Divergence {
+            commits: 1,
+            what: "test".into(),
+        };
+        let text = repro_to_json(&case, &div).pretty();
+        let back = case_from_json(&text).expect("parses");
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn pre_smt_repro_files_default_to_one_hart() {
+        let case = tiny_case();
+        let div = Divergence {
+            commits: 1,
+            what: "test".into(),
+        };
+        // Strip the SMT keys to simulate a repro written before they
+        // existed.
+        let mut doc = repro_to_json(&case, &div);
+        if let Json::Obj(top) = &mut doc {
+            for (_, v) in top.iter_mut().filter(|(k, _)| k == "case") {
+                if let Json::Obj(case_members) = v {
+                    for (_, v2) in case_members.iter_mut().filter(|(k, _)| k == "config") {
+                        if let Json::Obj(cfg) = v2 {
+                            cfg.retain(|(key, _)| {
+                                !["harts", "ras_sharing", "ras_tag_bits"].contains(&key.as_str())
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let back = case_from_json(&doc.pretty()).expect("parses");
+        assert_eq!(back.config.harts, 1);
+        assert_eq!(back.config.ras_sharing, RasSharing::Shared);
     }
 
     #[test]

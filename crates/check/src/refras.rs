@@ -8,7 +8,7 @@
 //! flagging any return prediction that disagrees with the model.
 
 use crate::Divergence;
-use hydra_pipeline::CheckEvent;
+use hydra_pipeline::{CheckEvent, RasSharing};
 use ras_core::RepairPolicy;
 use std::collections::HashMap;
 
@@ -146,8 +146,8 @@ impl RefRas {
     }
 }
 
-/// Replays a pipeline-recorded [`CheckEvent`] stream against a
-/// [`RefRas`], diffing every return prediction.
+/// Replays a pipeline-recorded [`CheckEvent`] stream against reference
+/// stacks, diffing every return prediction.
 ///
 /// The oracle models a *single-path* front end: the optimized pipeline's
 /// speculative pushes, pops, checkpoints, restores and releases arrive in
@@ -155,18 +155,56 @@ impl RefRas {
 /// reproduces the ground-truth prediction at every return. Checkpoints
 /// are tracked by the owning micro-op's sequence number; the stream
 /// guarantees each is restored or released exactly once.
+///
+/// Multi-hart streams are modeled too: [`RasOracle::with_sharing`]
+/// mirrors the pipeline's [`RasSharing`] policy, keeping one reference
+/// stack (`Shared`) or one per hart (`Partitioned` with sliced capacity,
+/// `Tagged` with full capacity) and routing each event by its recorded
+/// hart. The stream must preserve the true global mutation order across
+/// harts — per-engine streams drained separately lose that interleaving
+/// and only apply to `Partitioned`/`Tagged`, where harts never touch
+/// each other's stack.
 #[derive(Debug)]
 pub struct RasOracle {
-    ras: RefRas,
-    ckpts: HashMap<u64, RefCkpt>,
+    stacks: Vec<RefRas>,
+    /// Checkpoint id → (owning stack, saved state).
+    ckpts: HashMap<u64, (usize, RefCkpt)>,
     commits: u64,
 }
 
 impl RasOracle {
-    /// Creates an oracle for a stack of `capacity` entries under `policy`.
+    /// Creates an oracle for a single stack of `capacity` entries under
+    /// `policy` — the single-hart (or `Shared`) shape.
     pub fn new(policy: RepairPolicy, capacity: usize) -> Self {
         RasOracle {
-            ras: RefRas::new(policy, capacity),
+            stacks: vec![RefRas::new(policy, capacity)],
+            ckpts: HashMap::new(),
+            commits: 0,
+        }
+    }
+
+    /// Creates an oracle mirroring how `harts` hardware threads share a
+    /// `capacity`-entry stack under `sharing` — the same shapes
+    /// `hydra_pipeline`'s RAS unit builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `harts` is zero.
+    pub fn with_sharing(
+        policy: RepairPolicy,
+        capacity: usize,
+        harts: u8,
+        sharing: RasSharing,
+    ) -> Self {
+        assert!(harts > 0, "need at least one hart");
+        let (count, slice) = match sharing {
+            _ if harts == 1 => (1, capacity),
+            RasSharing::Shared => (1, capacity),
+            RasSharing::Partitioned => (harts as usize, (capacity / harts as usize).max(1)),
+            RasSharing::Tagged { .. } => (harts as usize, capacity),
+        };
+        RasOracle {
+            stacks: (0..count).map(|_| RefRas::new(policy, slice)).collect(),
             ckpts: HashMap::new(),
             commits: 0,
         }
@@ -179,44 +217,74 @@ impl RasOracle {
         }
     }
 
+    /// Routes a recorded hart to its reference stack.
+    fn route(&self, hart: u8) -> Result<usize, Divergence> {
+        if self.stacks.len() == 1 {
+            Ok(0)
+        } else if (hart as usize) < self.stacks.len() {
+            Ok(hart as usize)
+        } else {
+            Err(self.diverge(format!(
+                "event from hart {hart} but the oracle models {} harts",
+                self.stacks.len()
+            )))
+        }
+    }
+
     /// Applies one recorded event; `Err` is a genuine divergence between
     /// the pipeline's stack and the reference model (or an inconsistent
     /// event stream, which is equally a bug).
     pub fn apply(&mut self, ev: &CheckEvent) -> Result<(), Divergence> {
         match *ev {
             CheckEvent::Commit { .. } => self.commits += 1,
-            CheckEvent::RasPush { path, addr } => {
+            CheckEvent::RasPush { hart, path, addr } => {
                 if path != 0 {
                     return Err(self.diverge(format!("push on unexpected path {path}")));
                 }
-                self.ras.push(addr);
+                let s = self.route(hart)?;
+                self.stacks[s].push(addr);
             }
-            CheckEvent::RasPop { path, predicted } => {
+            CheckEvent::RasPop {
+                hart,
+                path,
+                predicted,
+            } => {
                 if path != 0 {
                     return Err(self.diverge(format!("pop on unexpected path {path}")));
                 }
-                let want = self.ras.pop();
+                let s = self.route(hart)?;
+                let want = self.stacks[s].pop();
                 if want != predicted {
                     return Err(self.diverge(format!(
-                        "return prediction diverged: pipeline stack said {predicted:?}, \
-                         reference model says {want:?}"
+                        "return prediction diverged on hart {hart}: pipeline stack said \
+                         {predicted:?}, reference model says {want:?}"
                     )));
                 }
             }
-            CheckEvent::RasCheckpoint { path, id } => {
+            CheckEvent::RasCheckpoint { hart, path, id } => {
                 if path != 0 {
                     return Err(self.diverge(format!("checkpoint on unexpected path {path}")));
                 }
-                if self.ckpts.insert(id, self.ras.checkpoint()).is_some() {
+                let s = self.route(hart)?;
+                let saved = (s, self.stacks[s].checkpoint());
+                if self.ckpts.insert(id, saved).is_some() {
                     return Err(self.diverge(format!("checkpoint id {id} taken twice")));
                 }
             }
-            CheckEvent::RasRestore { path, id } => {
+            CheckEvent::RasRestore { hart, path, id } => {
                 if path != 0 {
                     return Err(self.diverge(format!("restore on unexpected path {path}")));
                 }
+                let here = self.route(hart)?;
                 match self.ckpts.remove(&id) {
-                    Some(ckpt) => self.ras.restore(&ckpt),
+                    Some((owner, ckpt)) => {
+                        if owner != here {
+                            return Err(self.diverge(format!(
+                                "hart {hart} restored checkpoint {id} owned by stack {owner}"
+                            )));
+                        }
+                        self.stacks[owner].restore(&ckpt);
+                    }
                     None => return Err(self.diverge(format!("restore of unknown checkpoint {id}"))),
                 }
             }
@@ -295,7 +363,13 @@ mod tests {
     #[test]
     fn oracle_flags_event_stream_inconsistencies() {
         let mut o = RasOracle::new(RepairPolicy::TosPointer, 4);
-        assert!(o.apply(&CheckEvent::RasRestore { path: 0, id: 7 }).is_err());
+        assert!(o
+            .apply(&CheckEvent::RasRestore {
+                hart: 0,
+                path: 0,
+                id: 7
+            })
+            .is_err());
         let mut o = RasOracle::new(RepairPolicy::TosPointer, 4);
         assert!(o.apply(&CheckEvent::RasRelease { id: 7 }).is_err());
     }
@@ -305,16 +379,27 @@ mod tests {
         let mut o = RasOracle::new(RepairPolicy::TosPointer, 4);
         let events = [
             CheckEvent::RasPush {
+                hart: 0,
                 path: 0,
                 addr: 0x40,
             },
-            CheckEvent::RasCheckpoint { path: 0, id: 1 },
+            CheckEvent::RasCheckpoint {
+                hart: 0,
+                path: 0,
+                id: 1,
+            },
             CheckEvent::RasPop {
+                hart: 0,
                 path: 0,
                 predicted: Some(0x40),
             },
-            CheckEvent::RasRestore { path: 0, id: 1 },
+            CheckEvent::RasRestore {
+                hart: 0,
+                path: 0,
+                id: 1,
+            },
             CheckEvent::RasPop {
+                hart: 0,
                 path: 0,
                 predicted: Some(0x40),
             },
@@ -323,5 +408,106 @@ mod tests {
             o.apply(ev).expect("stream is consistent");
         }
         assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    fn shared_oracle_interleaves_harts_on_one_stack() {
+        let mut o = RasOracle::with_sharing(RepairPolicy::TosPointer, 8, 2, RasSharing::Shared);
+        o.apply(&CheckEvent::RasPush {
+            hart: 0,
+            path: 0,
+            addr: 0x10,
+        })
+        .unwrap();
+        o.apply(&CheckEvent::RasPush {
+            hart: 1,
+            path: 0,
+            addr: 0x20,
+        })
+        .unwrap();
+        // Hart 0 pops hart 1's entry: the whole contention story.
+        o.apply(&CheckEvent::RasPop {
+            hart: 0,
+            path: 0,
+            predicted: Some(0x20),
+        })
+        .expect("shared stack is LIFO across harts");
+    }
+
+    #[test]
+    fn partitioned_oracle_isolates_harts() {
+        for sharing in [RasSharing::Partitioned, RasSharing::Tagged { tag_bits: 1 }] {
+            let mut o = RasOracle::with_sharing(RepairPolicy::TosPointer, 8, 2, sharing);
+            o.apply(&CheckEvent::RasPush {
+                hart: 0,
+                path: 0,
+                addr: 0x10,
+            })
+            .unwrap();
+            o.apply(&CheckEvent::RasPush {
+                hart: 1,
+                path: 0,
+                addr: 0x20,
+            })
+            .unwrap();
+            o.apply(&CheckEvent::RasPop {
+                hart: 0,
+                path: 0,
+                predicted: Some(0x10),
+            })
+            .unwrap_or_else(|d| panic!("{sharing:?} must isolate harts: {d}"));
+        }
+    }
+
+    #[test]
+    fn cross_hart_restore_is_a_divergence() {
+        let mut o =
+            RasOracle::with_sharing(RepairPolicy::TosPointer, 8, 2, RasSharing::Partitioned);
+        o.apply(&CheckEvent::RasCheckpoint {
+            hart: 0,
+            path: 0,
+            id: 3,
+        })
+        .unwrap();
+        assert!(o
+            .apply(&CheckEvent::RasRestore {
+                hart: 1,
+                path: 0,
+                id: 3
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn partitioned_capacity_is_sliced() {
+        // 4 entries over 2 harts = 2 each: a third push wraps.
+        let mut o =
+            RasOracle::with_sharing(RepairPolicy::TosPointer, 4, 2, RasSharing::Partitioned);
+        for addr in [1u64, 2, 3] {
+            o.apply(&CheckEvent::RasPush {
+                hart: 0,
+                path: 0,
+                addr,
+            })
+            .unwrap();
+        }
+        o.apply(&CheckEvent::RasPop {
+            hart: 0,
+            path: 0,
+            predicted: Some(3),
+        })
+        .unwrap();
+        o.apply(&CheckEvent::RasPop {
+            hart: 0,
+            path: 0,
+            predicted: Some(2),
+        })
+        .unwrap();
+        o.apply(&CheckEvent::RasPop {
+            hart: 0,
+            path: 0,
+            predicted: Some(3),
+        })
+        .expect("two-entry partition wraps to stale data");
     }
 }

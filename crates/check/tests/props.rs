@@ -3,7 +3,10 @@
 //! and 4 wraparound under over/underflow — exercised both by explicit
 //! cases and by random operation streams under every repair policy.
 
-use hydra_check::RefRas;
+use hydra_check::{RasOracle, RefRas};
+use hydra_pipeline::{
+    CheckEvent, CkptHandle, CoreConfig, HartId, PathId, RasSharing, RasUnit, ReturnPredictor,
+};
 use proptest::prelude::*;
 use ras_core::{RasCheckpoint, RepairPolicy, ReturnAddressStack};
 
@@ -116,6 +119,173 @@ fn underflow_on_empty_stack_matches_reference_at_small_depths() {
             assert_eq!(real.pop(), reference.pop(), "depth {depth}");
             assert_eq!(real.pop(), None, "depth {depth}: nothing was ever pushed");
         }
+    }
+}
+
+// --- Two-hart SMT: the pipeline's RAS unit vs the sharing-aware oracle –
+
+/// One hart's action in an interleaved two-hart stream.
+#[derive(Debug, Clone, Copy)]
+enum SmtOp {
+    Push(u64),
+    Pop,
+    Checkpoint,
+    /// Repair from this hart's most recent outstanding checkpoint.
+    Restore,
+    /// Discard this hart's most recent outstanding checkpoint.
+    Release,
+}
+
+fn smt_ops() -> impl Strategy<Value = Vec<(u8, SmtOp)>> {
+    prop::collection::vec(
+        (
+            0u8..2,
+            prop_oneof![
+                (1u64..1_000_000).prop_map(SmtOp::Push),
+                Just(SmtOp::Pop),
+                Just(SmtOp::Checkpoint),
+                Just(SmtOp::Restore),
+                Just(SmtOp::Release),
+            ],
+        ),
+        0..96,
+    )
+}
+
+/// Drives the pipeline's hart-aware [`RasUnit`] and the sharing-aware
+/// [`RasOracle`] through the same interleaved two-hart stream. The
+/// unit's every pop prediction is fed to the oracle, which diverges on
+/// any disagreement with the independent reference model — pinning
+/// `Shared` contention, `Partitioned` slicing, and `Tagged` isolation
+/// to their textbook semantics.
+fn drive_smt(
+    policy: RepairPolicy,
+    entries: usize,
+    sharing: RasSharing,
+    ops: &[(u8, SmtOp)],
+) -> Result<(), TestCaseError> {
+    let config = CoreConfig::builder()
+        .harts(2)
+        .ras_sharing(sharing)
+        .return_predictor(ReturnPredictor::Ras {
+            entries,
+            repair: policy,
+        })
+        .checkpoint_budget(None)
+        .try_build()
+        .expect("2-hart config is valid");
+    let mut unit = RasUnit::new(&config);
+    let mut oracle = RasOracle::with_sharing(policy, entries, 2, sharing);
+    let mut ckpts: [Vec<(u64, CkptHandle)>; 2] = [Vec::new(), Vec::new()];
+    let mut next_id = 0u64;
+    let feed = |oracle: &mut RasOracle, ev: CheckEvent| -> Result<(), TestCaseError> {
+        let r = oracle.apply(&ev);
+        prop_assert!(
+            r.is_ok(),
+            "{policy:?}/{sharing:?}/{entries} entries: {}",
+            r.unwrap_err()
+        );
+        Ok(())
+    };
+    for &(h, op) in ops {
+        let hart = HartId::new(h);
+        match op {
+            SmtOp::Push(addr) => {
+                unit.push(hart, PathId::ROOT, addr);
+                feed(
+                    &mut oracle,
+                    CheckEvent::RasPush {
+                        hart: h,
+                        path: 0,
+                        addr,
+                    },
+                )?;
+            }
+            SmtOp::Pop => {
+                let predicted = unit.pop(hart, PathId::ROOT);
+                feed(
+                    &mut oracle,
+                    CheckEvent::RasPop {
+                        hart: h,
+                        path: 0,
+                        predicted,
+                    },
+                )?;
+            }
+            SmtOp::Checkpoint => {
+                if let Some(handle) = unit.checkpoint(hart, PathId::ROOT) {
+                    let id = next_id;
+                    next_id += 1;
+                    feed(
+                        &mut oracle,
+                        CheckEvent::RasCheckpoint {
+                            hart: h,
+                            path: 0,
+                            id,
+                        },
+                    )?;
+                    ckpts[h as usize].push((id, handle));
+                }
+            }
+            SmtOp::Restore => {
+                if let Some((id, handle)) = ckpts[h as usize].pop() {
+                    unit.restore(handle);
+                    feed(
+                        &mut oracle,
+                        CheckEvent::RasRestore {
+                            hart: h,
+                            path: 0,
+                            id,
+                        },
+                    )?;
+                }
+            }
+            SmtOp::Release => {
+                if let Some((id, handle)) = ckpts[h as usize].pop() {
+                    unit.release(handle);
+                    feed(&mut oracle, CheckEvent::RasRelease { id })?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stack sizes worth pinning: degenerate partitions (2 entries over two
+/// harts = 1 each), the awkward odd slice, and a comfortable size.
+const SMT_DEPTHS: [usize; 3] = [2, 5, 16];
+
+proptest! {
+    #[test]
+    fn two_hart_shared_streams_agree(
+        policy_idx in 0usize..POLICIES.len(),
+        depth_idx in 0usize..SMT_DEPTHS.len(),
+        ops in smt_ops(),
+    ) {
+        drive_smt(POLICIES[policy_idx], SMT_DEPTHS[depth_idx], RasSharing::Shared, &ops)?;
+    }
+
+    #[test]
+    fn two_hart_partitioned_streams_agree(
+        policy_idx in 0usize..POLICIES.len(),
+        depth_idx in 0usize..SMT_DEPTHS.len(),
+        ops in smt_ops(),
+    ) {
+        drive_smt(POLICIES[policy_idx], SMT_DEPTHS[depth_idx], RasSharing::Partitioned, &ops)?;
+    }
+
+    #[test]
+    fn two_hart_tagged_streams_agree(
+        policy_idx in 0usize..POLICIES.len(),
+        depth_idx in 0usize..SMT_DEPTHS.len(),
+        ops in smt_ops(),
+    ) {
+        drive_smt(
+            POLICIES[policy_idx],
+            SMT_DEPTHS[depth_idx],
+            RasSharing::Tagged { tag_bits: 1 },
+            &ops,
+        )?;
     }
 }
 

@@ -143,6 +143,7 @@ impl SelfCheckpointingStack {
         }
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             addr: return_addr,
             overflow,
@@ -164,6 +165,7 @@ impl SelfCheckpointingStack {
             self.stats.underflows += 1;
             hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
                 cycle: hydra_trace::clock::cycle(),
+                hart: hydra_trace::clock::hart(),
                 path: hydra_trace::clock::path(),
                 addr: 0,
                 valid: false,
@@ -175,6 +177,7 @@ impl SelfCheckpointingStack {
         self.tos = e.below;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             addr: e.addr,
             valid: true,
@@ -193,6 +196,7 @@ impl SelfCheckpointingStack {
         self.stats.checkpoints += 1;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasSave {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             policy: "self-ckpt",
             words: 1,
@@ -215,6 +219,7 @@ impl SelfCheckpointingStack {
         self.stats.restores += 1;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasRepair {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             policy: "self-ckpt",
         });

@@ -131,6 +131,7 @@ impl ReturnAddressStack {
         self.next_seq += 1;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             addr: return_addr,
             overflow,
@@ -156,6 +157,7 @@ impl ReturnAddressStack {
         self.tos = (self.tos + self.capacity() - 1) % self.capacity();
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPop {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             addr: entry.addr,
             valid: entry.valid,
@@ -198,6 +200,7 @@ impl ReturnAddressStack {
         };
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasSave {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             policy: policy.short_name(),
             words: ckpt.storage_words() as u64,
@@ -236,6 +239,7 @@ impl ReturnAddressStack {
         self.stats.restores += 1;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::RasRepair {
             cycle: hydra_trace::clock::cycle(),
+            hart: hydra_trace::clock::hart(),
             path: hydra_trace::clock::path(),
             policy: ckpt.policy.short_name(),
         });

@@ -43,6 +43,8 @@ pub enum CheckEvent {
     },
     /// A call pushed a return address at fetch.
     RasPush {
+        /// Hardware thread that performed the push.
+        hart: u8,
         /// Fetch path that performed the push.
         path: u32,
         /// The pushed (predicted) return address, in words.
@@ -52,6 +54,8 @@ pub enum CheckEvent {
     /// raw answer — `None` when the entry was invalidated (valid-bit
     /// repair) and the front end fell back to the BTB.
     RasPop {
+        /// Hardware thread that performed the pop.
+        hart: u8,
         /// Fetch path that performed the pop.
         path: u32,
         /// The stack's prediction, before any BTB fallback.
@@ -62,6 +66,8 @@ pub enum CheckEvent {
     /// free slot), so replaying the stream models budget exhaustion for
     /// free.
     RasCheckpoint {
+        /// Hardware thread that took the checkpoint.
+        hart: u8,
         /// Fetch path whose stack was checkpointed.
         path: u32,
         /// Handle identity: the owning micro-op's sequence number.
@@ -70,6 +76,8 @@ pub enum CheckEvent {
     /// A mispredicted speculation point repaired the stack from its
     /// checkpoint.
     RasRestore {
+        /// Hardware thread whose stack was repaired.
+        hart: u8,
         /// Fetch path whose stack was repaired.
         path: u32,
         /// The checkpoint being consumed.

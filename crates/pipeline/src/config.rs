@@ -55,6 +55,23 @@ pub enum ConfigError {
         /// The offending words-per-line value.
         line_words: u64,
     },
+    /// A core with zero hardware threads.
+    ZeroHarts,
+    /// A [`RasSharing::Tagged`] tag field that cannot address the
+    /// configured hart count, or exceeds the hart-id width itself.
+    TagBits {
+        /// The offending tag width in bits.
+        tag_bits: u8,
+        /// The configured hart count the tags must distinguish.
+        harts: u8,
+    },
+    /// Multipath forking combined with more than one hart. The two
+    /// contention mechanisms key the RAS unit on the same axis, so the
+    /// simulator supports one at a time.
+    HartsWithMultipath {
+        /// The configured hart count.
+        harts: u8,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -84,6 +101,20 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "{cache} line words must be a nonzero power of two (got {line_words})"
+                )
+            }
+            ConfigError::ZeroHarts => write!(f, "a core needs at least one hart"),
+            ConfigError::TagBits { tag_bits, harts } => {
+                write!(
+                    f,
+                    "tagged RAS needs 1..=8 tag bits covering all {harts} hart(s) \
+                     (got {tag_bits})"
+                )
+            }
+            ConfigError::HartsWithMultipath { harts } => {
+                write!(
+                    f,
+                    "multipath execution requires a single hart (got {harts})"
                 )
             }
         }
@@ -126,6 +157,39 @@ impl ReturnPredictor {
         ReturnPredictor::Ras {
             entries: 32,
             repair: RepairPolicy::TosPointerAndContents,
+        }
+    }
+}
+
+/// How simultaneous hardware threads (harts) share the return-address
+/// stack — the SMT/multi-core generalization of the paper's multipath
+/// contention question.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RasSharing {
+    /// One stack, no hart discrimination: sibling harts push and pop
+    /// through each other's return chains (the ret2spec scenario).
+    #[default]
+    Shared,
+    /// The stack's capacity is split evenly into per-hart regions; a
+    /// hart can only corrupt its own slice.
+    Partitioned,
+    /// Entries carry a hart tag of `tag_bits` bits, so each hart sees
+    /// only its own entries at full capacity (an idealized tagged
+    /// stack: tags never alias while the tag field can address every
+    /// hart, which validation enforces).
+    Tagged {
+        /// Width of the per-entry hart tag, in bits.
+        tag_bits: u8,
+    },
+}
+
+impl RasSharing {
+    /// Short name used in experiment tables and result documents.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            RasSharing::Shared => "shared",
+            RasSharing::Partitioned => "partitioned",
+            RasSharing::Tagged { .. } => "tagged",
         }
     }
 }
@@ -215,6 +279,12 @@ pub struct CoreConfig {
     pub latencies: FuLatencies,
     /// Multipath execution; `None` = conventional single-path.
     pub multipath: Option<MultipathConfig>,
+    /// Hardware threads (harts) sharing this core's RAS under
+    /// [`CoreConfig::ras_sharing`]. `1` = the paper's single-stream
+    /// machine. Mutually exclusive with multipath.
+    pub harts: u8,
+    /// How harts share the return-address stack; irrelevant at one hart.
+    pub ras_sharing: RasSharing,
 }
 
 impl Default for CoreConfig {
@@ -236,6 +306,8 @@ impl Default for CoreConfig {
             mem: HierarchyConfig::default(),
             latencies: FuLatencies::default(),
             multipath: None,
+            harts: 1,
+            ras_sharing: RasSharing::Shared,
         }
     }
 }
@@ -263,6 +335,16 @@ impl CoreConfig {
                 max_paths,
                 stack_policy,
             }),
+            ..CoreConfig::default()
+        }
+    }
+
+    /// An SMT machine: `harts` hardware threads on the baseline core,
+    /// sharing the return-address stack under `ras_sharing`.
+    pub fn smt(harts: u8, ras_sharing: RasSharing) -> Self {
+        CoreConfig {
+            harts,
+            ras_sharing,
             ..CoreConfig::default()
         }
     }
@@ -322,6 +404,21 @@ impl CoreConfig {
             if mp.max_paths < 2 {
                 return Err(ConfigError::TooFewPaths {
                     max_paths: mp.max_paths,
+                });
+            }
+        }
+        if self.harts == 0 {
+            return Err(ConfigError::ZeroHarts);
+        }
+        if self.harts > 1 && self.multipath.is_some() {
+            return Err(ConfigError::HartsWithMultipath { harts: self.harts });
+        }
+        if let RasSharing::Tagged { tag_bits } = self.ras_sharing {
+            let addressable = if tag_bits >= 8 { 256 } else { 1u32 << tag_bits };
+            if tag_bits == 0 || tag_bits > 8 || u32::from(self.harts) > addressable {
+                return Err(ConfigError::TagBits {
+                    tag_bits,
+                    harts: self.harts,
                 });
             }
         }
@@ -471,6 +568,18 @@ impl CoreConfigBuilder {
     /// Multipath execution (`None` = conventional single-path).
     pub fn multipath(mut self, multipath: Option<MultipathConfig>) -> Self {
         self.config.multipath = multipath;
+        self
+    }
+
+    /// Hardware threads (harts) on this core; validation rejects zero.
+    pub fn harts(mut self, harts: u8) -> Self {
+        self.config.harts = harts;
+        self
+    }
+
+    /// How harts share the return-address stack.
+    pub fn ras_sharing(mut self, sharing: RasSharing) -> Self {
+        self.config.ras_sharing = sharing;
         self
     }
 
@@ -666,5 +775,105 @@ mod tests {
     fn try_build_accepts_the_baseline() {
         let cfg = CoreConfig::builder().try_build().unwrap();
         assert_eq!(cfg, CoreConfig::baseline());
+    }
+
+    #[test]
+    fn baseline_is_single_hart_shared() {
+        let c = CoreConfig::baseline();
+        assert_eq!(c.harts, 1);
+        assert_eq!(c.ras_sharing, RasSharing::Shared);
+    }
+
+    #[test]
+    fn builder_sets_harts_and_sharing() {
+        let cfg = CoreConfig::builder()
+            .harts(2)
+            .ras_sharing(RasSharing::Partitioned)
+            .try_build()
+            .unwrap();
+        assert_eq!(cfg.harts, 2);
+        assert_eq!(cfg.ras_sharing, RasSharing::Partitioned);
+        assert_eq!(cfg, CoreConfig::smt(2, RasSharing::Partitioned));
+    }
+
+    #[test]
+    fn try_build_rejects_zero_harts() {
+        let err = CoreConfig::builder().harts(0).try_build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroHarts);
+        assert_eq!(err.to_string(), "a core needs at least one hart");
+    }
+
+    #[test]
+    fn try_build_rejects_undersized_and_oversized_tags() {
+        // 1 tag bit addresses 2 harts, not 4.
+        let err = CoreConfig::builder()
+            .harts(4)
+            .ras_sharing(RasSharing::Tagged { tag_bits: 1 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TagBits {
+                tag_bits: 1,
+                harts: 4
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "tagged RAS needs 1..=8 tag bits covering all 4 hart(s) (got 1)"
+        );
+        // Tags wider than the 8-bit hart-id space are rejected too.
+        let err = CoreConfig::builder()
+            .harts(2)
+            .ras_sharing(RasSharing::Tagged { tag_bits: 9 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TagBits {
+                tag_bits: 9,
+                harts: 2
+            }
+        );
+        // A zero-width tag cannot distinguish anything.
+        let err = CoreConfig::builder()
+            .harts(1)
+            .ras_sharing(RasSharing::Tagged { tag_bits: 0 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TagBits {
+                tag_bits: 0,
+                harts: 1
+            }
+        );
+        // An exactly-covering tag passes.
+        CoreConfig::builder()
+            .harts(2)
+            .ras_sharing(RasSharing::Tagged { tag_bits: 1 })
+            .try_build()
+            .unwrap();
+    }
+
+    #[test]
+    fn try_build_rejects_multipath_with_smt() {
+        let err = CoreConfig::builder()
+            .harts(2)
+            .multipath(Some(MultipathConfig {
+                max_paths: 2,
+                stack_policy: MultipathStackPolicy::PerPath,
+            }))
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::HartsWithMultipath { harts: 2 });
+        assert!(err.to_string().contains("single hart"), "{err}");
+    }
+
+    #[test]
+    fn sharing_short_names() {
+        assert_eq!(RasSharing::Shared.short_name(), "shared");
+        assert_eq!(RasSharing::Partitioned.short_name(), "partitioned");
+        assert_eq!(RasSharing::Tagged { tag_bits: 1 }.short_name(), "tagged");
     }
 }

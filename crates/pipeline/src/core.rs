@@ -20,7 +20,7 @@
 
 use crate::check_stream::CheckEvent;
 use crate::config::{CoreConfig, ReturnPredictor};
-use crate::path::{PathId, PathTable};
+use crate::path::{HartId, PathId, PathTable};
 use crate::ptrace::PipeTrace;
 use crate::ras_unit::{CkptHandle, RasUnit};
 use crate::stats::{ReturnSource, SimStats};
@@ -282,6 +282,10 @@ impl GoldenMachine {
 pub struct Core {
     config: CoreConfig,
     program: Program,
+    /// Which hardware thread this fetch/commit stream is. Always
+    /// [`HartId::H0`] for a standalone core; a [`crate::System`] assigns
+    /// distinct harts so shared structures can key requests by thread.
+    hart: HartId,
 
     // Architectural state.
     regfile: [i64; Reg::COUNT],
@@ -373,6 +377,7 @@ impl Core {
         let max_paths = config.multipath.map(|m| m.max_paths).unwrap_or(1);
         let slab_cap = config.fetch_queue + config.ruu_size;
         Core {
+            hart: HartId::H0,
             ras: RasUnit::new(&config),
             hybrid: HybridPredictor::new(config.hybrid),
             btb: Btb::new(config.btb),
@@ -489,6 +494,32 @@ impl Core {
         self.halted
     }
 
+    /// The hardware thread this stream runs as ([`HartId::H0`] unless
+    /// assigned by a [`crate::System`]).
+    pub fn hart_id(&self) -> HartId {
+        self.hart
+    }
+
+    /// Assigns this engine's hart identity (used by [`crate::System`]).
+    pub(crate) fn set_hart(&mut self, hart: HartId) {
+        self.hart = hart;
+    }
+
+    /// Swaps this engine's RAS unit with a [`crate::System`]-owned one.
+    pub(crate) fn swap_ras(&mut self, other: &mut RasUnit) {
+        std::mem::swap(&mut self.ras, other);
+    }
+
+    /// Swaps this engine's memory hierarchy with a shared one.
+    pub(crate) fn swap_memory(&mut self, other: &mut MemoryHierarchy) {
+        std::mem::swap(&mut self.memory, other);
+    }
+
+    /// Instructions committed since the last stats reset.
+    pub(crate) fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
     /// Cycles simulated so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -557,9 +588,10 @@ impl Core {
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
-        // Publish the cycle so leaf structures (the RAS in ras-core)
-        // can timestamp their own trace events.
+        // Publish the cycle and hart so leaf structures (the RAS in
+        // ras-core) can timestamp and attribute their own trace events.
         hydra_trace::trace_cycle!(self.cycle);
+        hydra_trace::trace_hart!(self.hart.index() as u64);
         self.commit();
         self.writeback();
         self.issue();
@@ -828,6 +860,7 @@ impl Core {
         let correct = pred_next == actual_next;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::BranchResolve {
             cycle: self.cycle,
+            hart: self.hart.index() as u64,
             path: path.index() as u64,
             pc: self.slab[su].pc.word(),
             mispredict: !correct,
@@ -874,6 +907,7 @@ impl Core {
         self.paths.revive(path);
         if let Some(handle) = ckpt {
             self.emit_check(CheckEvent::RasRestore {
+                hart: self.hart.index() as u8,
                 path: path.index() as u32,
                 id: seq,
             });
@@ -997,6 +1031,7 @@ impl Core {
         self.scratch_killed = killed;
         hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
             cycle: self.cycle,
+            hart: self.hart.index() as u64,
             path: base.index() as u64,
             uops: squashed_seqs.len() as u64,
         });
@@ -1067,6 +1102,7 @@ impl Core {
         }
         hydra_trace::trace_event!(hydra_trace::TraceEvent::Squash {
             cycle: self.cycle,
+            hart: self.hart.index() as u64,
             path: killed.first().map_or(0, |p| p.index() as u64),
             uops: squashed_seqs.len() as u64,
         });
@@ -1524,9 +1560,10 @@ impl Core {
                         }
                     }
                     if !forked {
-                        self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                        self.slab[su].ras_ckpt = self.ras.checkpoint(self.hart, path);
                         if self.slab[su].ras_ckpt.is_some() {
                             self.emit_check(CheckEvent::RasCheckpoint {
+                                hart: self.hart.index() as u8,
                                 path: path.index() as u32,
                                 id: seq,
                             });
@@ -1544,8 +1581,9 @@ impl Core {
                     target
                 }
                 ControlKind::Call { target } => {
-                    self.ras.push(path, pc.next().word());
+                    self.ras.push(self.hart, path, pc.next().word());
                     self.emit_check(CheckEvent::RasPush {
+                        hart: self.hart.index() as u8,
                         path: path.index() as u32,
                         addr: pc.next().word(),
                     });
@@ -1553,14 +1591,16 @@ impl Core {
                     target
                 }
                 ControlKind::IndirectCall => {
-                    self.ras.push(path, pc.next().word());
+                    self.ras.push(self.hart, path, pc.next().word());
                     self.emit_check(CheckEvent::RasPush {
+                        hart: self.hart.index() as u8,
                         path: path.index() as u32,
                         addr: pc.next().word(),
                     });
-                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(self.hart, path);
                     if self.slab[su].ras_ckpt.is_some() {
                         self.emit_check(CheckEvent::RasCheckpoint {
+                            hart: self.hart.index() as u8,
                             path: path.index() as u32,
                             id: seq,
                         });
@@ -1570,9 +1610,10 @@ impl Core {
                     self.btb.lookup(pc).unwrap_or_else(|| pc.next())
                 }
                 ControlKind::IndirectJump => {
-                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(self.hart, path);
                     if self.slab[su].ras_ckpt.is_some() {
                         self.emit_check(CheckEvent::RasCheckpoint {
+                            hart: self.hart.index() as u8,
                             path: path.index() as u32,
                             id: seq,
                         });
@@ -1584,9 +1625,10 @@ impl Core {
                 ControlKind::Return => {
                     let (target, source) = self.predict_return(path, pc);
                     self.slab[su].return_source = Some(source);
-                    self.slab[su].ras_ckpt = self.ras.checkpoint(path);
+                    self.slab[su].ras_ckpt = self.ras.checkpoint(self.hart, path);
                     if self.slab[su].ras_ckpt.is_some() {
                         self.emit_check(CheckEvent::RasCheckpoint {
+                            hart: self.hart.index() as u8,
                             path: path.index() as u32,
                             id: seq,
                         });
@@ -1624,8 +1666,9 @@ impl Core {
     fn predict_return(&mut self, path: PathId, pc: Addr) -> (Addr, ReturnSource) {
         match self.config.return_predictor {
             ReturnPredictor::Perfect => {
-                let popped = self.ras.pop(path);
+                let popped = self.ras.pop(self.hart, path);
                 self.emit_check(CheckEvent::RasPop {
+                    hart: self.hart.index() as u8,
                     path: path.index() as u32,
                     predicted: popped,
                 });
@@ -1635,8 +1678,9 @@ impl Core {
                 }
             }
             ReturnPredictor::Ras { .. } | ReturnPredictor::SelfCheckpointing { .. } => {
-                let popped = self.ras.pop(path);
+                let popped = self.ras.pop(self.hart, path);
                 self.emit_check(CheckEvent::RasPop {
+                    hart: self.hart.index() as u8,
                     path: path.index() as u32,
                     predicted: popped,
                 });

@@ -55,13 +55,17 @@ mod path;
 mod ptrace;
 mod ras_unit;
 mod stats;
+mod system;
 mod uop;
 
 pub use crate::core::{Core, Occupancy};
 pub use check_stream::CheckEvent;
 pub use config::{
-    ConfigError, CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, ReturnPredictor,
+    ConfigError, CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, RasSharing,
+    ReturnPredictor,
 };
-pub use path::{PathId, PathTable};
+pub use path::{HartId, PathId, PathTable};
 pub use ptrace::{PipeTrace, UopRecord};
+pub use ras_unit::{CkptHandle, RasUnit, RasUnitStats};
 pub use stats::{ReturnSource, SimStats};
+pub use system::{CoreHandle, System};

@@ -41,6 +41,38 @@ impl fmt::Display for PathId {
     }
 }
 
+/// Identifies one hardware thread (hart) within a core.
+///
+/// Hart identity flows from the [`crate::System`] scheduler through
+/// fetch, prediction and commit so shared structures (the RAS unit
+/// under [`crate::RasSharing`]) can attribute every operation to the
+/// stream that performed it. A single-stream core is hart 0 throughout.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HartId(u8);
+
+impl HartId {
+    /// The first (and, on a single-threaded core, only) hart.
+    pub const H0: HartId = HartId(0);
+
+    /// Creates a hart id from its index on the core.
+    pub fn new(index: u8) -> HartId {
+        HartId(index)
+    }
+
+    /// Index form, for dense per-hart tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hart{}", self.0)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PathInfo {
     parent: Option<PathId>,
@@ -391,5 +423,12 @@ mod tests {
     fn display_and_index() {
         assert_eq!(PathId::ROOT.to_string(), "path0");
         assert_eq!(PathId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn hart_display_and_index() {
+        assert_eq!(HartId::H0, HartId::new(0));
+        assert_eq!(HartId::new(1).to_string(), "hart1");
+        assert_eq!(HartId::new(1).index(), 1);
     }
 }

@@ -5,35 +5,52 @@
 //! configuration (no stack at all), and the perfect oracle. All pushes
 //! and pops happen at fetch — speculatively — which is the whole point of
 //! the paper: this is the one predictor that wrong paths corrupt.
+//!
+//! With more than one hart ([`CoreConfig::harts`]) the unit additionally
+//! keys its stacks by hart under the configured
+//! [`RasSharing`](crate::RasSharing) mode: `Shared` funnels every hart
+//! through one stack (sibling streams corrupt each other — the SMT
+//! generalization of the paper's contention problem), `Partitioned`
+//! slices the capacity into private per-hart regions, and `Tagged`
+//! gives each hart a full-capacity view through per-entry hart tags
+//! (idealized: validation guarantees the tag field addresses every
+//! hart, so tags never alias).
 
-use crate::config::{CoreConfig, ReturnPredictor};
-use crate::path::PathId;
+use crate::config::{CoreConfig, RasSharing, ReturnPredictor};
+use crate::path::{HartId, PathId};
 use ras_core::{
     CheckpointBudget, LinkCheckpoint, RasCheckpoint, RepairPolicy, ReturnAddressStack,
     SelfCheckpointingStack,
 };
 use std::collections::HashMap;
 
-/// A checkpoint handle held by an in-flight speculation point.
+/// An opaque checkpoint handle held by an in-flight speculation point.
+///
+/// Obtained from [`RasUnit::checkpoint`] and consumed by
+/// [`RasUnit::release`] (correct speculation) or [`RasUnit::restore`]
+/// (misprediction repair).
 #[derive(Debug, Clone)]
-pub(crate) enum CkptHandle {
-    /// A real shadow-state checkpoint for the stack owned by `path`.
+pub struct CkptHandle(Handle);
+
+#[derive(Debug, Clone)]
+enum Handle {
+    /// A real shadow-state checkpoint for the stack keyed by `path`.
     Real {
-        /// Which path's stack to repair.
+        /// Stack key (path, or hart under hart keying) to repair.
         path: PathId,
         /// The saved shadow state.
         ckpt: RasCheckpoint,
     },
     /// A full copy of the oracle stack (the perfect configuration).
     Oracle {
-        /// Owning path.
+        /// Owning stack key.
         path: PathId,
         /// The saved stack image.
         stack: Vec<u64>,
     },
     /// A self-checkpointing-stack pointer checkpoint.
     Jourdan {
-        /// Which path's stack to repair.
+        /// Stack key to repair.
         path: PathId,
         /// The saved pointer.
         ckpt: LinkCheckpoint,
@@ -66,12 +83,18 @@ enum Mode {
 /// Aggregated RAS event counts across all stacks (including stacks of
 /// paths that have since died).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct RasUnitStats {
+pub struct RasUnitStats {
+    /// Speculative pushes (calls fetched).
     pub pushes: u64,
+    /// Speculative pops (returns fetched).
     pub pops: u64,
+    /// Pushes that wrapped and overwrote a live entry.
     pub overflows: u64,
+    /// Pops from an empty stack.
     pub underflows: u64,
+    /// Checkpoint restores (repairs after misprediction).
     pub restores: u64,
+    /// Speculation points that found the shadow budget exhausted.
     pub budget_misses: u64,
 }
 
@@ -87,9 +110,16 @@ impl RasUnitStats {
 }
 
 /// The return-target prediction unit.
+///
+/// Constructed from a [`CoreConfig`]; every operation names the
+/// requesting [`HartId`] and [`PathId`] so the unit can route to the
+/// right stack under multipath (per-path) or SMT (per-hart) keying.
 #[derive(Debug, Clone)]
-pub(crate) struct RasUnit {
+pub struct RasUnit {
     mode: Mode,
+    /// Multi-hart stacks keyed by hart instead of by path
+    /// (`Partitioned` / `Tagged` sharing with more than one hart).
+    hart_keyed: bool,
     budget: CheckpointBudget,
     stats: RasUnitStats,
     /// Recycled oracle stack images (checkpoints and dead-path stacks):
@@ -103,20 +133,47 @@ pub(crate) struct RasUnit {
 }
 
 impl RasUnit {
+    /// Builds the unit a core described by `config` needs. The config
+    /// should already have passed [`CoreConfig::check`].
     pub fn new(config: &CoreConfig) -> Self {
         let per_path = config
             .multipath
             .map(|mp| mp.stack_policy.is_per_path())
             .unwrap_or(false);
+        let hart_keyed = config.harts > 1 && !matches!(config.ras_sharing, RasSharing::Shared);
+        // Keys of the eagerly created stacks: one per hart when keyed by
+        // hart, else the single unified / root-path stack (per-path
+        // multipath stacks appear later via `on_fork`).
+        let keys: Vec<PathId> = if hart_keyed {
+            (0..config.harts as usize).map(PathId::from_index).collect()
+        } else {
+            vec![PathId::ROOT]
+        };
+        // `Partitioned` slices the capacity between harts; `Tagged`
+        // (and every single-hart mode) gives each stack full capacity.
+        let slice = |entries: usize| -> usize {
+            match config.ras_sharing {
+                RasSharing::Partitioned if config.harts > 1 => {
+                    (entries / config.harts as usize).max(1)
+                }
+                _ => entries,
+            }
+        };
         let mode = match config.return_predictor {
-            ReturnPredictor::SelfCheckpointing { entries } => Mode::Jourdan {
-                stacks: HashMap::from([(PathId::ROOT, SelfCheckpointingStack::new(entries))]),
-                per_path,
-                capacity: entries,
-            },
+            ReturnPredictor::SelfCheckpointing { entries } => {
+                let capacity = slice(entries);
+                Mode::Jourdan {
+                    stacks: keys
+                        .iter()
+                        .map(|&k| (k, SelfCheckpointingStack::new(capacity)))
+                        .collect(),
+                    per_path,
+                    capacity,
+                }
+            }
             ReturnPredictor::BtbOnly => Mode::Off,
             ReturnPredictor::Perfect => Mode::Oracle {
-                stacks: HashMap::from([(PathId::ROOT, Vec::new())]),
+                stacks: keys.iter().map(|&k| (k, Vec::new())).collect(),
             },
             ReturnPredictor::Ras { entries, repair } => {
                 // In multipath-unified mode the stack policy's repair
@@ -125,11 +182,15 @@ impl RasUnit {
                     Some(mp) => mp.stack_policy.repair().unwrap_or(repair),
                     None => repair,
                 };
+                let capacity = slice(entries);
                 Mode::Real {
                     repair,
-                    stacks: HashMap::from([(PathId::ROOT, ReturnAddressStack::new(entries))]),
+                    stacks: keys
+                        .iter()
+                        .map(|&k| (k, ReturnAddressStack::new(capacity)))
+                        .collect(),
                     per_path,
-                    capacity: entries,
+                    capacity,
                 }
             }
         };
@@ -139,6 +200,7 @@ impl RasUnit {
         };
         RasUnit {
             mode,
+            hart_keyed,
             budget,
             stats: RasUnitStats::default(),
             oracle_pool: Vec::new(),
@@ -148,13 +210,15 @@ impl RasUnit {
     }
 
     /// Whether a stack exists at all (false in the BTB-only config).
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_enabled(&self) -> bool {
         !matches!(self.mode, Mode::Off)
     }
 
-    /// The key of the stack `path` uses.
-    fn stack_key(&self, path: PathId) -> PathId {
+    /// The key of the stack a request from `hart` on `path` uses.
+    fn stack_key(&self, hart: HartId, path: PathId) -> PathId {
+        if self.hart_keyed {
+            return PathId::from_index(hart.index());
+        }
         match &self.mode {
             Mode::Real {
                 per_path: false, ..
@@ -258,12 +322,13 @@ impl RasUnit {
         }
     }
 
-    /// Push a return address at fetch time (a call on `path`).
-    pub fn push(&mut self, path: PathId, return_addr: u64) {
-        // Events emitted inside the stack carry the *requesting* path,
-        // even when a unified stack is keyed by ROOT.
+    /// Push a return address at fetch time (a call by `hart` on `path`).
+    pub fn push(&mut self, hart: HartId, path: PathId, return_addr: u64) {
+        // Events emitted inside the stack carry the *requesting* hart
+        // and path, even when a unified stack is keyed by ROOT.
+        hydra_trace::trace_hart!(hart.index() as u64);
         hydra_trace::trace_path!(path.index() as u64);
-        let key = self.stack_key(path);
+        let key = self.stack_key(hart, path);
         match &mut self.mode {
             Mode::Off => {}
             Mode::Oracle { stacks } => stacks.entry(key).or_default().push(return_addr),
@@ -280,10 +345,12 @@ impl RasUnit {
         }
     }
 
-    /// Pop a predicted return target at fetch time (a return on `path`).
-    pub fn pop(&mut self, path: PathId) -> Option<u64> {
+    /// Pop a predicted return target at fetch time (a return by `hart`
+    /// on `path`).
+    pub fn pop(&mut self, hart: HartId, path: PathId) -> Option<u64> {
+        hydra_trace::trace_hart!(hart.index() as u64);
         hydra_trace::trace_path!(path.index() as u64);
-        let key = self.stack_key(path);
+        let key = self.stack_key(hart, path);
         match &mut self.mode {
             Mode::Off => None,
             Mode::Oracle { stacks } => stacks.get_mut(&key).and_then(Vec::pop),
@@ -296,7 +363,7 @@ impl RasUnit {
     /// shadow-budget slot. Returns `None` (and counts a budget miss) when
     /// the shadow storage is exhausted — that branch will speculate
     /// without repair.
-    pub fn checkpoint(&mut self, path: PathId) -> Option<CkptHandle> {
+    pub fn checkpoint(&mut self, hart: HartId, path: PathId) -> Option<CkptHandle> {
         if matches!(self.mode, Mode::Off) {
             return None;
         }
@@ -304,8 +371,9 @@ impl RasUnit {
             self.stats.budget_misses += 1;
             return None;
         }
+        hydra_trace::trace_hart!(hart.index() as u64);
         hydra_trace::trace_path!(path.index() as u64);
-        let key = self.stack_key(path);
+        let key = self.stack_key(hart, path);
         match &mut self.mode {
             Mode::Off => unreachable!("handled above"),
             Mode::Oracle { stacks } => {
@@ -314,21 +382,25 @@ impl RasUnit {
                 if let Some(s) = stacks.get(&key) {
                     image.extend_from_slice(s);
                 }
-                Some(CkptHandle::Oracle {
+                Some(CkptHandle(Handle::Oracle {
                     path: key,
                     stack: image,
-                })
+                }))
             }
             Mode::Real { stacks, repair, .. } => {
                 let repair = *repair;
-                stacks.get_mut(&key).map(|s| CkptHandle::Real {
-                    path: key,
-                    ckpt: s.checkpoint(repair),
+                stacks.get_mut(&key).map(|s| {
+                    CkptHandle(Handle::Real {
+                        path: key,
+                        ckpt: s.checkpoint(repair),
+                    })
                 })
             }
-            Mode::Jourdan { stacks, .. } => stacks.get_mut(&key).map(|s| CkptHandle::Jourdan {
-                path: key,
-                ckpt: s.checkpoint(),
+            Mode::Jourdan { stacks, .. } => stacks.get_mut(&key).map(|s| {
+                CkptHandle(Handle::Jourdan {
+                    path: key,
+                    ckpt: s.checkpoint(),
+                })
             }),
         }
     }
@@ -337,7 +409,7 @@ impl RasUnit {
     /// correctly or was squashed, recycling any saved stack image.
     pub fn release(&mut self, handle: CkptHandle) {
         self.budget.release();
-        if let CkptHandle::Oracle { stack, .. } = handle {
+        if let CkptHandle(Handle::Oracle { stack, .. }) = handle {
             self.oracle_pool.push(stack);
         }
     }
@@ -347,13 +419,18 @@ impl RasUnit {
     /// move into place (or back to the pool) instead of being cloned.
     pub fn restore(&mut self, handle: CkptHandle) {
         self.budget.release();
-        hydra_trace::trace_path!(match &handle {
-            CkptHandle::Real { path, .. }
-            | CkptHandle::Oracle { path, .. }
-            | CkptHandle::Jourdan { path, .. } => path.index() as u64,
-        });
-        match (&mut self.mode, handle) {
-            (Mode::Oracle { stacks }, CkptHandle::Oracle { path, stack }) => {
+        let key = match &handle.0 {
+            Handle::Real { path, .. }
+            | Handle::Oracle { path, .. }
+            | Handle::Jourdan { path, .. } => *path,
+        };
+        if self.hart_keyed {
+            // Under hart keying the stack key *is* the hart.
+            hydra_trace::trace_hart!(key.index() as u64);
+        }
+        hydra_trace::trace_path!(key.index() as u64);
+        match (&mut self.mode, handle.0) {
+            (Mode::Oracle { stacks }, Handle::Oracle { path, stack }) => {
                 // The path may have died between checkpoint and restore.
                 if let Some(s) = stacks.get_mut(&path) {
                     let displaced = std::mem::replace(s, stack);
@@ -362,12 +439,12 @@ impl RasUnit {
                     self.oracle_pool.push(stack);
                 }
             }
-            (Mode::Real { stacks, .. }, CkptHandle::Real { path, ckpt }) => {
+            (Mode::Real { stacks, .. }, Handle::Real { path, ckpt }) => {
                 if let Some(s) = stacks.get_mut(&path) {
                     s.restore(&ckpt);
                 }
             }
-            (Mode::Jourdan { stacks, .. }, CkptHandle::Jourdan { path, ckpt }) => {
+            (Mode::Jourdan { stacks, .. }, Handle::Jourdan { path, ckpt }) => {
                 if let Some(s) = stacks.get_mut(&path) {
                     s.restore(&ckpt);
                 }
@@ -421,6 +498,8 @@ mod tests {
     use super::*;
     use ras_core::MultipathStackPolicy;
 
+    const H0: HartId = HartId::H0;
+
     fn unit(rp: ReturnPredictor) -> RasUnit {
         RasUnit::new(&CoreConfig {
             return_predictor: rp,
@@ -428,25 +507,35 @@ mod tests {
         })
     }
 
+    fn smt_unit(sharing: RasSharing, entries: usize) -> RasUnit {
+        RasUnit::new(&CoreConfig {
+            return_predictor: ReturnPredictor::Ras {
+                entries,
+                repair: RepairPolicy::TosPointerAndContents,
+            },
+            ..CoreConfig::smt(2, sharing)
+        })
+    }
+
     #[test]
     fn btb_only_is_disabled() {
         let mut u = unit(ReturnPredictor::BtbOnly);
         assert!(!u.is_enabled());
-        u.push(PathId::ROOT, 5);
-        assert_eq!(u.pop(PathId::ROOT), None);
-        assert!(u.checkpoint(PathId::ROOT).is_none());
+        u.push(H0, PathId::ROOT, 5);
+        assert_eq!(u.pop(H0, PathId::ROOT), None);
+        assert!(u.checkpoint(H0, PathId::ROOT).is_none());
     }
 
     #[test]
     fn real_stack_round_trip_with_repair() {
         let mut u = unit(ReturnPredictor::baseline());
         assert!(u.is_enabled());
-        u.push(PathId::ROOT, 0x40);
-        let ckpt = u.checkpoint(PathId::ROOT).unwrap();
-        assert_eq!(u.pop(PathId::ROOT), Some(0x40)); // wrong path
-        u.push(PathId::ROOT, 0xbad);
+        u.push(H0, PathId::ROOT, 0x40);
+        let ckpt = u.checkpoint(H0, PathId::ROOT).unwrap();
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(0x40)); // wrong path
+        u.push(H0, PathId::ROOT, 0xbad);
         u.restore(ckpt);
-        assert_eq!(u.pop(PathId::ROOT), Some(0x40));
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(0x40));
         assert!(u.stats().restores >= 1);
     }
 
@@ -454,17 +543,17 @@ mod tests {
     fn oracle_checkpoint_is_exact() {
         let mut u = unit(ReturnPredictor::Perfect);
         for a in [1u64, 2, 3] {
-            u.push(PathId::ROOT, a);
+            u.push(H0, PathId::ROOT, a);
         }
-        let ckpt = u.checkpoint(PathId::ROOT).unwrap();
-        u.pop(PathId::ROOT);
-        u.pop(PathId::ROOT);
-        u.push(PathId::ROOT, 99);
+        let ckpt = u.checkpoint(H0, PathId::ROOT).unwrap();
+        u.pop(H0, PathId::ROOT);
+        u.pop(H0, PathId::ROOT);
+        u.push(H0, PathId::ROOT, 99);
         u.restore(ckpt);
-        assert_eq!(u.pop(PathId::ROOT), Some(3));
-        assert_eq!(u.pop(PathId::ROOT), Some(2));
-        assert_eq!(u.pop(PathId::ROOT), Some(1));
-        assert_eq!(u.pop(PathId::ROOT), None);
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(3));
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(2));
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(1));
+        assert_eq!(u.pop(H0, PathId::ROOT), None);
     }
 
     #[test]
@@ -473,29 +562,27 @@ mod tests {
             checkpoint_budget: Some(1),
             ..CoreConfig::default()
         });
-        let c1 = u.checkpoint(PathId::ROOT).unwrap();
-        assert!(u.checkpoint(PathId::ROOT).is_none());
+        let c1 = u.checkpoint(H0, PathId::ROOT).unwrap();
+        assert!(u.checkpoint(H0, PathId::ROOT).is_none());
         assert_eq!(u.stats().budget_misses, 1);
         u.release(c1);
-        assert!(u.checkpoint(PathId::ROOT).is_some());
+        assert!(u.checkpoint(H0, PathId::ROOT).is_some());
     }
 
     #[test]
     fn per_path_stacks_are_independent() {
         let cfg = CoreConfig::multipath(2, MultipathStackPolicy::PerPath);
         let mut u = RasUnit::new(&cfg);
-        u.push(PathId::ROOT, 0x10);
-        let child = PathId::ROOT; // placeholder to get a distinct id
-        let _ = child;
+        u.push(H0, PathId::ROOT, 0x10);
         // Simulate a fork to a fresh id.
         let child = crate::path::PathTable::new(2)
             .fork(PathId::ROOT, 1)
             .unwrap();
         u.on_fork(PathId::ROOT, child);
-        u.push(child, 0x20);
-        assert_eq!(u.pop(PathId::ROOT), Some(0x10));
-        assert_eq!(u.pop(child), Some(0x20));
-        assert_eq!(u.pop(child), Some(0x10), "child copied parent's stack");
+        u.push(H0, child, 0x20);
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(0x10));
+        assert_eq!(u.pop(H0, child), Some(0x20));
+        assert_eq!(u.pop(H0, child), Some(0x10), "child copied parent's stack");
         u.on_path_death(child);
         // Stats from the dead child's stack were harvested.
         assert!(u.stats().pushes >= 2);
@@ -514,9 +601,69 @@ mod tests {
             .fork(PathId::ROOT, 1)
             .unwrap();
         u.on_fork(PathId::ROOT, child);
-        u.push(PathId::ROOT, 0x10);
-        u.push(child, 0x20);
+        u.push(H0, PathId::ROOT, 0x10);
+        u.push(H0, child, 0x20);
         // Contention: ROOT's pop sees the child's push.
-        assert_eq!(u.pop(PathId::ROOT), Some(0x20));
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(0x20));
+    }
+
+    #[test]
+    fn shared_stack_sees_sibling_hart_pushes() {
+        let h1 = HartId::new(1);
+        let mut u = smt_unit(RasSharing::Shared, 32);
+        u.push(H0, PathId::ROOT, 0x10);
+        u.push(h1, PathId::ROOT, 0x20);
+        // Contention: hart 0 pops hart 1's return address.
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(0x20));
+        assert_eq!(u.pop(h1, PathId::ROOT), Some(0x10));
+    }
+
+    #[test]
+    fn partitioned_and_tagged_isolate_harts() {
+        for sharing in [RasSharing::Partitioned, RasSharing::Tagged { tag_bits: 1 }] {
+            let h1 = HartId::new(1);
+            let mut u = smt_unit(sharing, 32);
+            u.push(H0, PathId::ROOT, 0x10);
+            u.push(h1, PathId::ROOT, 0x20);
+            assert_eq!(u.pop(H0, PathId::ROOT), Some(0x10), "{sharing:?}");
+            assert_eq!(u.pop(h1, PathId::ROOT), Some(0x20), "{sharing:?}");
+            assert_eq!(u.pop(h1, PathId::ROOT), None, "{sharing:?}");
+        }
+    }
+
+    #[test]
+    fn partitioned_slices_capacity_but_tagged_does_not() {
+        let h1 = HartId::new(1);
+        // 4 entries partitioned across 2 harts -> 2 per hart: the third
+        // push wraps and overwrites, so the oldest address is lost.
+        let mut part = smt_unit(RasSharing::Partitioned, 4);
+        for a in [1u64, 2, 3] {
+            part.push(H0, PathId::ROOT, a);
+        }
+        assert_eq!(part.pop(H0, PathId::ROOT), Some(3));
+        assert_eq!(part.pop(H0, PathId::ROOT), Some(2));
+        assert!(part.stats().overflows >= 1);
+        // Tagged keeps the full 4 entries per hart.
+        let mut tag = smt_unit(RasSharing::Tagged { tag_bits: 1 }, 4);
+        for a in [1u64, 2, 3] {
+            tag.push(h1, PathId::ROOT, a);
+        }
+        assert_eq!(tag.pop(h1, PathId::ROOT), Some(3));
+        assert_eq!(tag.pop(h1, PathId::ROOT), Some(2));
+        assert_eq!(tag.pop(h1, PathId::ROOT), Some(1));
+        assert_eq!(tag.stats().overflows, 0);
+    }
+
+    #[test]
+    fn checkpoint_repairs_the_owning_hart_stack() {
+        let h1 = HartId::new(1);
+        let mut u = smt_unit(RasSharing::Partitioned, 32);
+        u.push(h1, PathId::ROOT, 0x40);
+        let ckpt = u.checkpoint(h1, PathId::ROOT).unwrap();
+        assert_eq!(u.pop(h1, PathId::ROOT), Some(0x40));
+        u.push(h1, PathId::ROOT, 0xbad);
+        u.restore(ckpt);
+        assert_eq!(u.pop(h1, PathId::ROOT), Some(0x40), "hart 1 repaired");
+        assert_eq!(u.pop(H0, PathId::ROOT), None, "hart 0 untouched");
     }
 }

@@ -1,0 +1,433 @@
+//! Multi-instance simulation: N cores × M hardware threads.
+//!
+//! A [`Core`] is a cheap, self-contained engine for one fetch/commit
+//! stream. A [`System`] instantiates several of them and wires up the
+//! structures real machines share: every hart on a core shares that
+//! core's return-address-stack unit (under the configured
+//! [`RasSharing`](crate::RasSharing) policy), and every core in the
+//! system shares one memory hierarchy.
+//!
+//! # How sharing works
+//!
+//! Each engine owns private copies of the shared structures that are
+//! never used once the system is multi-instance. The system keeps the
+//! *live* shared RAS unit (per core) and memory hierarchy (per system)
+//! in its own fields and swaps them into an engine for exactly the
+//! duration of that engine's activation — a plain `mem::swap` of two
+//! structs, no allocation, no indirection on the engine's hot path.
+//! Harts are stepped round-robin, one cycle each, so sibling streams
+//! interleave at cycle granularity like an SMT front end that
+//! alternates fetch slots.
+//!
+//! A 1-core × 1-hart system skips the swapping entirely and drives its
+//! single engine's own state, making it bit-for-bit identical to a
+//! standalone [`Core`] run — the single-hart experiment goldens do not
+//! move when wrapped in a `System`.
+
+use crate::config::CoreConfig;
+use crate::core::Core;
+use crate::path::HartId;
+use crate::ras_unit::RasUnit;
+use crate::stats::SimStats;
+use hydra_isa::Program;
+use hydra_mem::MemoryHierarchy;
+
+#[cfg(feature = "commit-stream")]
+use crate::check_stream::CheckEvent;
+
+/// One core's engines plus the RAS unit its harts share.
+#[derive(Debug)]
+struct CoreInstance {
+    /// One engine per hart: the per-stream pipeline state.
+    engines: Vec<Core>,
+    /// The live RAS unit shared by this core's harts (swapped into the
+    /// active engine; the engines' own units are unused husks).
+    ras: RasUnit,
+}
+
+/// A simulated machine of `cores × harts` instruction streams sharing
+/// a memory hierarchy and, per core, a return-address-stack unit.
+///
+/// Build one with [`System::new`], drive it with [`System::run`] (or
+/// cycle-by-cycle with [`System::step_cycle`]), and read per-hart
+/// results with [`System::stats`] or through a [`CoreHandle`].
+///
+/// ```
+/// use hydra_pipeline::{CoreConfig, RasSharing, System};
+/// use hydra_isa::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(hydra_isa::Reg::R1, 7);
+/// b.halt();
+/// let p = b.build().unwrap();
+///
+/// // Two harts on one core, contending for one shared RAS.
+/// let config = CoreConfig::smt(2, RasSharing::Shared);
+/// let mut sys = System::new(1, config, &[&p, &p]);
+/// let stats = sys.run(10);
+/// assert_eq!(stats.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<CoreInstance>,
+    /// The live memory hierarchy shared by every core in the system.
+    memory: MemoryHierarchy,
+    harts_per_core: usize,
+    /// Whether shared structures must be swapped into engines. False
+    /// for the 1×1 system, which runs its lone engine's own state.
+    shared: bool,
+}
+
+impl System {
+    /// Builds `cores` cores of `config.harts` hardware threads each.
+    /// `programs` supplies one program per hart, in hart-index order
+    /// (hart `i` runs on core `i / harts`, local thread `i % harts`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero, if `programs.len()` differs from
+    /// `cores * config.harts`, or if the configuration is invalid (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(cores: usize, config: CoreConfig, programs: &[&Program]) -> Self {
+        assert!(cores > 0, "a system needs at least one core");
+        config.validate();
+        let harts_per_core = config.harts as usize;
+        assert_eq!(
+            programs.len(),
+            cores * harts_per_core,
+            "need one program per hart ({} cores x {} harts)",
+            cores,
+            harts_per_core
+        );
+        let mut programs = programs.iter();
+        let cores: Vec<CoreInstance> = (0..cores)
+            .map(|_| CoreInstance {
+                engines: (0..harts_per_core)
+                    .map(|local| {
+                        let mut e = Core::new(config, programs.next().expect("counted"));
+                        e.set_hart(HartId::new(local as u8));
+                        e
+                    })
+                    .collect(),
+                ras: RasUnit::new(&config),
+            })
+            .collect();
+        let shared = cores.len() * harts_per_core > 1;
+        System {
+            cores,
+            memory: MemoryHierarchy::new(config.mem),
+            harts_per_core,
+            shared,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Total number of harts (instruction streams) in the system.
+    pub fn harts(&self) -> usize {
+        self.cores.len() * self.harts_per_core
+    }
+
+    /// Splits a system-wide hart index into (core, local hart).
+    fn locate(&self, hart: usize) -> (usize, usize) {
+        assert!(hart < self.harts(), "hart {hart} of {}", self.harts());
+        (hart / self.harts_per_core, hart % self.harts_per_core)
+    }
+
+    /// Runs `f` on hart `hart`'s engine with the shared structures
+    /// swapped in (the only state an engine may ever observe them in).
+    fn with_engine<R>(&mut self, hart: usize, f: impl FnOnce(&mut Core) -> R) -> R {
+        let (c, l) = self.locate(hart);
+        if !self.shared {
+            return f(&mut self.cores[c].engines[l]);
+        }
+        let core = &mut self.cores[c];
+        core.engines[l].swap_ras(&mut core.ras);
+        core.engines[l].swap_memory(&mut self.memory);
+        let r = f(&mut core.engines[l]);
+        let core = &mut self.cores[c];
+        core.engines[l].swap_ras(&mut core.ras);
+        core.engines[l].swap_memory(&mut self.memory);
+        r
+    }
+
+    /// Advances every non-halted hart by one cycle, round-robin in
+    /// hart-index order.
+    pub fn step_cycle(&mut self) {
+        for hart in 0..self.harts() {
+            let (c, l) = self.locate(hart);
+            if self.cores[c].engines[l].is_halted() {
+                continue;
+            }
+            self.with_engine(hart, Core::step);
+        }
+    }
+
+    /// Runs until every hart has either committed `max_commits_per_hart`
+    /// instructions (since its last stats reset) or halted; returns the
+    /// per-hart statistics, in hart-index order.
+    ///
+    /// Harts that reach their commit target stop being stepped while the
+    /// rest continue, so every hart's measurement window covers exactly
+    /// its own first `max_commits_per_hart` commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine wedges (see [`Core::run`]).
+    pub fn run(&mut self, max_commits_per_hart: u64) -> Vec<SimStats> {
+        if !self.shared {
+            self.cores[0].engines[0].run(max_commits_per_hart);
+            return self.stats();
+        }
+        loop {
+            let mut active = false;
+            for hart in 0..self.harts() {
+                let (c, l) = self.locate(hart);
+                let e = &self.cores[c].engines[l];
+                if e.is_halted() || e.committed() >= max_commits_per_hart {
+                    continue;
+                }
+                self.with_engine(hart, Core::step);
+                active = true;
+            }
+            if !active {
+                return self.stats();
+            }
+        }
+    }
+
+    /// Whether every hart has committed a `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.engines.iter().all(Core::is_halted))
+    }
+
+    /// Per-hart statistics, in hart-index order. RAS counters reflect
+    /// the core-shared unit (aggregate over that core's harts) and cache
+    /// counters the system-shared hierarchy; committed-instruction
+    /// counters (IPC, return hits) are private to each hart.
+    pub fn stats(&mut self) -> Vec<SimStats> {
+        (0..self.harts())
+            .map(|hart| self.with_engine(hart, |e| e.stats()))
+            .collect()
+    }
+
+    /// Clears every hart's statistics (and the shared units' counters)
+    /// while keeping all machine state warm, marking the start of the
+    /// measurement window.
+    pub fn reset_stats(&mut self) {
+        for hart in 0..self.harts() {
+            self.with_engine(hart, Core::reset_stats);
+        }
+    }
+
+    /// A handle on one hart for inspection and per-hart configuration.
+    pub fn hart(&mut self, hart: usize) -> CoreHandle<'_> {
+        let (core, local) = self.locate(hart);
+        CoreHandle {
+            sys: self,
+            core,
+            local,
+            hart,
+        }
+    }
+}
+
+/// A borrowed view of one hart in a [`System`].
+///
+/// Reads that involve shared structures (like [`CoreHandle::stats`])
+/// transparently swap them in, so the handle always observes the state
+/// the hart itself would.
+#[derive(Debug)]
+pub struct CoreHandle<'a> {
+    sys: &'a mut System,
+    core: usize,
+    local: usize,
+    hart: usize,
+}
+
+impl CoreHandle<'_> {
+    /// The system-wide hart index this handle views.
+    pub fn index(&self) -> usize {
+        self.hart
+    }
+
+    /// The core this hart runs on.
+    pub fn core_index(&self) -> usize {
+        self.core
+    }
+
+    /// The hart's identity as its core's RAS unit sees it.
+    pub fn hart_id(&self) -> HartId {
+        self.engine().hart_id()
+    }
+
+    /// Whether this hart committed a `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.engine().is_halted()
+    }
+
+    /// Cycles this hart has simulated.
+    pub fn cycle(&self) -> u64 {
+        self.engine().cycle()
+    }
+
+    /// This hart's statistics (see [`System::stats`]).
+    pub fn stats(&mut self) -> SimStats {
+        self.sys.with_engine(self.hart, |e| e.stats())
+    }
+
+    /// Enables this hart's differential-check stream (see
+    /// [`Core::enable_check_stream`]).
+    #[cfg(feature = "commit-stream")]
+    pub fn enable_check_stream(&mut self) {
+        self.engine_mut().enable_check_stream();
+    }
+
+    /// Drains this hart's recorded check events into `into` (see
+    /// [`Core::drain_check_stream`]).
+    #[cfg(feature = "commit-stream")]
+    pub fn drain_check_stream(&mut self, into: &mut Vec<CheckEvent>) {
+        self.engine_mut().drain_check_stream(into);
+    }
+
+    fn engine(&self) -> &Core {
+        &self.sys.cores[self.core].engines[self.local]
+    }
+
+    #[cfg(feature = "commit-stream")]
+    fn engine_mut(&mut self) -> &mut Core {
+        &mut self.sys.cores[self.core].engines[self.local]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RasSharing, ReturnPredictor};
+    use hydra_workloads::{Workload, WorkloadSpec};
+    use ras_core::RepairPolicy;
+
+    fn workload(seed: u64) -> Workload {
+        Workload::generate(&WorkloadSpec::test_small(), seed).unwrap()
+    }
+
+    fn ras_config(sharing: RasSharing, harts: u8) -> CoreConfig {
+        let mut c = if harts > 1 {
+            CoreConfig::smt(harts, sharing)
+        } else {
+            CoreConfig::baseline()
+        };
+        c.return_predictor = ReturnPredictor::Ras {
+            entries: 32,
+            repair: RepairPolicy::TosPointerAndContents,
+        };
+        c
+    }
+
+    #[test]
+    fn single_hart_system_is_bit_exact_with_a_plain_core() {
+        let w = workload(42);
+        let direct = Core::new(ras_config(RasSharing::Shared, 1), w.program()).run(20_000);
+        let mut sys = System::new(1, ras_config(RasSharing::Shared, 1), &[w.program()]);
+        let stats = sys.run(20_000);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0], direct);
+    }
+
+    #[test]
+    fn two_harts_make_progress_and_share_the_ras() {
+        let (w0, w1) = (workload(42), workload(43));
+        let mut sys = System::new(
+            1,
+            ras_config(RasSharing::Shared, 2),
+            &[w0.program(), w1.program()],
+        );
+        let stats = sys.run(5_000);
+        assert_eq!(stats.len(), 2);
+        for (i, s) in stats.iter().enumerate() {
+            assert!(s.committed >= 5_000, "hart {i} committed {}", s.committed);
+            assert!(s.returns > 0, "hart {i} saw returns");
+        }
+        // RAS counters come from the one shared unit, so both harts
+        // report the same (aggregate) push count.
+        assert_eq!(stats[0].ras_pushes, stats[1].ras_pushes);
+        assert!(stats[0].ras_pushes > 0);
+    }
+
+    #[test]
+    fn shared_ras_contention_hurts_return_prediction() {
+        let run = |sharing| {
+            let (w0, w1) = (workload(42), workload(43));
+            let mut sys = System::new(1, ras_config(sharing, 2), &[w0.program(), w1.program()]);
+            let stats = sys.run(8_000);
+            let hit = |s: &SimStats| s.return_hits as f64 / s.returns.max(1) as f64;
+            (hit(&stats[0]) + hit(&stats[1])) / 2.0
+        };
+        let shared = run(RasSharing::Shared);
+        let partitioned = run(RasSharing::Partitioned);
+        let tagged = run(RasSharing::Tagged { tag_bits: 1 });
+        assert!(
+            shared < partitioned && shared < tagged,
+            "shared {shared:.3} vs partitioned {partitioned:.3} / tagged {tagged:.3}"
+        );
+        assert!(partitioned > 0.5, "partitioned recovers: {partitioned:.3}");
+    }
+
+    #[test]
+    fn two_cores_keep_private_ras_units() {
+        let (w0, w1) = (workload(42), workload(43));
+        // 2 cores x 1 hart: RAS units are per-core private, memory shared.
+        let mut sys = System::new(
+            2,
+            ras_config(RasSharing::Shared, 1),
+            &[w0.program(), w1.program()],
+        );
+        assert_eq!(sys.cores(), 2);
+        assert_eq!(sys.harts(), 2);
+        let stats = sys.run(5_000);
+        // Private units: each core's counters reflect only its own stream
+        // (the two different programs disagree with high probability).
+        assert!(stats[0].ras_pushes > 0 && stats[1].ras_pushes > 0);
+        let hit = |s: &SimStats| s.return_hits as f64 / s.returns.max(1) as f64;
+        assert!(hit(&stats[0]) > 0.5 && hit(&stats[1]) > 0.5);
+    }
+
+    #[test]
+    fn handles_expose_per_hart_state() {
+        let (w0, w1) = (workload(7), workload(8));
+        let mut sys = System::new(
+            1,
+            ras_config(RasSharing::Partitioned, 2),
+            &[w0.program(), w1.program()],
+        );
+        sys.run(1_000);
+        let mut h1 = sys.hart(1);
+        assert_eq!(h1.index(), 1);
+        assert_eq!(h1.core_index(), 0);
+        assert_eq!(h1.hart_id(), HartId::new(1));
+        assert!(h1.cycle() > 0);
+        assert!(h1.stats().committed >= 1_000);
+    }
+
+    #[test]
+    fn reset_stats_starts_the_measurement_window() {
+        let (w0, w1) = (workload(42), workload(43));
+        let mut sys = System::new(
+            1,
+            ras_config(RasSharing::Shared, 2),
+            &[w0.program(), w1.program()],
+        );
+        sys.run(2_000);
+        sys.reset_stats();
+        let stats = sys.stats();
+        assert_eq!(stats[0].committed, 0);
+        assert_eq!(stats[0].ras_pushes, 0);
+        let stats = sys.run(1_000);
+        assert!((1_000..1_500).contains(&stats[0].committed));
+    }
+}

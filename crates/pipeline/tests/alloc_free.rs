@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hydra_pipeline::{Core, CoreConfig};
+use hydra_pipeline::{Core, CoreConfig, RasSharing};
 use hydra_workloads::{Workload, WorkloadSpec};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -72,6 +72,40 @@ fn steady_state_cycles_allocate_nothing() {
     assert_eq!(
         allocs, 0,
         "heap allocations leaked back into the steady-state hot loop"
+    );
+}
+
+#[test]
+fn two_hart_system_steady_state_cycles_allocate_nothing() {
+    // The multi-instance surface must not reintroduce allocations: the
+    // System swaps the core-shared RAS unit and the system-shared memory
+    // hierarchy in and out of each engine by `mem::swap` — pointer moves,
+    // not clones. Stepping cycles directly avoids the per-call stats
+    // `Vec` that `System::run` returns.
+    let w = |seed| {
+        Workload::generate(&WorkloadSpec::by_name("gcc").expect("known"), seed).expect("generates")
+    };
+    let (a, b) = (w(12345), w(12346));
+    let config = CoreConfig::builder()
+        .harts(2)
+        .ras_sharing(RasSharing::Partitioned)
+        .build();
+    let mut sys = hydra_pipeline::System::new(1, config, &[a.program(), b.program()]);
+
+    // Warm-up needs to be longer than the single-core test's: two
+    // independent streams take more cycles to drive every pooled buffer
+    // (slab, wakeup lists, checkpoint pool — per engine) to its
+    // high-water mark.
+    sys.run(100_000);
+
+    let allocs = allocs_during(|| {
+        for _ in 0..50_000 {
+            sys.step_cycle();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "heap allocations leaked into the 2-hart steady-state hot loop"
     );
 }
 

@@ -109,6 +109,7 @@ pub fn chrome_trace(trace: &Trace) -> Json {
             ]),
             TraceEvent::RasPush {
                 cycle,
+                hart,
                 path,
                 addr,
                 overflow,
@@ -120,11 +121,12 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                 },
                 "ras",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([("addr", Json::Str(format!("{addr:#x}")))]),
             ),
             TraceEvent::RasPop {
                 cycle,
+                hart,
                 path,
                 addr,
                 valid,
@@ -137,7 +139,7 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                 },
                 "ras",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([
                     ("addr", Json::Str(format!("{addr:#x}"))),
                     ("valid", Json::Bool(*valid)),
@@ -145,6 +147,7 @@ pub fn chrome_trace(trace: &Trace) -> Json {
             ),
             TraceEvent::RasSave {
                 cycle,
+                hart,
                 path,
                 policy,
                 words,
@@ -152,18 +155,19 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                 "ras_save",
                 "ras",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([("policy", Json::str(*policy)), ("words", Json::int(*words))]),
             ),
             TraceEvent::RasRepair {
                 cycle,
+                hart,
                 path,
                 policy,
             } => instant(
                 "ras_repair",
                 "ras",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([("policy", Json::str(*policy))]),
             ),
             TraceEvent::RasFork {
@@ -179,6 +183,7 @@ pub fn chrome_trace(trace: &Trace) -> Json {
             ),
             TraceEvent::BranchResolve {
                 cycle,
+                hart,
                 path,
                 pc,
                 mispredict,
@@ -186,14 +191,19 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                 if *mispredict { "mispredict" } else { "branch" },
                 "branch",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([("pc", Json::Str(format!("{pc:#x}")))]),
             ),
-            TraceEvent::Squash { cycle, path, uops } => instant(
+            TraceEvent::Squash {
+                cycle,
+                hart,
+                path,
+                uops,
+            } => instant(
                 "squash",
                 "squash",
                 *cycle,
-                *path,
+                sim_row(*hart, *path),
                 Json::obj([("uops", Json::int(*uops))]),
             ),
             TraceEvent::CacheAccess {
@@ -227,6 +237,13 @@ pub fn chrome_trace(trace: &Trace) -> Json {
 // Cache events render on their own sim-process row, away from the
 // per-path RAS rows (paths are small integers).
 const CACHE_ROW: u64 = 1_000;
+
+/// Sim-process row for per-hart, per-path events: each hart gets its own
+/// band of path rows so a two-hart capture renders two separate
+/// timelines. Hart 0 keeps the historical `tid == path` mapping.
+fn sim_row(hart: u64, path: u64) -> u64 {
+    hart * 100 + path
+}
 
 #[cfg(test)]
 mod tests {
@@ -264,12 +281,14 @@ mod tests {
             },
             TraceEvent::RasPush {
                 cycle: 10,
+                hart: 0,
                 path: 0,
                 addr: 0x40,
                 overflow: false,
             },
             TraceEvent::RasRepair {
                 cycle: 20,
+                hart: 1,
                 path: 0,
                 policy: "tos+contents",
             },
@@ -296,6 +315,8 @@ mod tests {
             .expect("top-level traceEvents array");
         // 2 process-name metadata + 6 payload events.
         assert_eq!(events.len(), 8);
+        // Hart 1's repair lands in hart 1's row band, away from hart 0.
+        assert_eq!(events[5].get("tid").and_then(Json::as_num), Some(100.0));
         // Every event carries the required ph/pid/ts-or-M shape.
         for ev in events {
             assert!(ev.get("ph").and_then(Json::as_str).is_some());

@@ -15,6 +15,7 @@ use std::cell::Cell;
 thread_local! {
     static CYCLE: Cell<u64> = const { Cell::new(0) };
     static PATH: Cell<u64> = const { Cell::new(0) };
+    static HART: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Sets this thread's current simulation cycle.
@@ -37,17 +38,30 @@ pub fn path() -> u64 {
     PATH.with(Cell::get)
 }
 
+/// Sets the hardware thread performing the current operation.
+pub fn set_hart(hart: u64) {
+    HART.with(|h| h.set(hart));
+}
+
+/// The hardware thread performing the current operation.
+pub fn hart() -> u64 {
+    HART.with(Cell::get)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn clock_is_thread_local() {
         super::set_cycle(41);
         super::set_path(3);
+        super::set_hart(1);
         assert_eq!(super::cycle(), 41);
         assert_eq!(super::path(), 3);
+        assert_eq!(super::hart(), 1);
         std::thread::spawn(|| {
             assert_eq!(super::cycle(), 0);
             assert_eq!(super::path(), 0);
+            assert_eq!(super::hart(), 0);
         })
         .join()
         .unwrap();

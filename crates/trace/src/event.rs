@@ -17,6 +17,8 @@ pub enum TraceEvent {
     RasPush {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread performing the push.
+        hart: u64,
         /// Execution path performing the push.
         path: u64,
         /// The return address pushed.
@@ -28,6 +30,8 @@ pub enum TraceEvent {
     RasPop {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread performing the pop.
+        hart: u64,
         /// Execution path performing the pop.
         path: u64,
         /// The address read at TOS (the prediction when `valid`).
@@ -41,6 +45,8 @@ pub enum TraceEvent {
     RasSave {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread taking the checkpoint.
+        hart: u64,
         /// Execution path taking the checkpoint.
         path: u64,
         /// Repair policy short name (e.g. `tos+contents`).
@@ -52,6 +58,8 @@ pub enum TraceEvent {
     RasRepair {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread whose stack is repaired.
+        hart: u64,
         /// Execution path whose checkpoint is restored.
         path: u64,
         /// Repair policy short name.
@@ -70,6 +78,8 @@ pub enum TraceEvent {
     BranchResolve {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread the branch belongs to.
+        hart: u64,
         /// Path the branch belongs to.
         path: u64,
         /// Branch PC (word address).
@@ -81,6 +91,8 @@ pub enum TraceEvent {
     Squash {
         /// Simulation cycle.
         cycle: u64,
+        /// Hardware thread whose work is discarded.
+        hart: u64,
         /// Path at the root of the squashed lineage.
         path: u64,
         /// In-flight uops thrown away.
@@ -314,18 +326,21 @@ impl TraceEvent {
         match self {
             TraceEvent::RasPush {
                 cycle,
+                hart,
                 path,
                 addr,
                 overflow,
             } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("addr", hex(*addr)),
                 ("overflow", Json::Bool(*overflow)),
             ]),
             TraceEvent::RasPop {
                 cycle,
+                hart,
                 path,
                 addr,
                 valid,
@@ -333,6 +348,7 @@ impl TraceEvent {
             } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("addr", hex(*addr)),
                 ("valid", Json::Bool(*valid)),
@@ -340,23 +356,27 @@ impl TraceEvent {
             ]),
             TraceEvent::RasSave {
                 cycle,
+                hart,
                 path,
                 policy,
                 words,
             } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("policy", Json::Str((*policy).into())),
                 ("words", Json::int(*words)),
             ]),
             TraceEvent::RasRepair {
                 cycle,
+                hart,
                 path,
                 policy,
             } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("policy", Json::Str((*policy).into())),
             ]),
@@ -372,19 +392,27 @@ impl TraceEvent {
             ]),
             TraceEvent::BranchResolve {
                 cycle,
+                hart,
                 path,
                 pc,
                 mispredict,
             } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("pc", hex(*pc)),
                 ("mispredict", Json::Bool(*mispredict)),
             ]),
-            TraceEvent::Squash { cycle, path, uops } => Json::obj([
+            TraceEvent::Squash {
+                cycle,
+                hart,
+                path,
+                uops,
+            } => Json::obj([
                 ("kind", Json::Str(self.kind().into())),
                 ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
                 ("path", Json::int(*path)),
                 ("uops", Json::int(*uops)),
             ]),
@@ -474,6 +502,7 @@ mod tests {
     fn classes_and_sampling() {
         let push = TraceEvent::RasPush {
             cycle: 1,
+            hart: 0,
             path: 0,
             addr: 0x10,
             overflow: false,
@@ -505,17 +534,20 @@ mod tests {
         let events = [
             TraceEvent::RasPush {
                 cycle: 3,
+                hart: 1,
                 path: 1,
                 addr: 0xabc,
                 overflow: true,
             },
             TraceEvent::RasRepair {
                 cycle: 9,
+                hart: 0,
                 path: 0,
                 policy: "tos+contents",
             },
             TraceEvent::BranchResolve {
                 cycle: 7,
+                hart: 0,
                 path: 0,
                 pc: 0x40,
                 mispredict: true,

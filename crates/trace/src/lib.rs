@@ -42,6 +42,7 @@
 //! hydra_trace::trace_cycle!(42);
 //! hydra_trace::trace_event!(hydra_trace::TraceEvent::RasPush {
 //!     cycle: hydra_trace::clock::cycle(),
+//!     hart: hydra_trace::clock::hart(),
 //!     path: hydra_trace::clock::path(),
 //!     addr: 0x1234,
 //!     overflow: false,
@@ -133,5 +134,24 @@ macro_rules! trace_path {
 macro_rules! trace_path {
     ($path:expr) => {{
         let _ = || -> u64 { $path };
+    }};
+}
+
+/// Publishes the hardware-thread (hart) id performing the current
+/// operation to this thread's trace clock (SMT simulation).
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_hart {
+    ($hart:expr) => {
+        $crate::clock::set_hart($hart)
+    };
+}
+
+/// Publishes the hart id (disabled build: no-op).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_hart {
+    ($hart:expr) => {{
+        let _ = || -> u64 { $hart };
     }};
 }

@@ -41,6 +41,7 @@ mod tests {
                     seq: 0,
                     event: TraceEvent::RasPush {
                         cycle: 1,
+                        hart: 0,
                         path: 0,
                         addr: 0x44,
                         overflow: false,
@@ -50,6 +51,7 @@ mod tests {
                     seq: 1,
                     event: TraceEvent::RasRepair {
                         cycle: 2,
+                        hart: 0,
                         path: 0,
                         policy: "full",
                     },

@@ -68,6 +68,7 @@ mod tests {
             seq,
             event: TraceEvent::Squash {
                 cycle: seq,
+                hart: 0,
                 path: 0,
                 uops: 1,
             },

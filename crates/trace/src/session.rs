@@ -303,6 +303,7 @@ mod tests {
     fn push(cycle: u64, addr: u64) -> TraceEvent {
         TraceEvent::RasPush {
             cycle,
+            hart: 0,
             path: 0,
             addr,
             overflow: false,
@@ -356,6 +357,7 @@ mod tests {
             emit(|| sample(i)); // stage: 1 in 10 kept
             emit(|| TraceEvent::Squash {
                 cycle: i,
+                hart: 0,
                 path: 0,
                 uops: 1,
             }); // masked out

@@ -19,12 +19,21 @@ pub fn ras_timeline(trace: &Trace) -> String {
     let mut saves = 0u64;
     let mut repairs = 0u64;
     let mut mispredicts = 0u64;
-    let _ = writeln!(out, "{:>10} {:>5} {:<24} detail", "cycle", "path", "event");
-    let _ = writeln!(out, "{:-<10} {:-<5} {:-<24} {:-<24}", "", "", "", "");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>4} {:>5} {:<24} detail",
+        "cycle", "hart", "path", "event"
+    );
+    let _ = writeln!(
+        out,
+        "{:-<10} {:-<4} {:-<5} {:-<24} {:-<24}",
+        "", "", "", "", ""
+    );
     for rec in &trace.events {
-        let (cycle, path, name, detail) = match &rec.event {
+        let (cycle, hart, path, name, detail) = match &rec.event {
             TraceEvent::RasPush {
                 cycle,
+                hart,
                 path,
                 addr,
                 overflow,
@@ -32,10 +41,17 @@ pub fn ras_timeline(trace: &Trace) -> String {
                 pushes += 1;
                 overflows += u64::from(*overflow);
                 let name = if *overflow { "push OVERFLOW" } else { "push" };
-                (*cycle, *path, name.to_string(), format!("addr={addr:#x}"))
+                (
+                    *cycle,
+                    *hart,
+                    *path,
+                    name.to_string(),
+                    format!("addr={addr:#x}"),
+                )
             }
             TraceEvent::RasPop {
                 cycle,
+                hart,
                 path,
                 addr,
                 valid,
@@ -48,10 +64,17 @@ pub fn ras_timeline(trace: &Trace) -> String {
                     (false, _) => "pop (invalidated)",
                     _ => "pop",
                 };
-                (*cycle, *path, name.to_string(), format!("addr={addr:#x}"))
+                (
+                    *cycle,
+                    *hart,
+                    *path,
+                    name.to_string(),
+                    format!("addr={addr:#x}"),
+                )
             }
             TraceEvent::RasSave {
                 cycle,
+                hart,
                 path,
                 policy,
                 words,
@@ -59,6 +82,7 @@ pub fn ras_timeline(trace: &Trace) -> String {
                 saves += 1;
                 (
                     *cycle,
+                    *hart,
                     *path,
                     "save".to_string(),
                     format!("policy={policy} words={words}"),
@@ -66,12 +90,14 @@ pub fn ras_timeline(trace: &Trace) -> String {
             }
             TraceEvent::RasRepair {
                 cycle,
+                hart,
                 path,
                 policy,
             } => {
                 repairs += 1;
                 (
                     *cycle,
+                    *hart,
                     *path,
                     "REPAIR".to_string(),
                     format!("policy={policy}"),
@@ -83,12 +109,14 @@ pub fn ras_timeline(trace: &Trace) -> String {
                 child,
             } => (
                 *cycle,
+                0,
                 *parent,
                 "fork".to_string(),
                 format!("child={child}"),
             ),
             TraceEvent::BranchResolve {
                 cycle,
+                hart,
                 path,
                 pc,
                 mispredict,
@@ -99,17 +127,27 @@ pub fn ras_timeline(trace: &Trace) -> String {
                 mispredicts += 1;
                 (
                     *cycle,
+                    *hart,
                     *path,
                     "MISPREDICT".to_string(),
                     format!("pc={pc:#x}"),
                 )
             }
-            TraceEvent::Squash { cycle, path, uops } => {
-                (*cycle, *path, "squash".to_string(), format!("uops={uops}"))
-            }
+            TraceEvent::Squash {
+                cycle,
+                hart,
+                path,
+                uops,
+            } => (
+                *cycle,
+                *hart,
+                *path,
+                "squash".to_string(),
+                format!("uops={uops}"),
+            ),
             _ => continue,
         };
-        let _ = writeln!(out, "{cycle:>10} {path:>5} {name:<24} {detail}");
+        let _ = writeln!(out, "{cycle:>10} {hart:>4} {path:>5} {name:<24} {detail}");
     }
     let _ = writeln!(out);
     let _ = writeln!(
@@ -140,18 +178,21 @@ mod tests {
         let script = vec![
             TraceEvent::RasPush {
                 cycle: 1,
+                hart: 0,
                 path: 0,
                 addr: 0x100,
                 overflow: false,
             },
             TraceEvent::RasSave {
                 cycle: 2,
+                hart: 0,
                 path: 0,
                 policy: "tos+contents",
                 words: 2,
             },
             TraceEvent::RasPop {
                 cycle: 3,
+                hart: 0,
                 path: 0,
                 addr: 0x100,
                 valid: true,
@@ -159,23 +200,27 @@ mod tests {
             },
             TraceEvent::RasPush {
                 cycle: 4,
+                hart: 0,
                 path: 0,
                 addr: 0xbad,
                 overflow: false,
             },
             TraceEvent::BranchResolve {
                 cycle: 9,
+                hart: 0,
                 path: 0,
                 pc: 0x40,
                 mispredict: true,
             },
             TraceEvent::Squash {
                 cycle: 9,
+                hart: 0,
                 path: 0,
                 uops: 12,
             },
             TraceEvent::RasRepair {
                 cycle: 9,
+                hart: 0,
                 path: 0,
                 policy: "tos+contents",
             },
@@ -202,6 +247,55 @@ mod tests {
     }
 
     #[test]
+    fn two_hart_capture_is_distinguishable_by_hart_column() {
+        // Hart 0 saves and repairs; hart 1's wrong-path push lands in
+        // between. The hart column keeps the two stories separable.
+        let script = vec![
+            TraceEvent::RasSave {
+                cycle: 1,
+                hart: 0,
+                path: 0,
+                policy: "tos+contents",
+                words: 2,
+            },
+            TraceEvent::RasPush {
+                cycle: 2,
+                hart: 1,
+                path: 0,
+                addr: 0xbad,
+                overflow: false,
+            },
+            TraceEvent::RasRepair {
+                cycle: 3,
+                hart: 0,
+                path: 0,
+                policy: "tos+contents",
+            },
+        ];
+        let trace = Trace {
+            events: script
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| SeqEvent {
+                    seq: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let text = ras_timeline(&trace);
+        let hart_of = |needle: &str| {
+            text.lines()
+                .find(|l| l.contains(needle))
+                .and_then(|l| l.split_whitespace().nth(1).map(str::to_owned))
+                .unwrap()
+        };
+        assert_eq!(hart_of("save"), "0");
+        assert_eq!(hart_of("0xbad"), "1");
+        assert_eq!(hart_of("REPAIR"), "0");
+    }
+
+    #[test]
     fn correct_branches_and_samples_are_filtered() {
         let trace = Trace {
             events: vec![
@@ -209,6 +303,7 @@ mod tests {
                     seq: 0,
                     event: TraceEvent::BranchResolve {
                         cycle: 1,
+                        hart: 0,
                         path: 0,
                         pc: 0x10,
                         mispredict: false,

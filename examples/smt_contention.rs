@@ -1,0 +1,87 @@
+//! SMT contention: what sharing one return-address stack between two
+//! hardware threads does to return prediction, and what partitioning or
+//! tagging buys back.
+//!
+//! Runs two harts on one core (sibling copies of the same benchmark) and
+//! compares the three [`RasSharing`] modes against a single-hart
+//! reference. The punchline mirrors the paper's multipath result: a
+//! stack shared between independent instruction streams loses the LIFO
+//! call/return discipline it depends on, and *no repair policy can fix
+//! that* — isolation (partitioned slices or hart tags) can.
+//!
+//! ```sh
+//! cargo run --release --example smt_contention [benchmark]
+//! ```
+
+use hydrascalar::ras::RepairPolicy;
+use hydrascalar::stats::{Align, Cell, Table};
+use hydrascalar::{Core, CoreConfig, RasSharing, ReturnPredictor, System, Workload, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let spec = WorkloadSpec::by_name(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let workloads = [
+        Workload::generate(&spec, 12345)?,
+        Workload::generate(&spec, 12346)?,
+    ];
+
+    let predictor = ReturnPredictor::Ras {
+        entries: 32,
+        repair: RepairPolicy::TosPointerAndContents,
+    };
+
+    let mut table = Table::new(vec![
+        "RAS organization",
+        "return hit rate",
+        "aggregate IPC",
+        "RAS pops",
+    ]);
+    table.set_title(format!(
+        "`{name}` ×2 harts, 32-entry stack, ptr+contents repair"
+    ));
+    for col in 1..=3 {
+        table.set_align(col, Align::Right);
+    }
+
+    // Single-hart reference: one stream, the stack all to itself.
+    let mut core = Core::new(
+        CoreConfig::builder().return_predictor(predictor).build(),
+        workloads[0].program(),
+    );
+    core.run(50_000);
+    core.reset_stats();
+    let single = core.run(200_000);
+    table.add_row(vec![
+        Cell::text("1 hart (reference)"),
+        Cell::percent(single.return_hit_rate().percent()),
+        Cell::fixed(single.ipc(), 3),
+        Cell::int(single.ras_pops),
+    ]);
+
+    for (label, sharing) in [
+        ("2 harts, shared", RasSharing::Shared),
+        ("2 harts, partitioned", RasSharing::Partitioned),
+        ("2 harts, tagged", RasSharing::Tagged { tag_bits: 1 }),
+    ] {
+        let config = CoreConfig::builder()
+            .harts(2)
+            .ras_sharing(sharing)
+            .return_predictor(predictor)
+            .build();
+        let programs = [workloads[0].program(), workloads[1].program()];
+        let mut system = System::new(1, config, &programs);
+        system.run(50_000);
+        system.reset_stats();
+        let stats = system.run(200_000);
+        let hits: u64 = stats.iter().map(|s| s.return_hits).sum();
+        let returns: u64 = stats.iter().map(|s| s.returns).sum();
+        table.add_row(vec![
+            Cell::text(label),
+            Cell::percent(hits as f64 / returns.max(1) as f64 * 100.0),
+            Cell::fixed(stats.iter().map(|s| s.ipc()).sum::<f64>(), 3),
+            Cell::int(stats.iter().map(|s| s.ras_pops).sum()),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}

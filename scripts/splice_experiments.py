@@ -22,6 +22,7 @@ MARKERS = {
     "<<FIGANALYTICAL>>": "Ablation (analytical):",
     "<<FIGFRONTEND>>": "Ablation (front end):",
     "<<FIGJOURDAN>>": "Extension (Jourdan):",
+    "<<FIGSMT>>": "Extension (SMT):",
     "<<FIGSEEDS>>": "Robustness: repair comparison",
 }
 

@@ -13,7 +13,9 @@
 //!   confidence estimation;
 //! * [`mem`] (`hydra-mem`) — the two-level cache hierarchy;
 //! * [`pipeline`] (`hydra-pipeline`) — the cycle-level out-of-order core
-//!   with wrong-path execution and multipath forking;
+//!   with wrong-path execution and multipath forking, plus the
+//!   multi-instance [`System`] (SMT / multi-core with a shared,
+//!   partitioned, or tagged RAS);
 //! * [`workloads`] (`hydra-workloads`) — the SPECint95-like synthetic
 //!   benchmark suite;
 //! * [`stats`] (`hydra-stats`) — counters and report tables;
@@ -50,6 +52,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Multi-instance machines (SMT / multi-core)
+//!
+//! A [`Core`] is one hardware thread. To model several, build a
+//! [`System`]: N cores × M harts per core, sharing one memory hierarchy,
+//! with each core's return-address stack run in one of three
+//! [`RasSharing`] modes (`Shared`, `Partitioned`, or `Tagged`). A 1×1
+//! `System` is bit-exact with a plain `Core`.
+//!
+//! ```
+//! use hydrascalar::{CoreConfig, RasSharing, System, Workload, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two harts on one core, each running its own workload, with the
+//! // 32-entry RAS statically partitioned between them.
+//! let a = Workload::generate(&WorkloadSpec::test_small(), 1)?;
+//! let b = Workload::generate(&WorkloadSpec::test_small(), 2)?;
+//!
+//! let config = CoreConfig::builder()
+//!     .harts(2)
+//!     .ras_sharing(RasSharing::Partitioned)
+//!     .build();
+//! let mut system = System::new(1, config, &[a.program(), b.program()]);
+//!
+//! let stats = system.run(20_000); // per-hart commit target
+//! assert_eq!(stats.len(), 2);
+//! for s in &stats {
+//!     assert!(s.committed >= 20_000);
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,7 +99,8 @@ pub use ras_core as ras;
 
 pub use hydra_isa::{Addr, Inst, Machine, Program, ProgramBuilder, Reg};
 pub use hydra_pipeline::{
-    Core, CoreConfig, CoreConfigBuilder, MultipathConfig, ReturnPredictor, SimStats,
+    Core, CoreConfig, CoreConfigBuilder, CoreHandle, HartId, MultipathConfig, RasSharing,
+    ReturnPredictor, SimStats, System,
 };
 pub use hydra_stats::Json;
 pub use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
