@@ -412,7 +412,15 @@ fn run_perf(cli: &Cli) -> Result<ExitCode, Error> {
     let alloc_count = || counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed);
     let report = perf::measure(&rs, &alloc_count);
     println!("{}", report.to_table());
-    let doc = perf::perf_doc(&rs, &report);
+    let ff = perf::measure_fast_forward(&rs, perf::FF_MEASURE_INSTRUCTIONS);
+    println!("{}", ff.to_table());
+    println!(
+        "fast-forward speedup vs cycle-level: {:.1}x ({:.1} / {:.3} sim MIPS)",
+        ff.mips() / report.mips(),
+        ff.mips(),
+        report.mips()
+    );
+    let doc = perf::perf_doc(&rs, &report, &ff);
     if let Some(dir) = &cli.out {
         std::fs::create_dir_all(dir)
             .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;

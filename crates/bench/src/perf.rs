@@ -24,6 +24,7 @@
 //! (`goldens/perf_baseline.json`) with a relative MIPS tolerance —
 //! that is CI's "the core did not get 30% slower" tripwire.
 
+use hydra_isa::{FastCore, FunctionalCore, Predecoded};
 use hydra_pipeline::CoreConfig;
 use hydra_stats::Json;
 use std::path::Path;
@@ -33,8 +34,15 @@ use crate::error::Error;
 use crate::{suite, RunSpec};
 
 /// Relative simulated-MIPS loss CI tolerates before failing the perf
-/// job: measured ≥ (1 − tolerance) × baseline passes.
+/// job: measured ≥ (1 − tolerance) × baseline passes. Applied to the
+/// cycle-level row and the functional fast-forward row independently.
 pub const MIPS_REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Instructions each workload executes in the fast-forward throughput
+/// row (the program restarts as needed to fill the window). Large enough
+/// that pre-decode cost and timer resolution vanish, small enough that
+/// the whole eight-workload row stays well under a second.
+pub const FF_MEASURE_INSTRUCTIONS: u64 = 4_000_000;
 
 /// One workload's measurement.
 #[derive(Debug, Clone)]
@@ -141,6 +149,116 @@ impl PerfReport {
     }
 }
 
+/// One workload's functional fast-forward measurement.
+#[derive(Debug, Clone)]
+pub struct FfSample {
+    /// Workload name (suite order is pinned).
+    pub workload: String,
+    /// Instructions executed on the functional core.
+    pub instructions: u64,
+    /// Host wall time, in seconds (includes the one-time pre-decode).
+    pub wall_secs: f64,
+}
+
+impl FfSample {
+    /// Millions of functionally executed instructions per host-second.
+    pub fn mips(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.wall_secs / 1e6
+        }
+    }
+}
+
+/// The functional fast-forward throughput row: how fast the pre-decoded
+/// [`FastCore`] burns through instructions, per workload and suite-wide.
+///
+/// This is the rate that bounds fast-forward windows, `RefSim`-checked
+/// fuzz cases, and workload profiling — everything architectural. It is
+/// measured separately from the cycle-level row because the two regress
+/// for unrelated reasons (a dispatch-loop pessimization would be
+/// invisible in cycle-level MIPS, and vice versa).
+#[derive(Debug, Clone)]
+pub struct FfReport {
+    /// Per-workload samples, in suite order.
+    pub samples: Vec<FfSample>,
+}
+
+impl FfReport {
+    /// Suite-wide fast-forward MIPS (total instructions over total wall
+    /// time).
+    pub fn mips(&self) -> f64 {
+        let instructions: u64 = self.samples.iter().map(|s| s.instructions).sum();
+        let wall: f64 = self.samples.iter().map(|s| s.wall_secs).sum();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            instructions as f64 / wall / 1e6
+        }
+    }
+
+    /// Renders the fast-forward table `expt perf` prints.
+    pub fn to_table(&self) -> hydra_stats::Table {
+        use hydra_stats::{Align, Cell, Table};
+        let mut t = Table::new(vec!["workload", "instructions", "wall (ms)", "ff MIPS"]);
+        t.set_title("perf: functional fast-forward (pre-decoded core), serial");
+        for col in 1..=3 {
+            t.set_align(col, Align::Right);
+        }
+        for s in &self.samples {
+            t.add_row(vec![
+                Cell::text(&s.workload),
+                Cell::int(s.instructions),
+                Cell::text(format!("{:.1}", s.wall_secs * 1e3)),
+                Cell::text(format!("{:.1}", s.mips())),
+            ]);
+        }
+        t.add_row(vec![
+            Cell::text("total"),
+            Cell::int(self.samples.iter().map(|s| s.instructions).sum::<u64>()),
+            Cell::text(format!(
+                "{:.1}",
+                self.samples.iter().map(|s| s.wall_secs).sum::<f64>() * 1e3
+            )),
+            Cell::text(format!("{:.1}", self.mips())),
+        ]);
+        t
+    }
+}
+
+/// Measures functional fast-forward throughput: each suite workload runs
+/// `instructions` instructions on the pre-decoded core, restarting the
+/// program whenever it halts so the window is always full. The one-time
+/// pre-decode is inside the timed region (it is part of what a
+/// fast-forward pays) but amortizes to noise over millions of
+/// instructions.
+pub fn measure_fast_forward(rs: &RunSpec, instructions: u64) -> FfReport {
+    let mut samples = Vec::new();
+    for w in suite(rs) {
+        let program = w.program();
+        let t0 = Instant::now();
+        let pre = Predecoded::new(program);
+        let mut core = FastCore::with_predecoded(program, pre.clone());
+        let mut remaining = instructions;
+        while remaining > 0 {
+            let done = core
+                .advance(remaining)
+                .expect("generated workloads do not fault");
+            remaining -= done;
+            if core.is_halted() && remaining > 0 {
+                core = FastCore::with_predecoded(program, pre.clone());
+            }
+        }
+        samples.push(FfSample {
+            workload: w.name().to_string(),
+            instructions,
+            wall_secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+    FfReport { samples }
+}
+
 /// Runs the pinned workload set serially and measures each workload's
 /// measurement window.
 ///
@@ -171,10 +289,12 @@ pub fn measure(rs: &RunSpec, alloc_count: &dyn Fn() -> u64) -> PerfReport {
 }
 
 /// The `BENCH_perf.json` document: per-workload throughput and
-/// allocation rates plus suite totals. Wall-clock fields carry the
-/// golden differ's `_ms`/`mips` timing markers; `allocs_per_kilocycle`
-/// is deterministic for a deterministic simulator.
-pub fn perf_doc(rs: &RunSpec, report: &PerfReport) -> Json {
+/// allocation rates plus suite totals for the cycle-level row, and the
+/// functional fast-forward row with its speedup over cycle-level
+/// simulation. Wall-clock fields carry the golden differ's `_ms`/`mips`
+/// timing markers; `allocs_per_kilocycle` is deterministic for a
+/// deterministic simulator.
+pub fn perf_doc(rs: &RunSpec, report: &PerfReport, ff: &FfReport) -> Json {
     Json::obj([
         ("schema_version", Json::int(crate::SCHEMA_VERSION)),
         (
@@ -209,6 +329,40 @@ pub fn perf_doc(rs: &RunSpec, report: &PerfReport) -> Json {
                 ),
             ]),
         ),
+        (
+            "fast_forward",
+            Json::obj([
+                (
+                    "instructions_per_workload",
+                    Json::int(ff.samples.first().map(|s| s.instructions).unwrap_or(0)),
+                ),
+                (
+                    "workloads",
+                    Json::arr(ff.samples.iter().map(|s| {
+                        Json::obj([
+                            ("workload", Json::str(&s.workload)),
+                            ("instructions", Json::int(s.instructions)),
+                            ("wall_ms", Json::num(s.wall_secs * 1e3)),
+                            ("ff_mips", Json::num(s.mips())),
+                        ])
+                    })),
+                ),
+                (
+                    "total",
+                    Json::obj([
+                        ("ff_mips", Json::num(ff.mips())),
+                        (
+                            "speedup_vs_pipeline_mips",
+                            Json::num(if report.mips() > 0.0 {
+                                ff.mips() / report.mips()
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
     ])
 }
 
@@ -217,16 +371,31 @@ fn total_mips(doc: &Json) -> Option<f64> {
     doc.get("total")?.get("sim_mips").and_then(Json::as_num)
 }
 
+/// Reads `fast_forward.total.ff_mips` out of a `BENCH_perf.json`-shaped
+/// document.
+fn total_ff_mips(doc: &Json) -> Option<f64> {
+    doc.get("fast_forward")?
+        .get("total")?
+        .get("ff_mips")
+        .and_then(Json::as_num)
+}
+
 /// Gates a fresh perf document against the committed baseline at
 /// `path`: measured MIPS must be at least
 /// `(1 - tolerance) × baseline MIPS`.
 ///
+/// Both throughput rows are gated independently: `total.sim_mips`
+/// (cycle-level) always, and `fast_forward.total.ff_mips` whenever the
+/// baseline carries one — so a dispatch-loop pessimization in the
+/// functional core fails CI even though it would be invisible in
+/// cycle-level MIPS.
+///
 /// # Errors
 ///
 /// [`Error::Io`] if the baseline is unreadable, [`Error::Usage`] if
-/// either document lacks `total.sim_mips`, and
-/// [`Error::PerfRegression`] when the measured throughput falls below
-/// the tolerated floor.
+/// either document lacks a row the comparison needs, and
+/// [`Error::PerfRegression`] when a measured throughput falls below its
+/// tolerated floor.
 pub fn check_baseline(fresh: &Json, path: &Path, tolerance: f64) -> Result<(), Error> {
     let text = std::fs::read_to_string(path)
         .map_err(|io| Error::io(format!("reading {}", path.display()), io))?;
@@ -242,6 +411,17 @@ pub fn check_baseline(fresh: &Json, path: &Path, tolerance: f64) -> Result<(), E
             baseline_mips: baseline,
             tolerance,
         });
+    }
+    if let Some(ff_baseline) = total_ff_mips(&baseline_doc) {
+        let ff_measured = total_ff_mips(fresh)
+            .ok_or_else(|| Error::Usage("fresh run: no fast_forward.total.ff_mips".into()))?;
+        if ff_measured < ff_baseline * (1.0 - tolerance) {
+            return Err(Error::PerfRegression {
+                measured_mips: ff_measured,
+                baseline_mips: ff_baseline,
+                tolerance,
+            });
+        }
     }
     Ok(())
 }
@@ -270,6 +450,16 @@ mod tests {
         }
     }
 
+    fn fake_ff(instructions: u64, wall_secs: f64) -> FfReport {
+        FfReport {
+            samples: vec![FfSample {
+                workload: "w".into(),
+                instructions,
+                wall_secs,
+            }],
+        }
+    }
+
     #[test]
     fn measure_covers_the_whole_suite() {
         let rs = tiny();
@@ -293,8 +483,17 @@ mod tests {
     #[test]
     fn doc_carries_totals_and_baseline_gate_works() {
         let rs = tiny();
-        let doc = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        let ff = fake_ff(100_000_000, 1.0);
+        let doc = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000), &ff);
         assert_eq!(total_mips(&doc), Some(2.0));
+        assert_eq!(total_ff_mips(&doc), Some(100.0));
+        assert_eq!(
+            doc.get("fast_forward")
+                .and_then(|f| f.get("total"))
+                .and_then(|t| t.get("speedup_vs_pipeline_mips"))
+                .and_then(Json::as_num),
+            Some(50.0)
+        );
 
         let dir = std::env::temp_dir().join("hydra_perf_baseline_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -303,11 +502,73 @@ mod tests {
 
         // Same speed: passes. 2× faster: passes. 2× slower: fails.
         check_baseline(&doc, &path, MIPS_REGRESSION_TOLERANCE).unwrap();
-        let fast = perf_doc(&rs, &fake(4_000_000, 1.0, 0, 1_000_000));
+        let fast = perf_doc(&rs, &fake(4_000_000, 1.0, 0, 1_000_000), &ff);
         check_baseline(&fast, &path, MIPS_REGRESSION_TOLERANCE).unwrap();
-        let slow = perf_doc(&rs, &fake(1_000_000, 1.0, 0, 1_000_000));
+        let slow = perf_doc(&rs, &fake(1_000_000, 1.0, 0, 1_000_000), &ff);
         let err = check_baseline(&slow, &path, MIPS_REGRESSION_TOLERANCE).unwrap_err();
         assert!(err.to_string().contains("regress"), "{err}");
+    }
+
+    #[test]
+    fn ff_row_is_gated_independently() {
+        let rs = tiny();
+        let pipeline = fake(2_000_000, 1.0, 0, 1_000_000);
+        let baseline = perf_doc(&rs, &pipeline, &fake_ff(100_000_000, 1.0));
+        let dir = std::env::temp_dir().join("hydra_perf_ff_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf_baseline.json");
+        std::fs::write(&path, baseline.pretty()).unwrap();
+
+        // Same pipeline MIPS but a 2× slower fast-forward row: fails,
+        // carrying the ff numbers.
+        let ff_slow = perf_doc(&rs, &pipeline, &fake_ff(50_000_000, 1.0));
+        match check_baseline(&ff_slow, &path, MIPS_REGRESSION_TOLERANCE) {
+            Err(Error::PerfRegression {
+                measured_mips,
+                baseline_mips,
+                ..
+            }) => {
+                assert!((measured_mips - 50.0).abs() < 1e-9);
+                assert!((baseline_mips - 100.0).abs() < 1e-9);
+            }
+            other => panic!("expected PerfRegression, got {other:?}"),
+        }
+
+        // A fresh doc with no ff row against an ff-carrying baseline is
+        // a usage error, not a silent pass.
+        let mut hollow = perf_doc(&rs, &pipeline, &fake_ff(100_000_000, 1.0));
+        hollow = Json::parse(
+            &hollow
+                .pretty()
+                .replace("\"fast_forward\"", "\"fast_forward_renamed\""),
+        )
+        .unwrap();
+        assert!(matches!(
+            check_baseline(&hollow, &path, MIPS_REGRESSION_TOLERANCE),
+            Err(Error::Usage(_))
+        ));
+
+        // An old-style baseline without an ff row gates only the
+        // pipeline MIPS.
+        let old_path = dir.join("old_baseline.json");
+        std::fs::write(&old_path, "{\"total\": {\"sim_mips\": 2.0}}").unwrap();
+        let ff_free = perf_doc(&rs, &pipeline, &fake_ff(1, 1.0));
+        check_baseline(&ff_free, &old_path, MIPS_REGRESSION_TOLERANCE).unwrap();
+    }
+
+    #[test]
+    fn ff_measurement_fills_the_window_exactly() {
+        // The window is exact whether or not a workload halts inside it
+        // (halting programs restart until the budget is spent).
+        let rs = tiny();
+        let report = measure_fast_forward(&rs, 300_000);
+        assert_eq!(report.samples.len(), 8);
+        for s in &report.samples {
+            assert_eq!(s.instructions, 300_000, "{}", s.workload);
+            assert!(s.mips() > 0.0);
+        }
+        let table = report.to_table().to_string();
+        assert!(table.contains("ff MIPS"), "{table}");
     }
 
     #[test]
@@ -316,10 +577,18 @@ mod tests {
         let dir = std::env::temp_dir().join("hydra_perf_baseline_failure_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("perf_baseline.json");
-        let baseline = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        let baseline = perf_doc(
+            &rs,
+            &fake(2_000_000, 1.0, 0, 1_000_000),
+            &fake_ff(100_000_000, 1.0),
+        );
         std::fs::write(&path, baseline.pretty()).unwrap();
 
-        let slow = perf_doc(&rs, &fake(1_000_000, 1.0, 0, 1_000_000));
+        let slow = perf_doc(
+            &rs,
+            &fake(1_000_000, 1.0, 0, 1_000_000),
+            &fake_ff(100_000_000, 1.0),
+        );
         match check_baseline(&slow, &path, MIPS_REGRESSION_TOLERANCE) {
             Err(Error::PerfRegression {
                 measured_mips,
@@ -337,7 +606,11 @@ mod tests {
     #[test]
     fn baseline_gate_reports_unusable_baselines_distinctly() {
         let rs = tiny();
-        let fresh = perf_doc(&rs, &fake(2_000_000, 1.0, 0, 1_000_000));
+        let fresh = perf_doc(
+            &rs,
+            &fake(2_000_000, 1.0, 0, 1_000_000),
+            &fake_ff(100_000_000, 1.0),
+        );
         let dir = std::env::temp_dir().join("hydra_perf_baseline_unusable_test");
         std::fs::create_dir_all(&dir).unwrap();
 

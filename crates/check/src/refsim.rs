@@ -1,21 +1,28 @@
 //! The in-order reference simulator.
 //!
-//! [`RefSim`] wraps the functional `hydra-isa` [`Machine`] — zero
-//! pipeline cleverness, one instruction per step — and checks the
-//! optimized pipeline's architectural commit stream against it record by
-//! record. It also maintains an *unbounded* architectural call stack, so
-//! every committed return is additionally checked against the address
-//! its matching call pushed: the ground truth all the speculative RAS
+//! [`RefSim`] wraps a functional `hydra-isa` core — zero pipeline
+//! cleverness, one instruction per step — and checks the optimized
+//! pipeline's architectural commit stream against it record by record.
+//! It also maintains an *unbounded* architectural call stack, so every
+//! committed return is additionally checked against the address its
+//! matching call pushed: the ground truth all the speculative RAS
 //! machinery is trying to predict.
+//!
+//! The reference engine is the pre-decoded [`FastCore`], which
+//! `hydra-isa`'s lock-step differential suite pins as observably
+//! identical to the original [`Machine`](hydra_isa::Machine)
+//! interpreter — so the checker keeps interpreter-grade trustworthiness
+//! at roughly an order of magnitude more checked commits per second of
+//! fuzzing.
 
 use crate::Divergence;
-use hydra_isa::{Addr, ControlKind, Inst, Machine, Program};
+use hydra_isa::{Addr, ControlKind, FastCore, FunctionalCore, Inst, Program};
 
 /// An in-order architectural simulator consuming the pipeline's commit
 /// stream.
 #[derive(Debug)]
 pub struct RefSim<'p> {
-    machine: Machine<'p>,
+    machine: FastCore<'p>,
     calls: Vec<u64>,
     commits: u64,
 }
@@ -24,7 +31,7 @@ impl<'p> RefSim<'p> {
     /// Creates a reference simulator at the program entry.
     pub fn new(program: &'p Program) -> Self {
         RefSim {
-            machine: Machine::new(program),
+            machine: FastCore::new(program),
             calls: Vec::new(),
             commits: 0,
         }
@@ -97,7 +104,7 @@ impl<'p> RefSim<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hydra_isa::ProgramBuilder;
+    use hydra_isa::{Machine, ProgramBuilder};
 
     #[test]
     fn accepts_its_own_machine_stream() {

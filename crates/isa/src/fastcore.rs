@@ -1,0 +1,555 @@
+//! The threaded-code functional core and the [`FunctionalCore`] trait.
+//!
+//! [`FastCore`] executes a [`Predecoded`] micro-op image with a dense
+//! `match` dispatch loop: no per-step [`Inst`] re-interpretation, no
+//! per-step [`Retired`] construction in the batch path, no `r0`-write
+//! branch (pre-decode redirects those to a scratch slot), and a
+//! specialized data-segment wrap. It is observably identical to
+//! [`Machine`] — same [`Retired`] stream, same [`ExecError`] cases, same
+//! run-limit semantics — which the lock-step differential suite in
+//! `tests/fastcore_diff.rs` pins instruction by instruction.
+//!
+//! [`FunctionalCore`] abstracts over the two engines so consumers (the
+//! reference simulator and fuzzer in `hydra-check`, workload profiling,
+//! the pipeline's functional fast-forward) can switch between them
+//! transparently. The batch entry point is [`FunctionalCore::advance`]:
+//! "execute up to `n` instructions, stop cleanly at a halt" — the shape
+//! fast-forward and fuzz both want, and the loop `FastCore` specializes.
+//!
+//! No `unsafe` anywhere (the crate is `forbid(unsafe_code)`); a real
+//! machine-code emitter can later slot in behind the same trait as a
+//! cargo feature without touching any consumer.
+
+use crate::machine::{ExecError, Retired};
+use crate::predecode::{MicroOp, Predecoded, REG_SINK};
+use crate::semantics::{alu, branch_taken};
+use crate::{Addr, Machine, Program, Reg};
+
+/// A functional (architectural) execution engine: one instruction at a
+/// time, exact semantics, no speculation.
+///
+/// Implemented by the original [`Machine`] interpreter and the
+/// pre-decoded [`FastCore`]; both expose the same observable behaviour,
+/// so anything written against this trait can trade them freely.
+///
+/// # Run-limit and halt semantics
+///
+/// These edge cases are part of the contract (and are identical in both
+/// engines — see `run_limit_is_an_error` in the machine tests and the
+/// lock-step differential suite):
+///
+/// * [`step`](FunctionalCore::step) on a halted engine returns
+///   [`ExecError::Halted`]; the `halt` instruction itself *does* retire
+///   (it counts toward [`retired_count`](FunctionalCore::retired_count)
+///   and toward any run limit) and freezes the PC in place.
+/// * [`run(limit)`](FunctionalCore::run) returns `Ok(n)` only if the
+///   program halts within `limit` instructions — including when the
+///   `halt` is exactly the `limit`-th — and
+///   [`ExecError::InstructionLimit`] otherwise. `run(0)` is therefore
+///   `Ok(0)` on a halted engine and an error on a running one.
+/// * [`advance(max)`](FunctionalCore::advance) is the non-erroring
+///   batch variant: it stops cleanly at `max` or at a halt, whichever
+///   comes first, and only [`ExecError::PcOutOfRange`] is an error.
+/// * A control transfer may leave the image freely; the error surfaces
+///   as [`ExecError::PcOutOfRange`] on the *next* step, naming the wild
+///   PC. Instructions retired before the bad fetch stay retired.
+pub trait FunctionalCore {
+    /// Executes one instruction and reports what retired.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Halted`] if the engine already halted,
+    /// [`ExecError::PcOutOfRange`] if the program counter left the
+    /// image.
+    fn step(&mut self) -> Result<Retired, ExecError>;
+
+    /// Current program counter.
+    fn pc(&self) -> Addr;
+
+    /// Whether the engine has executed a `halt`.
+    fn is_halted(&self) -> bool;
+
+    /// Number of instructions retired so far.
+    fn retired_count(&self) -> u64;
+
+    /// Reads an architectural register.
+    fn reg(&self, r: Reg) -> i64;
+
+    /// Writes an architectural register; writes to `r0` are discarded.
+    fn set_reg(&mut self, r: Reg, value: i64);
+
+    /// Reads a data-memory word (index wrapped into the data segment).
+    fn mem_word(&self, index: u64) -> i64;
+
+    /// Executes up to `max` instructions, stopping cleanly at a halt.
+    ///
+    /// Returns the number of instructions retired by this call (zero if
+    /// the engine was already halted). This is the fast-forward /
+    /// batch-execution entry point: unlike
+    /// [`run`](FunctionalCore::run), exhausting `max` is not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::PcOutOfRange`] if the program counter leaves the
+    /// image (instructions retired before the bad fetch are kept).
+    fn advance(&mut self, max: u64) -> Result<u64, ExecError> {
+        let mut done = 0;
+        while done < max && !self.is_halted() {
+            match self.step() {
+                Ok(_) => done += 1,
+                Err(ExecError::Halted) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(done)
+    }
+
+    /// Runs until `halt`, retiring at most `limit` instructions; returns
+    /// the number retired by this call.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InstructionLimit`] if the limit is reached before
+    /// the program halts, or [`ExecError::PcOutOfRange`] propagated from
+    /// a wild fetch.
+    fn run(&mut self, limit: u64) -> Result<u64, ExecError> {
+        let done = self.advance(limit)?;
+        if self.is_halted() {
+            Ok(done)
+        } else {
+            Err(ExecError::InstructionLimit { limit })
+        }
+    }
+}
+
+impl FunctionalCore for Machine<'_> {
+    fn step(&mut self) -> Result<Retired, ExecError> {
+        Machine::step(self)
+    }
+
+    fn pc(&self) -> Addr {
+        Machine::pc(self)
+    }
+
+    fn is_halted(&self) -> bool {
+        Machine::is_halted(self)
+    }
+
+    fn retired_count(&self) -> u64 {
+        Machine::retired_count(self)
+    }
+
+    fn reg(&self, r: Reg) -> i64 {
+        Machine::reg(self, r)
+    }
+
+    fn set_reg(&mut self, r: Reg, value: i64) {
+        Machine::set_reg(self, r, value)
+    }
+
+    fn mem_word(&self, index: u64) -> i64 {
+        Machine::mem_word(self, index)
+    }
+
+    fn run(&mut self, limit: u64) -> Result<u64, ExecError> {
+        Machine::run(self, limit)
+    }
+}
+
+/// The pre-decoded, threaded-code functional core.
+///
+/// Observably identical to [`Machine`] (same `step`/`run` results, same
+/// error cases, same register/memory accessors) but dispatching dense
+/// [`MicroOp`]s, which makes batch execution via
+/// [`advance`](FunctionalCore::advance) roughly an order of magnitude
+/// faster — the difference between 60 k-instruction and paper-scale
+/// 100 M-instruction fast-forward windows.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::{FastCore, FunctionalCore, ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::R1, 41);
+/// b.alu_imm(hydra_isa::AluOp::Add, Reg::R1, Reg::R1, 1);
+/// b.halt();
+/// let program = b.build()?;
+/// let mut fc = FastCore::new(&program);
+/// fc.run(10)?;
+/// assert_eq!(fc.reg(Reg::R1), 42);
+/// assert!(fc.is_halted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastCore<'p> {
+    program: &'p Program,
+    pre: Predecoded,
+    /// One slot per architectural register plus the write-only sink at
+    /// [`REG_SINK`]; slot 0 is never written, so it stays zero.
+    regs: [i64; Reg::COUNT + 1],
+    mem: Vec<i64>,
+    pc: u64,
+    halted: bool,
+    retired: u64,
+}
+
+impl<'p> FastCore<'p> {
+    /// Pre-decodes `program` and creates a core at its entry with zeroed
+    /// registers and memory.
+    pub fn new(program: &'p Program) -> Self {
+        Self::with_predecoded(program, Predecoded::new(program))
+    }
+
+    /// Creates a core from an already-translated image (amortizes the
+    /// pre-decode across many cores running the same program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre` was not produced from `program` (length or data
+    /// segment mismatch).
+    pub fn with_predecoded(program: &'p Program, pre: Predecoded) -> Self {
+        assert_eq!(
+            pre.len(),
+            program.len(),
+            "pre-decoded image does not match the program"
+        );
+        assert_eq!(
+            pre.data_words(),
+            program.data_words(),
+            "pre-decoded data segment does not match the program"
+        );
+        FastCore {
+            program,
+            mem: vec![0; pre.data_words() as usize],
+            pre,
+            regs: [0; Reg::COUNT + 1],
+            pc: 0,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// The program this core executes.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Executes the in-range micro-op at `idx`, mutating registers,
+    /// memory, and the halt flag. Returns `(next_pc, taken)`.
+    ///
+    /// This is the single execution point for both [`step`] and the
+    /// batch loop in [`advance`], so the two paths cannot drift apart.
+    ///
+    /// [`step`]: FunctionalCore::step
+    /// [`advance`]: FunctionalCore::advance
+    #[inline(always)]
+    fn exec(&mut self, idx: usize) -> (u64, Option<bool>) {
+        let mut next = idx as u64 + 1;
+        let mut taken = None;
+        match self.pre.ops()[idx] {
+            MicroOp::Nop => {}
+            MicroOp::Halt => {
+                self.halted = true;
+                next = idx as u64;
+            }
+            MicroOp::Alu { op, rd, rs, rt } => {
+                self.regs[rd as usize] = alu(op, self.regs[rs as usize], self.regs[rt as usize]);
+            }
+            MicroOp::AluImm { op, rd, rs, imm } => {
+                self.regs[rd as usize] = alu(op, self.regs[rs as usize], imm);
+            }
+            MicroOp::LoadImm { rd, imm } => self.regs[rd as usize] = imm,
+            MicroOp::Load { rd, base, offset } => {
+                let ea = self.pre.wrap().apply(self.regs[base as usize], offset);
+                self.regs[rd as usize] = self.mem[ea as usize];
+            }
+            MicroOp::Store { rs, base, offset } => {
+                let ea = self.pre.wrap().apply(self.regs[base as usize], offset);
+                self.mem[ea as usize] = self.regs[rs as usize];
+            }
+            MicroOp::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
+                let t = branch_taken(cond, self.regs[rs as usize], self.regs[rt as usize]);
+                taken = Some(t);
+                if t {
+                    next = target;
+                }
+            }
+            MicroOp::Jump { target } => next = target,
+            MicroOp::Call { target, link } => {
+                self.regs[Reg::RA.index() as usize] = link as i64;
+                next = target;
+            }
+            MicroOp::CallIndirect { rs, link } => {
+                next = self.regs[rs as usize] as u64;
+                self.regs[Reg::RA.index() as usize] = link as i64;
+            }
+            MicroOp::JumpIndirect { rs } => next = self.regs[rs as usize] as u64,
+            MicroOp::Return => next = self.regs[Reg::RA.index() as usize] as u64,
+        }
+        (next, taken)
+    }
+}
+
+impl FunctionalCore for FastCore<'_> {
+    fn step(&mut self) -> Result<Retired, ExecError> {
+        if self.halted {
+            return Err(ExecError::Halted);
+        }
+        let pc = self.pc;
+        if pc >= self.pre.len() as u64 {
+            return Err(ExecError::PcOutOfRange { pc: Addr::new(pc) });
+        }
+        let (next, taken) = self.exec(pc as usize);
+        self.pc = next;
+        self.retired += 1;
+        Ok(Retired {
+            pc: Addr::new(pc),
+            inst: self
+                .program
+                .fetch(Addr::new(pc))
+                .expect("in-range index fetches"),
+            next_pc: Addr::new(next),
+            taken,
+        })
+    }
+
+    fn pc(&self) -> Addr {
+        Addr::new(self.pc)
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn retired_count(&self) -> u64 {
+        self.retired
+    }
+
+    fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    fn mem_word(&self, index: u64) -> i64 {
+        self.mem[(index % self.mem.len() as u64) as usize]
+    }
+
+    /// The threaded-code dispatch loop: bounds check, dense `match`,
+    /// advance — nothing else per instruction.
+    fn advance(&mut self, max: u64) -> Result<u64, ExecError> {
+        if self.halted {
+            return Ok(0);
+        }
+        let len = self.pre.len() as u64;
+        let mut pc = self.pc;
+        let mut done = 0;
+        while done < max {
+            if pc >= len {
+                self.pc = pc;
+                self.retired += done;
+                return Err(ExecError::PcOutOfRange { pc: Addr::new(pc) });
+            }
+            let (next, _) = self.exec(pc as usize);
+            pc = next;
+            done += 1;
+            if self.halted {
+                break;
+            }
+        }
+        self.pc = pc;
+        self.retired += done;
+        Ok(done)
+    }
+}
+
+// Consistency with REG_SINK: the sink slot must be the one past the last
+// architectural register.
+const _: () = assert!(REG_SINK as usize == Reg::COUNT);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, ProgramBuilder};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new();
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 6);
+            b.load_imm(Reg::R2, 7);
+            b.alu(AluOp::Mul, Reg::R3, Reg::R1, Reg::R2);
+            b.halt();
+        });
+        let mut fc = FastCore::new(&p);
+        assert_eq!(fc.run(10).unwrap(), 4);
+        assert_eq!(fc.reg(Reg::R3), 42);
+        assert!(fc.is_halted());
+        assert_eq!(fc.retired_count(), 4);
+        assert_eq!(fc.step(), Err(ExecError::Halted));
+        assert_eq!(fc.advance(5), Ok(0));
+    }
+
+    #[test]
+    fn r0_stays_zero_through_the_sink() {
+        let p = build(|b| {
+            b.load_imm(Reg::ZERO, 99);
+            b.alu_imm(AluOp::Add, Reg::ZERO, Reg::ZERO, 5);
+            b.alu_imm(AluOp::Add, Reg::R1, Reg::ZERO, 3);
+            b.halt();
+        });
+        let mut fc = FastCore::new(&p);
+        fc.run(10).unwrap();
+        assert_eq!(fc.reg(Reg::ZERO), 0);
+        assert_eq!(fc.reg(Reg::R1), 3);
+    }
+
+    #[test]
+    fn run_limit_is_an_error_like_machine() {
+        let p = build(|b| {
+            let spin = b.fresh_label();
+            b.bind(spin).unwrap();
+            b.jump(spin);
+        });
+        let mut fc = FastCore::new(&p);
+        assert_eq!(fc.run(10), Err(ExecError::InstructionLimit { limit: 10 }));
+        assert_eq!(fc.retired_count(), 10);
+        // run(0) on a running machine is an error; advance(0) is not.
+        assert_eq!(fc.run(0), Err(ExecError::InstructionLimit { limit: 0 }));
+        assert_eq!(fc.advance(0), Ok(0));
+    }
+
+    #[test]
+    fn halt_on_the_exact_limit_is_ok() {
+        let p = build(|b| {
+            b.nop();
+            b.halt();
+        });
+        let mut fc = FastCore::new(&p);
+        assert_eq!(fc.run(2), Ok(2));
+        let mut m = Machine::new(&p);
+        assert_eq!(Machine::run(&mut m, 2), Ok(2));
+    }
+
+    #[test]
+    fn wild_pc_is_reported_on_the_next_step() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 999);
+            b.jump_indirect(Reg::R1);
+        });
+        let mut fc = FastCore::new(&p);
+        assert_eq!(fc.advance(1), Ok(1));
+        assert_eq!(fc.advance(1), Ok(1));
+        assert_eq!(
+            fc.advance(10),
+            Err(ExecError::PcOutOfRange { pc: Addr::new(999) })
+        );
+        assert_eq!(fc.retired_count(), 2);
+        assert_eq!(fc.pc(), Addr::new(999));
+    }
+
+    #[test]
+    fn step_reports_the_full_retired_record() {
+        let p = build(|b| {
+            let f = b.fresh_label();
+            b.call(f);
+            b.halt();
+            b.bind(f).unwrap();
+            b.ret();
+        });
+        let mut fc = FastCore::new(&p);
+        let call = fc.step().unwrap();
+        assert_eq!(call.pc, Addr::ZERO);
+        assert_eq!(call.next_pc, Addr::new(2));
+        assert_eq!(call.taken, None);
+        assert_eq!(fc.reg(Reg::RA), 1);
+        let ret = fc.step().unwrap();
+        assert_eq!(ret.inst, crate::Inst::Return);
+        assert_eq!(ret.next_pc, Addr::new(1));
+    }
+
+    #[test]
+    fn branch_taken_matches_machine_even_to_fallthrough() {
+        // A branch whose taken-target is its own fall-through: `taken`
+        // must still report the comparison, not the pc delta.
+        let p = build(|b| {
+            let next = b.fresh_label();
+            b.load_imm(Reg::R1, 1);
+            b.branch(Cond::Ne, Reg::R1, Reg::ZERO, next);
+            b.bind(next).unwrap();
+            b.halt();
+        });
+        let mut fc = FastCore::new(&p);
+        let mut m = Machine::new(&p);
+        Machine::step(&mut m).unwrap();
+        fc.step().unwrap();
+        let rm = Machine::step(&mut m).unwrap();
+        let rf = fc.step().unwrap();
+        assert_eq!(rm, rf);
+        assert_eq!(rf.taken, Some(true));
+    }
+
+    #[test]
+    fn with_predecoded_shares_one_translation() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 5);
+            b.halt();
+        });
+        let pre = Predecoded::new(&p);
+        let mut a = FastCore::with_predecoded(&p, pre.clone());
+        let mut b2 = FastCore::with_predecoded(&p, pre);
+        a.run(10).unwrap();
+        b2.run(10).unwrap();
+        assert_eq!(a.reg(Reg::R1), b2.reg(Reg::R1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_predecode_panics() {
+        let p = build(|b| {
+            b.nop();
+            b.halt();
+        });
+        let other = build(|b| {
+            b.halt();
+        });
+        let _ = FastCore::with_predecoded(&p, Predecoded::new(&other));
+    }
+
+    #[test]
+    fn memory_round_trips_and_wraps() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 1234);
+            b.load_imm(Reg::R2, -3);
+            b.store(Reg::R1, Reg::R2, 0);
+            b.load(Reg::R3, Reg::R2, 0);
+            b.halt();
+        });
+        let mut fc = FastCore::new(&p);
+        let mut m = Machine::new(&p);
+        fc.run(10).unwrap();
+        Machine::run(&mut m, 10).unwrap();
+        assert_eq!(fc.reg(Reg::R3), 1234);
+        assert_eq!(fc.reg(Reg::R3), m.reg(Reg::R3));
+        for i in 0..p.data_words() {
+            assert_eq!(fc.mem_word(i), m.mem_word(i), "word {i}");
+        }
+    }
+}

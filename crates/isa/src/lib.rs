@@ -48,13 +48,17 @@
 mod addr;
 pub mod asm;
 mod builder;
+mod fastcore;
 mod inst;
 mod machine;
+mod predecode;
 mod program;
 pub mod semantics;
 
 pub use addr::Addr;
 pub use builder::{BuildError, Label, ProgramBuilder};
+pub use fastcore::{FastCore, FunctionalCore};
 pub use inst::{AluOp, Cond, ControlKind, Inst, Reg};
 pub use machine::{ExecError, Machine, Retired};
+pub use predecode::{MicroOp, Predecoded, REG_SINK};
 pub use program::Program;

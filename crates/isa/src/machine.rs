@@ -142,6 +142,20 @@ impl<'p> Machine<'p> {
 
     /// Executes one instruction and reports what retired.
     ///
+    /// The `halt` instruction itself retires normally (it counts toward
+    /// [`retired_count`](Machine::retired_count) and any run limit) and
+    /// freezes the PC in place: its [`Retired::next_pc`] equals its own
+    /// PC. A control transfer may set a PC outside the image without
+    /// error; the wild fetch is only detected — and reported with that
+    /// PC — on the *next* call.
+    ///
+    /// These semantics are part of the [`FunctionalCore`] contract and
+    /// are replicated exactly by [`FastCore`] (pinned by the lock-step
+    /// differential suite in `tests/fastcore_diff.rs`).
+    ///
+    /// [`FunctionalCore`]: crate::FunctionalCore
+    /// [`FastCore`]: crate::FastCore
+    ///
     /// # Errors
     ///
     /// Returns [`ExecError::Halted`] if the machine already halted, or
@@ -227,6 +241,20 @@ impl<'p> Machine<'p> {
     /// Runs until `halt`, retiring at most `limit` instructions.
     ///
     /// Returns the number of instructions retired by this call.
+    ///
+    /// Edge cases, pinned by `run_limit_is_an_error` below and identical
+    /// in [`FastCore`](crate::FastCore):
+    ///
+    /// * reaching `limit` without halting is an **error**, even though
+    ///   the `limit` instructions did retire —
+    ///   [`retired_count`](Machine::retired_count) still advances;
+    /// * a `halt` that is exactly the `limit`-th instruction is `Ok`
+    ///   (the halt retires within the budget);
+    /// * `run(0)` is `Ok(0)` on an already-halted machine and
+    ///   `Err(InstructionLimit { limit: 0 })` on a running one.
+    ///
+    /// For a batch variant where exhausting the budget is *not* an
+    /// error, use [`FunctionalCore::advance`](crate::FunctionalCore).
     ///
     /// # Errors
     ///
@@ -409,6 +437,23 @@ mod tests {
         let mut m = Machine::new(&p);
         assert_eq!(m.run(10), Err(ExecError::InstructionLimit { limit: 10 }));
         assert_eq!(m.retired_count(), 10);
+        // run(0) on a machine that has not halted is also a limit error.
+        assert_eq!(m.run(0), Err(ExecError::InstructionLimit { limit: 0 }));
+    }
+
+    #[test]
+    fn run_limit_edge_cases_around_halt() {
+        // A halt that is exactly the limit-th instruction still succeeds.
+        let p = build(|b| {
+            b.nop();
+            b.halt();
+        });
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(2), Ok(2));
+        assert_eq!(m.retired_count(), 2);
+        // Once halted, any budget (including zero) is trivially met.
+        assert_eq!(m.run(0), Ok(0));
+        assert_eq!(m.run(100), Ok(0));
     }
 
     #[test]

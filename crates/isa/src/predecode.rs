@@ -1,0 +1,383 @@
+//! Pre-decoded micro-op images for the threaded-code functional core.
+//!
+//! [`Machine`](crate::Machine) re-interprets an [`Inst`] on every step:
+//! it copies the (large) instruction enum out of the image, re-extracts
+//! operand fields, re-checks the `r0`-write rule, and re-derives the
+//! data-segment wrap on each memory access. None of that changes between
+//! executions of the same static instruction, so [`Predecoded`] does it
+//! once per program:
+//!
+//! * operands are flattened to raw register indices (`u8`),
+//! * writes to the hardwired-zero register are redirected at decode time
+//!   to a write-only scratch slot ([`REG_SINK`]) so the execute loop has
+//!   no per-step "is this `r0`?" branch,
+//! * direct call/branch/jump targets are resolved to word indices and
+//!   calls carry their pre-computed link address,
+//! * the data-segment wrap is specialized to a bit-mask when the segment
+//!   size is a power of two (the common case for generated workloads).
+//!
+//! The result is a flat `Vec<MicroOp>` the
+//! [`FastCore`](crate::FastCore) dispatch loop executes by dense `match`
+//! — no function-pointer indirection, no `unsafe`, byte-identical
+//! architectural behaviour (pinned by the lock-step differential suite
+//! in `tests/fastcore_diff.rs`).
+
+use crate::{AluOp, Cond, Inst, Program};
+
+/// Register-file slot that absorbs discarded writes to `r0`.
+///
+/// The fast core's register file has [`crate::Reg::COUNT`]` + 1` slots;
+/// pre-decode rewrites any `r0` destination to this extra slot, so the
+/// execute loop writes unconditionally and slot 0 stays zero forever.
+pub const REG_SINK: u8 = crate::Reg::COUNT as u8;
+
+/// One pre-decoded micro-op: an [`Inst`] with its operands resolved.
+///
+/// Register fields are raw indices into the fast core's register file
+/// (destinations already redirected through [`REG_SINK`] when the
+/// original destination was `r0`); `target` fields are word addresses
+/// (which equal instruction indices in this word-granular ISA); `link`
+/// is the pre-computed return address of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// No operation.
+    Nop,
+    /// Stop the machine (the program counter freezes on the halt).
+    Halt,
+    /// `regs[rd] = alu(op, regs[rs], regs[rt])`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination slot (possibly [`REG_SINK`]).
+        rd: u8,
+        /// Left source slot.
+        rs: u8,
+        /// Right source slot.
+        rt: u8,
+    },
+    /// `regs[rd] = alu(op, regs[rs], imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination slot (possibly [`REG_SINK`]).
+        rd: u8,
+        /// Left source slot.
+        rs: u8,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// `regs[rd] = imm`.
+    LoadImm {
+        /// Destination slot (possibly [`REG_SINK`]).
+        rd: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `regs[rd] = mem[wrap(regs[base] + offset)]`.
+    Load {
+        /// Destination slot (possibly [`REG_SINK`]).
+        rd: u8,
+        /// Base address slot.
+        base: u8,
+        /// Word offset.
+        offset: i64,
+    },
+    /// `mem[wrap(regs[base] + offset)] = regs[rs]`.
+    Store {
+        /// Value slot.
+        rs: u8,
+        /// Base address slot.
+        base: u8,
+        /// Word offset.
+        offset: i64,
+    },
+    /// Conditional direct branch to a pre-resolved word index.
+    Branch {
+        /// Comparison.
+        cond: Cond,
+        /// Left comparand slot.
+        rs: u8,
+        /// Right comparand slot.
+        rt: u8,
+        /// Taken-target word index.
+        target: u64,
+    },
+    /// Unconditional direct jump to a pre-resolved word index.
+    Jump {
+        /// Target word index.
+        target: u64,
+    },
+    /// Direct call: `regs[ra] = link`, jump to `target`.
+    Call {
+        /// Callee-entry word index.
+        target: u64,
+        /// Pre-computed return address (`pc + 1`).
+        link: u64,
+    },
+    /// Indirect call: `regs[ra] = link`, jump to `regs[rs]`.
+    CallIndirect {
+        /// Slot holding the callee address.
+        rs: u8,
+        /// Pre-computed return address (`pc + 1`).
+        link: u64,
+    },
+    /// Indirect jump to `regs[rs]`.
+    JumpIndirect {
+        /// Slot holding the target address.
+        rs: u8,
+    },
+    /// Return: jump to `regs[ra]`.
+    Return,
+}
+
+/// How effective addresses wrap into the data segment.
+///
+/// [`crate::semantics::effective_address`] is `rem_euclid(data_words)`;
+/// when `data_words` is a power of two that is exactly a bit-mask on the
+/// two's-complement address, which drops an integer division from every
+/// load and store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wrap {
+    /// `data_words` is a power of two: wrap with `addr & mask`.
+    Mask(u64),
+    /// General case: wrap with `rem_euclid(data_words)`.
+    Mod(u64),
+}
+
+impl Wrap {
+    fn new(data_words: u64) -> Self {
+        if data_words.is_power_of_two() {
+            Wrap::Mask(data_words - 1)
+        } else {
+            Wrap::Mod(data_words)
+        }
+    }
+
+    /// Wraps a raw (possibly negative) word address into the segment.
+    /// Equal to [`crate::semantics::effective_address`] for every input
+    /// (pinned by a property test below).
+    #[inline(always)]
+    pub(crate) fn apply(self, base: i64, offset: i64) -> u64 {
+        let raw = base.wrapping_add(offset);
+        match self {
+            // Two's-complement masking: 2^64 is a multiple of the
+            // power-of-two segment size, so `(raw as u64) & mask` equals
+            // the mathematical `raw mod data_words`.
+            Wrap::Mask(mask) => (raw as u64) & mask,
+            Wrap::Mod(words) => raw.rem_euclid(words as i64) as u64,
+        }
+    }
+}
+
+/// A program translated once into the flat micro-op image the
+/// [`FastCore`](crate::FastCore) dispatch loop executes.
+///
+/// Translation is a single linear pass; instances are cheap enough to
+/// build per-run and can be shared across any number of fast cores
+/// executing the same program.
+///
+/// # Examples
+///
+/// ```
+/// use hydra_isa::{Predecoded, ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::R1, 7);
+/// b.halt();
+/// let program = b.build()?;
+/// let pre = Predecoded::new(&program);
+/// assert_eq!(pre.len(), program.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Predecoded {
+    ops: Vec<MicroOp>,
+    wrap: Wrap,
+    data_words: u64,
+}
+
+impl Predecoded {
+    /// Translates a program into its micro-op image.
+    pub fn new(program: &Program) -> Self {
+        let dest_slot = |rd: crate::Reg| -> u8 {
+            if rd.is_zero() {
+                REG_SINK
+            } else {
+                rd.index()
+            }
+        };
+        let ops = program
+            .iter()
+            .map(|(pc, inst)| match inst {
+                Inst::Nop => MicroOp::Nop,
+                Inst::Halt => MicroOp::Halt,
+                Inst::Alu { op, rd, rs, rt } => MicroOp::Alu {
+                    op,
+                    rd: dest_slot(rd),
+                    rs: rs.index(),
+                    rt: rt.index(),
+                },
+                Inst::AluImm { op, rd, rs, imm } => MicroOp::AluImm {
+                    op,
+                    rd: dest_slot(rd),
+                    rs: rs.index(),
+                    imm,
+                },
+                Inst::LoadImm { rd, imm } => MicroOp::LoadImm {
+                    rd: dest_slot(rd),
+                    imm,
+                },
+                Inst::Load { rd, base, offset } => MicroOp::Load {
+                    rd: dest_slot(rd),
+                    base: base.index(),
+                    offset,
+                },
+                Inst::Store { rs, base, offset } => MicroOp::Store {
+                    rs: rs.index(),
+                    base: base.index(),
+                    offset,
+                },
+                Inst::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => MicroOp::Branch {
+                    cond,
+                    rs: rs.index(),
+                    rt: rt.index(),
+                    target: target.word(),
+                },
+                Inst::Jump { target } => MicroOp::Jump {
+                    target: target.word(),
+                },
+                Inst::Call { target } => MicroOp::Call {
+                    target: target.word(),
+                    link: pc.next().word(),
+                },
+                Inst::CallIndirect { rs } => MicroOp::CallIndirect {
+                    rs: rs.index(),
+                    link: pc.next().word(),
+                },
+                Inst::JumpIndirect { rs } => MicroOp::JumpIndirect { rs: rs.index() },
+                Inst::Return => MicroOp::Return,
+            })
+            .collect();
+        Predecoded {
+            ops,
+            wrap: Wrap::new(program.data_words()),
+            data_words: program.data_words(),
+        }
+    }
+
+    /// The micro-op image.
+    pub(crate) fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// The wrap rule for this program's data segment.
+    pub(crate) fn wrap(&self) -> Wrap {
+        self.wrap
+    }
+
+    /// Number of micro-ops (equals the program's instruction count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the image is empty (never true for a built program).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Size of the data segment in words.
+    pub fn data_words(&self) -> u64 {
+        self.data_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::effective_address;
+    use crate::{Addr, Reg};
+    use proptest::prelude::*;
+
+    #[test]
+    fn r0_destinations_redirect_to_the_sink() {
+        let p = Program::new(
+            vec![
+                Inst::LoadImm {
+                    rd: Reg::ZERO,
+                    imm: 9,
+                },
+                Inst::LoadImm {
+                    rd: Reg::R1,
+                    imm: 9,
+                },
+                Inst::Halt,
+            ],
+            16,
+        );
+        let pre = Predecoded::new(&p);
+        assert_eq!(
+            pre.ops()[0],
+            MicroOp::LoadImm {
+                rd: REG_SINK,
+                imm: 9
+            }
+        );
+        assert_eq!(pre.ops()[1], MicroOp::LoadImm { rd: 1, imm: 9 });
+    }
+
+    #[test]
+    fn calls_carry_their_link_address() {
+        let p = Program::new(
+            vec![
+                Inst::Nop,
+                Inst::Call {
+                    target: Addr::new(3),
+                },
+                Inst::Halt,
+                Inst::Return,
+            ],
+            16,
+        );
+        let pre = Predecoded::new(&p);
+        assert_eq!(pre.ops()[1], MicroOp::Call { target: 3, link: 2 });
+        assert_eq!(pre.len(), 4);
+        assert!(!pre.is_empty());
+        assert_eq!(pre.data_words(), 16);
+    }
+
+    #[test]
+    fn wrap_specializes_powers_of_two() {
+        assert_eq!(Wrap::new(16), Wrap::Mask(15));
+        assert_eq!(Wrap::new(12), Wrap::Mod(12));
+        assert_eq!(Wrap::new(1), Wrap::Mask(0));
+    }
+
+    proptest! {
+        /// The specialized wrap is `effective_address` bit-for-bit, for
+        /// power-of-two and arbitrary segment sizes alike.
+        #[test]
+        fn wrap_matches_effective_address(
+            base in any::<i64>(),
+            offset in any::<i64>(),
+            pow in 0u32..20,
+            words in 1u64..1_000_000,
+        ) {
+            let p2 = 1u64 << pow;
+            prop_assert_eq!(
+                Wrap::new(p2).apply(base, offset),
+                effective_address(base, offset, p2)
+            );
+            prop_assert_eq!(
+                Wrap::new(words).apply(base, offset),
+                effective_address(base, offset, words)
+            );
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Lock-step differential suite: `FastCore` vs `Machine`.
+//!
+//! The pre-decoded core must be observably indistinguishable from the
+//! reference interpreter — same `Retired` stream record by record, same
+//! `ExecError` cases, same run-limit semantics, same final registers and
+//! memory. This suite pins that over every generated workload, random
+//! workload-generator profiles, and raw random instruction soups that
+//! include wild control transfers (deliberate `PcOutOfRange` faults).
+
+use hydra_isa::{
+    Addr, AluOp, Cond, ExecError, FastCore, FunctionalCore, Inst, Machine, Program, Reg,
+};
+use hydra_workloads::{Workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Steps both cores lock-step for at most `budget` instructions,
+/// comparing every `Retired` record and every error, then compares the
+/// complete architectural state (PC, halt flag, retired count, all 32
+/// registers, the full data segment).
+fn lockstep(program: &Program, budget: u64, label: &str) {
+    let mut m = Machine::new(program);
+    let mut f = FastCore::new(program);
+
+    for i in 0..budget {
+        let rm = Machine::step(&mut m);
+        let rf = FunctionalCore::step(&mut f);
+        assert_eq!(rm, rf, "{label}: step {i} diverged");
+        if rm.is_err() {
+            break;
+        }
+    }
+
+    assert_state_eq(&m, &f, label);
+}
+
+/// Compares the complete architectural state of both cores.
+fn assert_state_eq(m: &Machine, f: &FastCore, label: &str) {
+    assert_eq!(m.pc(), FunctionalCore::pc(f), "{label}: pc");
+    assert_eq!(
+        m.is_halted(),
+        FunctionalCore::is_halted(f),
+        "{label}: halted"
+    );
+    assert_eq!(
+        m.retired_count(),
+        FunctionalCore::retired_count(f),
+        "{label}: retired"
+    );
+    for r in 0..Reg::COUNT as u8 {
+        let r = Reg::gpr(r);
+        assert_eq!(m.reg(r), FunctionalCore::reg(f, r), "{label}: reg {r:?}");
+    }
+    for w in 0..m.program().data_words() {
+        assert_eq!(
+            m.mem_word(w),
+            FunctionalCore::mem_word(f, w),
+            "{label}: mem[{w}]"
+        );
+    }
+}
+
+#[test]
+fn every_suite_workload_matches_lock_step() {
+    let workloads = Workload::spec95_suite(12345).expect("suite generates");
+    assert_eq!(workloads.len(), 8);
+    for w in &workloads {
+        lockstep(w.program(), 50_000, w.name());
+    }
+}
+
+#[test]
+fn random_generator_profiles_match_lock_step() {
+    for seed in 0..16u64 {
+        let mut spec = WorkloadSpec::test_small();
+        spec.name = format!("rand-profile-{seed}");
+        // Perturb the knobs that change control-flow shape.
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+        spec.functions = rng.gen_range(2..12);
+        spec.call_depth = rng.gen_range(1..5);
+        spec.indirect_frac = rng.gen_range(0..100) as f64 / 100.0;
+        spec.recursion_depth = rng.gen_range(0..6);
+        spec.mutual_recursion = rng.gen_bool(0.5);
+        spec.outer_iterations = rng.gen_range(10..80);
+        // Exercise both wrap specializations: power-of-two and not (the
+        // generator's memory map needs roughly 8k words of headroom).
+        spec.data_words = if seed % 2 == 0 { 16_384 } else { 20_000 };
+        let w = Workload::generate(&spec, seed).expect("profile generates");
+        lockstep(w.program(), 20_000, &spec.name);
+    }
+}
+
+/// A soup of raw random instructions: unstructured control flow, wild
+/// direct and indirect targets (some outside the image), loads/stores
+/// with huge offsets. Both cores must fault — or halt, or spin — in
+/// exactly the same way.
+fn random_soup(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(4..120usize);
+    let reg = |rng: &mut StdRng| Reg::gpr(rng.gen_range(0..Reg::COUNT as u8));
+    let ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Slt,
+    ];
+    let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+    // Targets reach up to 2x the image so some transfers leave it.
+    let target = |rng: &mut StdRng| Addr::new(rng.gen_range(0..(len as u64 * 2)));
+    let insts = (0..len)
+        .map(|_| match rng.gen_range(0..13u32) {
+            0 => Inst::Nop,
+            1 => Inst::Halt,
+            2 => Inst::Alu {
+                op: ops[rng.gen_range(0..ops.len())],
+                rd: reg(&mut rng),
+                rs: reg(&mut rng),
+                rt: reg(&mut rng),
+            },
+            3 => Inst::AluImm {
+                op: ops[rng.gen_range(0..ops.len())],
+                rd: reg(&mut rng),
+                rs: reg(&mut rng),
+                imm: rng.gen::<i64>() >> rng.gen_range(0..64u32),
+            },
+            4 => Inst::LoadImm {
+                rd: reg(&mut rng),
+                imm: rng.gen::<i64>() >> rng.gen_range(0..64u32),
+            },
+            5 => Inst::Load {
+                rd: reg(&mut rng),
+                base: reg(&mut rng),
+                offset: rng.gen::<i64>() >> rng.gen_range(0..64u32),
+            },
+            6 => Inst::Store {
+                rs: reg(&mut rng),
+                base: reg(&mut rng),
+                offset: rng.gen::<i64>() >> rng.gen_range(0..64u32),
+            },
+            7 => Inst::Branch {
+                cond: conds[rng.gen_range(0..conds.len())],
+                rs: reg(&mut rng),
+                rt: reg(&mut rng),
+                target: target(&mut rng),
+            },
+            8 => Inst::Jump {
+                target: target(&mut rng),
+            },
+            9 => Inst::Call {
+                target: target(&mut rng),
+            },
+            10 => Inst::CallIndirect { rs: reg(&mut rng) },
+            11 => Inst::JumpIndirect { rs: reg(&mut rng) },
+            _ => Inst::Return,
+        })
+        .collect();
+    // Mix power-of-two and arbitrary data segments.
+    let data_words = if seed.is_multiple_of(3) {
+        rng.gen_range(1..500u64)
+    } else {
+        1 << rng.gen_range(0..10u32)
+    };
+    Program::new(insts, data_words)
+}
+
+#[test]
+fn random_instruction_soups_match_including_faults() {
+    let mut faulted = 0u32;
+    for seed in 0..200u64 {
+        let p = random_soup(seed);
+        let mut m = Machine::new(&p);
+        let mut f = FastCore::new(&p);
+        let mut last_err = None;
+        for i in 0..2_000u64 {
+            let rm = Machine::step(&mut m);
+            let rf = FunctionalCore::step(&mut f);
+            assert_eq!(rm, rf, "soup {seed}: step {i} diverged");
+            if let Err(e) = rm {
+                last_err = Some(e);
+                break;
+            }
+        }
+        if matches!(last_err, Some(ExecError::PcOutOfRange { .. })) {
+            faulted += 1;
+        }
+        assert_state_eq(&m, &f, &format!("soup {seed}"));
+    }
+    // The soup generator must actually exercise the fault path.
+    assert!(faulted > 20, "only {faulted} soups faulted");
+}
+
+#[test]
+fn run_limit_semantics_are_identical() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 7).expect("generates");
+    let p = w.program();
+    // Probe limits around interesting points: zero, tiny, and near the
+    // program's natural end (found with a generous run).
+    let total = {
+        let mut probe = Machine::new(p);
+        probe.run(10_000_000).expect("test_small halts")
+    };
+    for limit in [0, 1, 2, 100, total - 1, total, total + 1, total + 1000] {
+        let mut m = Machine::new(p);
+        let mut f = FastCore::new(p);
+        assert_eq!(
+            Machine::run(&mut m, limit),
+            FunctionalCore::run(&mut f, limit),
+            "run({limit})"
+        );
+        assert_state_eq(&m, &f, &format!("run({limit})"));
+        // A second run on the same cores: Ok(0) when halted, a fresh
+        // limit error otherwise.
+        assert_eq!(
+            Machine::run(&mut m, 0),
+            FunctionalCore::run(&mut f, 0),
+            "re-run(0) after run({limit})"
+        );
+    }
+}
+
+#[test]
+fn chunked_advance_equals_straight_stepping() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 99).expect("generates");
+    let p = w.program();
+    let mut stepped = FastCore::new(p);
+    let mut chunked = FastCore::new(p);
+    let mut rng = StdRng::seed_from_u64(0xC44);
+    while !stepped.is_halted() {
+        let chunk = rng.gen_range(1..997u64);
+        let mut done = 0;
+        while done < chunk && FunctionalCore::step(&mut stepped).is_ok() {
+            done += 1;
+        }
+        assert_eq!(chunked.advance(chunk).expect("no faults"), done);
+        assert_eq!(stepped.retired_count(), chunked.retired_count());
+        assert_eq!(FunctionalCore::pc(&stepped), FunctionalCore::pc(&chunked));
+    }
+    assert!(chunked.is_halted());
+}
+
+#[test]
+fn error_state_after_fault_is_identical() {
+    // A program that jumps straight out of the image: the wild PC is
+    // installed first and the fault reported on the following step.
+    let p = Program::new(
+        vec![
+            Inst::LoadImm {
+                rd: Reg::R1,
+                imm: 424242,
+            },
+            Inst::JumpIndirect { rs: Reg::R1 },
+        ],
+        8,
+    );
+    let mut m = Machine::new(&p);
+    let mut f = FastCore::new(&p);
+    let rm = Machine::run(&mut m, 100);
+    let rf = FunctionalCore::run(&mut f, 100);
+    assert_eq!(rm, rf);
+    assert_eq!(
+        rf,
+        Err(ExecError::PcOutOfRange {
+            pc: Addr::new(424242)
+        })
+    );
+    assert_state_eq(&m, &f, "wild jump");
+    assert_eq!(m.pc(), Addr::new(424242));
+    assert_eq!(m.retired_count(), 2);
+}

@@ -570,6 +570,67 @@ impl Core {
         self.occupancy = Occupancy::new(&self.config);
     }
 
+    /// Architecturally fast-forwards a *fresh* core by up to
+    /// `max_instructions` on the pre-decoded functional engine
+    /// ([`hydra_isa::FastCore`]), then leaves the pipeline ready to
+    /// resume cycle-level simulation from the resulting state. Returns
+    /// the number of instructions skipped.
+    ///
+    /// This is the paper-scale fast-forward path: the functional engine
+    /// runs orders of magnitude faster than cycle-level simulation, so
+    /// 100M-instruction skip windows become practical. The trade-off is
+    /// methodological: microarchitectural state (predictors, caches, the
+    /// RAS) stays **cold** at the measurement start, whereas cycle-level
+    /// fast-forward (`run` + [`Core::reset_stats`], what `expt` does)
+    /// warms it. Choose per experiment; the committed goldens all use
+    /// the warm variant.
+    ///
+    /// Skipped instructions do not count toward committed-instruction
+    /// statistics. A golden check enabled beforehand is kept in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has already simulated any cycle (the pipeline
+    /// must be empty for state installation to be exact), or if the
+    /// program faults during the skip (generated workloads never do).
+    pub fn fast_forward(&mut self, max_instructions: u64) -> u64 {
+        assert!(
+            self.cycle == 0 && self.next_seq == 1 && !self.halted,
+            "fast_forward requires a fresh core (no cycles simulated yet)"
+        );
+        let (skipped, pc, halted, regs, mem) = {
+            let mut fc = hydra_isa::FastCore::new(&self.program);
+            let skipped = match hydra_isa::FunctionalCore::advance(&mut fc, max_instructions) {
+                Ok(n) => n,
+                Err(e) => panic!("program faulted during functional fast-forward: {e}"),
+            };
+            let mut regs = [0i64; Reg::COUNT];
+            for (i, slot) in regs.iter_mut().enumerate() {
+                *slot = hydra_isa::FunctionalCore::reg(&fc, Reg::gpr(i as u8));
+            }
+            let mem: Vec<i64> = (0..self.program.data_words())
+                .map(|w| hydra_isa::FunctionalCore::mem_word(&fc, w))
+                .collect();
+            (
+                skipped,
+                hydra_isa::FunctionalCore::pc(&fc),
+                hydra_isa::FunctionalCore::is_halted(&fc),
+                regs,
+                mem,
+            )
+        };
+        self.regfile = regs;
+        self.mem_data = mem;
+        self.halted = halted;
+        self.path_ctx[0] = PathCtx::new(pc);
+        if let Some(g) = &mut self.golden {
+            g.regs = self.regfile;
+            g.mem.copy_from_slice(&self.mem_data);
+            g.pc = pc;
+        }
+        skipped
+    }
+
     /// Runs until a `halt` commits or `max_commits` instructions have
     /// committed; returns the final statistics.
     ///

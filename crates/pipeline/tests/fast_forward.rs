@@ -1,0 +1,60 @@
+//! Functional fast-forward vs straight cycle-level simulation.
+//!
+//! `Core::fast_forward` skips instructions on the pre-decoded functional
+//! engine and installs the resulting architectural state into a fresh
+//! pipeline. The pipeline is speculative but architecturally exact, so a
+//! fast-forwarded run must end in the same architectural state as a
+//! straight cycle-level run — which is what these tests pin, with the
+//! per-commit golden check active to catch any internal inconsistency in
+//! the installed state.
+
+use hydra_isa::Reg;
+use hydra_pipeline::{Core, CoreConfig};
+use hydra_workloads::{Workload, WorkloadSpec};
+
+#[test]
+fn fast_forward_then_run_matches_straight_run() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 42).expect("generates");
+
+    let mut straight = Core::new(CoreConfig::baseline(), w.program());
+    straight.enable_golden_check();
+    let straight_stats = straight.run(u64::MAX);
+    assert!(straight.is_halted(), "test workload halts");
+
+    let mut ffwd = Core::new(CoreConfig::baseline(), w.program());
+    ffwd.enable_golden_check();
+    let skipped = ffwd.fast_forward(10_000);
+    assert_eq!(skipped, 10_000, "workload runs long enough to skip");
+    let ffwd_stats = ffwd.run(u64::MAX);
+    assert!(ffwd.is_halted());
+
+    // Committed counts partition exactly: skipped + committed = total.
+    assert_eq!(skipped + ffwd_stats.committed, straight_stats.committed);
+    // Identical final architectural state.
+    for i in 0..Reg::COUNT as u8 {
+        let r = Reg::gpr(i);
+        assert_eq!(straight.arch_reg(r), ffwd.arch_reg(r), "reg {r:?}");
+    }
+}
+
+#[test]
+fn fast_forward_through_halt_stops_cleanly() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 42).expect("generates");
+    let mut probe = Core::new(CoreConfig::baseline(), w.program());
+    let total = probe.run(u64::MAX).committed;
+
+    let mut core = Core::new(CoreConfig::baseline(), w.program());
+    let skipped = core.fast_forward(u64::MAX);
+    assert_eq!(skipped, total, "skips exactly the program's length");
+    assert!(core.is_halted());
+    assert_eq!(core.run(u64::MAX).committed, 0, "nothing left to commit");
+}
+
+#[test]
+#[should_panic(expected = "fresh core")]
+fn fast_forward_after_simulation_panics() {
+    let w = Workload::generate(&WorkloadSpec::test_small(), 42).expect("generates");
+    let mut core = Core::new(CoreConfig::baseline(), w.program());
+    core.run(100);
+    core.fast_forward(1_000);
+}

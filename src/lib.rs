@@ -97,7 +97,7 @@ pub use hydra_trace as trace;
 pub use hydra_workloads as workloads;
 pub use ras_core as ras;
 
-pub use hydra_isa::{Addr, Inst, Machine, Program, ProgramBuilder, Reg};
+pub use hydra_isa::{Addr, FastCore, FunctionalCore, Inst, Machine, Program, ProgramBuilder, Reg};
 pub use hydra_pipeline::{
     Core, CoreConfig, CoreConfigBuilder, CoreHandle, HartId, MultipathConfig, RasSharing,
     ReturnPredictor, SimStats, System,
