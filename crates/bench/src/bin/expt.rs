@@ -13,6 +13,7 @@
 //! expt perf                        pinned-suite MIPS + allocation rates
 //! expt perf --out results/         ... and write BENCH_perf.json
 //! expt perf --baseline goldens/perf_baseline.json   fail on >30% MIPS loss
+//! expt report --out results/       render results/report.html dashboard
 //! expt fuzz                        differential fuzz: pipeline vs references
 //! expt fuzz --cases 500 --seed 7   a longer, differently-seeded campaign
 //! expt fuzz --replay repro.json    re-run a minimized divergence repro
@@ -81,6 +82,7 @@ const USAGE: &str = "usage: expt --list\n\
                              [-v|-q] [--trace FILE] [--trace-filter KINDS] [--profile]\n\
        expt --check-golden [<name>... | all] [--goldens DIR] [--jobs N]\n\
        expt perf [--out DIR] [--baseline FILE]\n\
+       expt report --out DIR\n\
        expt fuzz [--cases N] [--seed S] [--replay FILE] [--out DIR]\n\
        expt --validate-trace FILE";
 
@@ -105,6 +107,7 @@ struct Cli {
     check_golden: bool,
     goldens: PathBuf,
     perf: bool,
+    report: bool,
     baseline: Option<PathBuf>,
     fuzz: bool,
     cases: u64,
@@ -129,6 +132,7 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
         check_golden: false,
         goldens: PathBuf::from("goldens"),
         perf: false,
+        report: false,
         baseline: None,
         fuzz: false,
         cases: 200,
@@ -241,6 +245,7 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
             }
             a if a.starts_with('-') => return Err(Error::Usage(format!("unknown flag {a:?}"))),
             "perf" => cli.perf = true,
+            "report" => cli.report = true,
             "fuzz" => cli.fuzz = true,
             name => cli.names.push(name.to_string()),
         }
@@ -314,6 +319,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, Error> {
         println!("  {:<16} every experiment above, in order", "all");
         println!("  {:<16} pinned-suite simulator throughput", "perf");
         println!(
+            "  {:<16} HTML dashboard from an --out result directory",
+            "report"
+        );
+        println!(
             "  {:<16} differential fuzz: pipeline vs reference models",
             "fuzz"
         );
@@ -336,6 +345,20 @@ fn run(args: Vec<String>) -> Result<ExitCode, Error> {
             ));
         }
         return run_fuzz(&cli);
+    }
+
+    if cli.report {
+        if !cli.names.is_empty() {
+            return Err(Error::Usage(
+                "'report' cannot be combined with experiment names".into(),
+            ));
+        }
+        let dir = cli.out.as_deref().ok_or_else(|| {
+            Error::Usage("'report' needs --out DIR pointing at result documents".into())
+        })?;
+        let path = hydra_bench::write_report(dir)?;
+        println!("wrote {}", path.display());
+        return Ok(ExitCode::SUCCESS);
     }
 
     let workers = cli.jobs.unwrap_or_else(|| {

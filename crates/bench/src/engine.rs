@@ -17,7 +17,7 @@
 //! jobs/sec, simulated cycles/sec, committed instructions/sec) is
 //! reported in an [`EngineReport`] the `expt` binary prints to stderr.
 
-use hydra_pipeline::{Core, CoreConfig, SimStats, System};
+use hydra_pipeline::{CauseHistogram, Core, CoreConfig, CpiStack, SimStats, System};
 use hydra_stats::{Cell, Histogram, Meter, Summary, Table};
 use hydra_workloads::{DynamicProfile, Workload, WorkloadSpec};
 use ras_core::{RepairPolicy, SyntheticTrace, TraceReplayer};
@@ -94,6 +94,22 @@ pub enum JobKind {
         /// Commits per hart in the measurement window.
         horizon: u64,
     },
+    /// Like [`JobKind::Cycle`], but additionally harvests the always-on
+    /// observability counters after the measurement window: the CPI
+    /// stack ([`hydra_pipeline::CpiStack`]) and the return-mispredict
+    /// cause histogram ([`hydra_pipeline::CauseHistogram`]).
+    Obs {
+        /// Workload generation profile.
+        spec: WorkloadSpec,
+        /// Workload generation seed.
+        seed: u64,
+        /// Machine configuration.
+        config: CoreConfig,
+        /// Commits to run before statistics reset.
+        fast_forward: u64,
+        /// Commits in the measurement window.
+        horizon: u64,
+    },
     /// Trace-model replay on a synthetic speculation trace (the
     /// analytical figure).
     Replay {
@@ -135,6 +151,21 @@ impl SimJob {
         self
     }
 
+    /// A cycle-level job that also harvests the CPI stack and
+    /// return-mispredict cause histogram (see [`JobKind::Obs`]).
+    pub fn obs(spec: &WorkloadSpec, seed: u64, config: CoreConfig, rs: &RunSpec) -> Self {
+        SimJob {
+            label: spec.name.clone(),
+            kind: JobKind::Obs {
+                spec: spec.clone(),
+                seed,
+                config,
+                fast_forward: rs.fast_forward,
+                horizon: rs.horizon,
+            },
+        }
+    }
+
     /// A simulated-SMT job for `spec` × `config` sized by `rs`; hart `i`
     /// runs the sibling workload generated with `seed + i`.
     pub fn smt(spec: &WorkloadSpec, seed: u64, config: CoreConfig, rs: &RunSpec) -> Self {
@@ -172,6 +203,16 @@ pub enum JobOutput {
     /// Per-hart commit counters are private; RAS and cache counters
     /// reflect the shared structures (see [`System::stats`]).
     SmtStats(Vec<SimStats>),
+    /// From [`JobKind::Obs`]: the measurement-window stats plus the
+    /// always-on observability counters covering that window.
+    Obs {
+        /// Measurement-window statistics (as [`JobOutput::Stats`]).
+        stats: SimStats,
+        /// Lost-commit-slot accounting for the window.
+        cpi: CpiStack,
+        /// Mispredicted-return cause breakdown for the window.
+        causes: CauseHistogram,
+    },
     /// From [`JobKind::Profile`].
     Profile(DynamicProfile),
     /// From [`JobKind::Replay`]: correct-path return hits over the total
@@ -199,6 +240,24 @@ pub fn run_job(job: &SimJob) -> JobOutput {
             core.run(*fast_forward);
             core.reset_stats();
             JobOutput::Stats(core.run(*horizon))
+        }
+        JobKind::Obs {
+            spec,
+            seed,
+            config,
+            fast_forward,
+            horizon,
+        } => {
+            let w = Workload::generate(spec, *seed).expect("job spec generates");
+            let mut core = Core::new(*config, w.program());
+            core.run(*fast_forward);
+            core.reset_stats();
+            let stats = core.run(*horizon);
+            JobOutput::Obs {
+                stats,
+                cpi: *core.cpi_stack(),
+                causes: core.mispredict_causes(),
+            }
         }
         JobKind::Smt {
             spec,
@@ -359,9 +418,10 @@ impl EngineReport {
         t.add_row(vec![
             Cell::text("job wall time pct (ms)"),
             Cell::text(format!(
-                "p50 {} / p95 {} / max {}",
+                "p50 {} / p95 {} / p99 {} / max {}",
                 hist.percentile(50.0).unwrap_or(0),
                 hist.percentile(95.0).unwrap_or(0),
+                hist.percentile(99.0).unwrap_or(0),
                 hist.max().unwrap_or(0),
             )),
         ]);
@@ -439,7 +499,7 @@ pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport
         job_millis.push(took.as_secs_f64() * 1e3);
         jobs_per_sec.add(1);
         match &out {
-            JobOutput::Stats(s) => {
+            JobOutput::Stats(s) | JobOutput::Obs { stats: s, .. } => {
                 sim_cycles_per_sec.add(s.cycles);
                 sim_instrs_per_sec.add(s.committed);
             }
@@ -515,6 +575,15 @@ impl<'a> Harvest<'a> {
         match self.take() {
             JobOutput::SmtStats(s) => s,
             other => panic!("expected SmtStats output, got {other:?}"),
+        }
+    }
+
+    /// The next output, which must be an observability-harvesting cycle
+    /// job: `(stats, cpi stack, cause histogram)`.
+    pub fn obs(&mut self) -> (&'a SimStats, &'a CpiStack, &'a CauseHistogram) {
+        match self.take() {
+            JobOutput::Obs { stats, cpi, causes } => (stats, cpi, causes),
+            other => panic!("expected Obs output, got {other:?}"),
         }
     }
 
@@ -604,13 +673,35 @@ mod tests {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         let hist = j.get("job_hist_ms").expect("histogram object");
-        for key in ["count", "p50", "p95", "max"] {
+        for key in ["count", "p50", "p95", "p99", "max"] {
             assert!(hist.get(key).is_some(), "missing job_hist_ms.{key}");
         }
         assert_eq!(
             hist.get("count").and_then(hydra_stats::Json::as_num),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn obs_jobs_carry_conserving_cpi_stacks() {
+        let spec = WorkloadSpec::test_small();
+        let rs = RunSpec {
+            seed: 7,
+            fast_forward: 500,
+            horizon: 2_000,
+        };
+        let config = CoreConfig::baseline();
+        let jobs = vec![SimJob::obs(&spec, 7, config, &rs)];
+        let (outs, _) = execute(&jobs, 1);
+        let mut h = Harvest::new(&outs);
+        let (stats, cpi, causes) = h.obs();
+        assert!(
+            cpi.verify(stats.committed, stats.cycles, config.commit_width),
+            "obs job output violates slot conservation"
+        );
+        // Every mispredicted return was classified.
+        assert_eq!(causes.total(), stats.returns - stats.return_hits);
+        h.finish();
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(FigJourdan),
         Box::new(FigSmt),
         Box::new(FigSeeds::default()),
+        Box::new(FigCpi),
     ]
 }
 
@@ -1125,6 +1126,98 @@ impl Experiment for FigSeeds {
     }
 }
 
+/// **Observability: CPI-stack decomposition and return-mispredict
+/// forensics** — every suite workload under each repair policy, reporting
+/// where the commit slots went (the always-on cycle accounting) and *why*
+/// each mispredicted return missed (the pop-time evidence classifier).
+/// This turns the paper's aggregate hit rates into causal stories: weak
+/// repair shows up as wrong-path-corruption slots charged to
+/// `return_mispredict`, valid-bits invalidations as `repair_shortfall`,
+/// deep call chains as `overflow_wrap`. The commit-slot percentages in
+/// every row sum to 100 by construction (the conservation invariant).
+pub struct FigCpi;
+
+impl Experiment for FigCpi {
+    fn name(&self) -> &'static str {
+        "fig-cpi"
+    }
+
+    fn title(&self) -> &'static str {
+        "CPI stack and return-mispredict causes by repair policy"
+    }
+
+    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+        let mut jobs = Vec::new();
+        for (spec, seed) in suite_specs(rs) {
+            for (rtag, repair) in smt_repairs() {
+                let rp = ReturnPredictor::Ras {
+                    entries: 32,
+                    repair,
+                };
+                jobs.push(
+                    SimJob::obs(&spec, seed, CoreConfig::with_return_predictor(rp), rs)
+                        .tagged(rtag),
+                );
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+        use hydra_pipeline::{LostCause, MispredictCause};
+        let mut h = Harvest::new(outputs);
+        let mut header = vec![
+            "benchmark".to_string(),
+            "repair".to_string(),
+            "CPI".to_string(),
+            "retire %".to_string(),
+        ];
+        for cause in LostCause::ALL {
+            header.push(format!("{} %", cause.label()));
+        }
+        header.push("ret miss".to_string());
+        for cause in MispredictCause::ALL {
+            header.push(format!("mc {}", cause.label()));
+        }
+        let mut t = Table::new(header);
+        t.set_title(
+            "Observability: commit-slot accounting and mispredicted-return causes \
+             (slot %s sum to 100)",
+        );
+        for col in 2..4 + LostCause::COUNT + 1 + MispredictCause::COUNT {
+            t.set_align(col, Align::Right);
+        }
+        for (spec, _) in suite_specs(rs) {
+            for (rtag, repair) in smt_repairs() {
+                let (stats, cpi, causes) = h.obs();
+                let width = CoreConfig::with_return_predictor(ReturnPredictor::Ras {
+                    entries: 32,
+                    repair,
+                })
+                .commit_width;
+                let slots = (stats.cycles * width as u64).max(1);
+                let pct = |n: u64| n as f64 / slots as f64 * 100.0;
+                let mut row = vec![
+                    Cell::text(&spec.name),
+                    Cell::text(rtag),
+                    Cell::fixed(stats.cycles as f64 / stats.committed.max(1) as f64, 3),
+                    Cell::percent(pct(stats.committed)),
+                ];
+                for cause in LostCause::ALL {
+                    row.push(Cell::percent(pct(cpi.get(cause))));
+                }
+                row.push(Cell::int(stats.returns - stats.return_hits));
+                for cause in MispredictCause::ALL {
+                    row.push(Cell::int(causes.get(cause)));
+                }
+                t.add_row(row);
+            }
+        }
+        h.finish();
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1157,5 +1250,6 @@ mod tests {
         assert_eq!(FigAnalytical.jobs(&rs).len(), 6 * 5);
         assert_eq!(FigSmt.jobs(&rs).len(), 4 * 6 * 4);
         assert_eq!(FigSeeds::default().jobs(&rs).len(), 8 * 3 * 2);
+        assert_eq!(FigCpi.jobs(&rs).len(), 8 * 6);
     }
 }

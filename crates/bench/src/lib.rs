@@ -59,15 +59,17 @@ pub mod error;
 pub mod experiments;
 pub mod golden;
 pub mod perf;
+pub mod report;
 pub mod results;
 
 pub use engine::{execute, run_job, EngineReport, Harvest, JobKind, JobOutput, SimJob};
 pub use error::Error;
 pub use experiments::{find, lookup, registry, run_experiment, Experiment, ExperimentRun};
 pub use golden::{diff, DiffOptions, GoldenError, Mismatch};
+pub use report::{render_report, write_report};
 pub use results::{Format, ResultSink, SCHEMA_VERSION};
 
-use hydra_pipeline::{Core, CoreConfig, ReturnPredictor, SimStats};
+use hydra_pipeline::ReturnPredictor;
 use hydra_workloads::Workload;
 use ras_core::RepairPolicy;
 
@@ -247,22 +249,6 @@ pub fn suite(rs: &RunSpec) -> Vec<Workload> {
     Workload::spec95_suite(rs.seed).expect("built-in suite generates")
 }
 
-/// Runs one workload on one configuration: fast-forward, reset
-/// statistics, measure.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct the machine explicitly — single stream: \
-            `Core::new(config, w.program())`, then `run(rs.fast_forward)`, \
-            `reset_stats()`, `run(rs.horizon)`; multi-hart: build a \
-            `hydra_pipeline::System` and use `System::run`"
-)]
-pub fn run_one(w: &Workload, config: CoreConfig, rs: &RunSpec) -> SimStats {
-    let mut core = Core::new(config, w.program());
-    core.run(rs.fast_forward);
-    core.reset_stats();
-    core.run(rs.horizon)
-}
-
 /// The single-path return-predictor configurations the paper's evaluation
 /// compares, in presentation order.
 pub fn repair_ladder() -> Vec<(&'static str, ReturnPredictor)> {
@@ -291,17 +277,6 @@ mod tests {
             fast_forward: 2_000,
             horizon: 10_000,
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn run_one_measures_requested_window() {
-        let w = &suite(&tiny())[1]; // m88ksim: quick
-        let s = run_one(w, CoreConfig::baseline(), &tiny());
-        // run() finishes the in-flight commit group, so it may overshoot
-        // by up to commit_width - 1.
-        assert!((10_000..10_004).contains(&s.committed), "{}", s.committed);
-        assert!(s.cycles > 0);
     }
 
     #[test]

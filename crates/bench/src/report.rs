@@ -1,0 +1,643 @@
+//! `expt report`: a self-contained HTML dashboard over an `--out` dir.
+//!
+//! [`write_report`] scans a directory `expt ... --out DIR` (or the
+//! golden-regeneration workflow) populated with result documents and
+//! renders one offline `report.html`: no external assets, no scripts,
+//! hand-rolled markup with inline SVG charts, so the file can be attached
+//! as a CI artifact and opened anywhere.
+//!
+//! What gets rendered from what:
+//!
+//! * **Experiment documents** (`<name>.json`, the golden format from
+//!   [`crate::results::experiment_doc`]) — one section per experiment
+//!   with the reduced table as an HTML table.
+//! * **Commit-slot stacks** — any experiment table whose `%`-suffixed
+//!   columns partition the commit slots (they sum to 100 per row, which
+//!   is the CPI-stack conservation invariant) gets an inline SVG stacked
+//!   bar per row. `fig-cpi` is the intended producer, but the detection
+//!   is structural, not by name.
+//! * **Mispredict-cause breakdowns** — any table with `mc `-prefixed
+//!   count columns (the [`hydra_pipeline::CauseHistogram`] projection)
+//!   gets a normalized stacked bar per row.
+//! * **Perf trajectory** (`BENCH_*.json`) — every engine/perf artifact in
+//!   the directory: per-experiment throughput tables with an SVG bar
+//!   chart of simulated MIPS, so a run's speed is inspectable next to its
+//!   results.
+
+use hydra_stats::Json;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::Error;
+
+/// Colour palette for stacked-bar segments, in series order. Chosen for
+/// contrast between adjacent CPI-stack components.
+const PALETTE: [&str; 8] = [
+    "#4caf50", "#2196f3", "#f44336", "#ff9800", "#9c27b0", "#795548", "#9e9e9e", "#00bcd4",
+];
+
+/// Renders the dashboard for every result document in `dir` and writes
+/// it to `dir/report.html`, returning the written path.
+///
+/// # Errors
+///
+/// [`Error::Io`] for filesystem failures; [`Error::Usage`] when `dir`
+/// holds no result documents at all.
+pub fn write_report(dir: &Path) -> Result<PathBuf, Error> {
+    let html = render_report(dir)?;
+    let path = dir.join("report.html");
+    std::fs::write(&path, html)
+        .map_err(|io| Error::io(format!("writing {}", path.display()), io))?;
+    Ok(path)
+}
+
+/// Renders the dashboard HTML for every result document in `dir`.
+///
+/// # Errors
+///
+/// See [`write_report`].
+pub fn render_report(dir: &Path) -> Result<String, Error> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|io| Error::io(format!("reading {}", dir.display()), io))?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort_unstable();
+
+    let mut experiments = Vec::new(); // (file, doc) with experiment+table
+    let mut benches = Vec::new(); // BENCH_*.json artifacts
+    for name in &names {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|io| Error::io(format!("reading {}", path.display()), io))?;
+        let Ok(doc) = Json::parse(&text) else {
+            continue; // not a result document (e.g. a trace capture)
+        };
+        if doc.get("experiment").is_some() && doc.get("table").is_some() {
+            experiments.push((name.clone(), doc));
+        } else if name.starts_with("BENCH_") {
+            benches.push((name.clone(), doc));
+        }
+    }
+    if experiments.is_empty() && benches.is_empty() {
+        return Err(Error::Usage(format!(
+            "{}: no result documents found; run `expt all --format json --out {}` first",
+            dir.display(),
+            dir.display()
+        )));
+    }
+
+    let mut html = String::new();
+    head(&mut html);
+    let _ = write!(
+        html,
+        "<h1>HydraScalar experiment report</h1>\
+         <p class=\"meta\">{} experiment document(s), {} perf artifact(s) from <code>{}</code>{}</p>",
+        experiments.len(),
+        benches.len(),
+        esc(&dir.display().to_string()),
+        run_header(&experiments)
+    );
+    nav(&mut html, &experiments, &benches);
+    for (file, doc) in &experiments {
+        experiment_section(&mut html, file, doc);
+    }
+    if !benches.is_empty() {
+        html.push_str("<h2 id=\"perf\">Perf trajectory</h2>");
+        for (file, doc) in &benches {
+            bench_section(&mut html, file, doc);
+        }
+    }
+    html.push_str("</main></body></html>\n");
+    Ok(html)
+}
+
+/// Escapes text for HTML element and attribute contexts.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn head(html: &mut String) {
+    html.push_str(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>HydraScalar experiment report</title><style>\
+         body{font:14px/1.5 system-ui,sans-serif;margin:0;color:#222;background:#fafafa}\
+         main{max-width:1100px;margin:0 auto;padding:1rem 2rem 4rem}\
+         h1{border-bottom:2px solid #ddd;padding-bottom:.3rem}\
+         h2{margin-top:2.5rem;border-bottom:1px solid #ddd;padding-bottom:.2rem}\
+         .meta{color:#666}\
+         nav ul{columns:3;list-style:none;padding:0;margin:.5rem 0}\
+         nav a{text-decoration:none}\
+         table{border-collapse:collapse;margin:.8rem 0;background:#fff}\
+         th,td{border:1px solid #ddd;padding:.25rem .55rem;text-align:right;\
+         font-variant-numeric:tabular-nums}\
+         th{background:#f0f0f0}\
+         th:first-child,td:first-child,th:nth-child(2),td:nth-child(2){text-align:left}\
+         .chart{background:#fff;border:1px solid #ddd;padding:.6rem;margin:.8rem 0;\
+         overflow-x:auto}\
+         .caption{color:#666;font-size:12px;margin:.2rem 0}\
+         svg text{font:11px system-ui,sans-serif}\
+         details pre{background:#fff;border:1px solid #ddd;padding:.6rem;overflow-x:auto}\
+         </style></head><body><main>\n",
+    );
+}
+
+/// The run-spec header (seed / fast-forward / horizon) from the first
+/// experiment document carrying one.
+fn run_header(experiments: &[(String, Json)]) -> String {
+    for (_, doc) in experiments {
+        if let Some(run) = doc.get("run") {
+            let f = |k: &str| {
+                run.get(k)
+                    .and_then(Json::as_num)
+                    .map_or_else(|| "?".to_string(), |v| format!("{v}"))
+            };
+            return format!(
+                " — seed {}, fast-forward {}, horizon {}",
+                f("seed"),
+                f("fast_forward"),
+                f("horizon")
+            );
+        }
+    }
+    String::new()
+}
+
+fn nav(html: &mut String, experiments: &[(String, Json)], benches: &[(String, Json)]) {
+    html.push_str("<nav><ul>");
+    for (_, doc) in experiments {
+        if let Some(name) = doc.get("experiment").and_then(Json::as_str) {
+            let _ = write!(html, "<li><a href=\"#{0}\">{0}</a></li>", esc(name));
+        }
+    }
+    if !benches.is_empty() {
+        html.push_str("<li><a href=\"#perf\">perf trajectory</a></li>");
+    }
+    html.push_str("</ul></nav>");
+}
+
+/// One experiment document: heading, optional stacked-bar charts, table.
+fn experiment_section(html: &mut String, file: &str, doc: &Json) {
+    let name = doc.get("experiment").and_then(Json::as_str).unwrap_or(file);
+    let title = doc.get("title").and_then(Json::as_str).unwrap_or("");
+    let _ = write!(
+        html,
+        "<h2 id=\"{}\">{} <span class=\"meta\">— {}</span></h2>",
+        esc(name),
+        esc(name),
+        esc(title)
+    );
+    let Some(table) = doc.get("table") else {
+        return;
+    };
+    let columns: Vec<String> = table
+        .get("columns")
+        .and_then(Json::as_arr)
+        .map(|cols| {
+            cols.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let rows = table.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    if let Some(t) = table.get("title").and_then(Json::as_str) {
+        let _ = write!(html, "<p class=\"caption\">{}</p>", esc(t));
+    }
+
+    if let Some(chart) = slot_stack_chart(&columns, rows) {
+        html.push_str(&chart);
+    }
+    if let Some(chart) = cause_chart(&columns, rows) {
+        html.push_str(&chart);
+    }
+    html_table(html, &columns, rows);
+}
+
+/// Joins a row's leading string cells into a bar label
+/// (`"gcc · ptr+contents"`).
+fn row_label(row: &[Json]) -> String {
+    let mut parts = Vec::new();
+    for cell in row {
+        match cell.as_str() {
+            Some(s) => parts.push(s.to_string()),
+            None => break,
+        }
+    }
+    parts.join(" · ")
+}
+
+/// A stacked bar per row over the `%`-suffixed columns — rendered only
+/// when those columns partition the whole (first row sums to ~100), which
+/// is the CPI-stack shape.
+fn slot_stack_chart(columns: &[String], rows: &[Json]) -> Option<String> {
+    let pct_cols: Vec<(usize, String)> = columns
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.strip_suffix(" %").map(|n| (i, n.to_string())))
+        .collect();
+    if pct_cols.len() < 2 || rows.is_empty() {
+        return None;
+    }
+    let values = |row: &Json| -> Option<Vec<f64>> {
+        let cells = row.as_arr()?;
+        pct_cols
+            .iter()
+            .map(|(i, _)| cells.get(*i).and_then(Json::as_num))
+            .collect()
+    };
+    let first = values(rows.first()?)?;
+    if (first.iter().sum::<f64>() - 100.0).abs() > 1.0 {
+        return None;
+    }
+    let mut bars = Vec::new();
+    for row in rows {
+        let cells = row.as_arr()?;
+        bars.push((row_label(cells), values(row)?));
+    }
+    let series: Vec<&str> = pct_cols.iter().map(|(_, n)| n.as_str()).collect();
+    Some(chart_panel(
+        "Commit-slot accounting (100% = cycles × commit width)",
+        &stacked_bar_svg(&bars, &series, false),
+    ))
+}
+
+/// A normalized stacked bar per row over `mc `-prefixed count columns
+/// (the mispredict-cause histogram).
+fn cause_chart(columns: &[String], rows: &[Json]) -> Option<String> {
+    let mc_cols: Vec<(usize, String)> = columns
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.strip_prefix("mc ").map(|n| (i, n.to_string())))
+        .collect();
+    if mc_cols.len() < 2 || rows.is_empty() {
+        return None;
+    }
+    let mut bars = Vec::new();
+    for row in rows {
+        let cells = row.as_arr()?;
+        let counts: Vec<f64> = mc_cols
+            .iter()
+            .map(|(i, _)| cells.get(*i).and_then(Json::as_num).unwrap_or(0.0))
+            .collect();
+        let total: f64 = counts.iter().sum();
+        let scaled = if total > 0.0 {
+            counts.iter().map(|c| c / total * 100.0).collect()
+        } else {
+            vec![0.0; counts.len()]
+        };
+        bars.push((row_label(cells), scaled));
+    }
+    let series: Vec<&str> = mc_cols.iter().map(|(_, n)| n.as_str()).collect();
+    Some(chart_panel(
+        "Mispredicted-return causes (share of misses per configuration)",
+        &stacked_bar_svg(&bars, &series, true),
+    ))
+}
+
+fn chart_panel(caption: &str, svg: &str) -> String {
+    format!(
+        "<div class=\"chart\"><p class=\"caption\">{}</p>{}</div>",
+        esc(caption),
+        svg
+    )
+}
+
+/// One horizontal stacked bar per `(label, segment %s)` row, with a
+/// legend. `skip_palette_head` offsets the palette so the two chart
+/// kinds on one page use visually distinct colour runs.
+fn stacked_bar_svg(
+    bars: &[(String, Vec<f64>)],
+    series: &[&str],
+    skip_palette_head: bool,
+) -> String {
+    const LABEL_W: f64 = 240.0;
+    const BAR_W: f64 = 560.0;
+    const ROW_H: f64 = 20.0;
+    const LEGEND_H: f64 = 22.0;
+    let color = |i: usize| PALETTE[(i + usize::from(skip_palette_head) * 2) % PALETTE.len()];
+    let height = LEGEND_H + bars.len() as f64 * ROW_H + 4.0;
+    let mut svg = format!(
+        "<svg width=\"{}\" height=\"{height}\" role=\"img\">",
+        LABEL_W + BAR_W + 60.0
+    );
+    let mut x = 0.0;
+    for (i, name) in series.iter().enumerate() {
+        let _ = write!(
+            svg,
+            "<rect x=\"{x}\" y=\"3\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"12\">{}</text>",
+            color(i),
+            x + 14.0,
+            esc(name)
+        );
+        x += 14.0 + 7.0 * name.len() as f64 + 16.0;
+    }
+    for (r, (label, values)) in bars.iter().enumerate() {
+        let y = LEGEND_H + r as f64 * ROW_H;
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            LABEL_W - 6.0,
+            y + 13.0,
+            esc(label)
+        );
+        let mut bx = LABEL_W;
+        for (i, v) in values.iter().enumerate() {
+            let w = (v.max(0.0) / 100.0) * BAR_W;
+            if w > 0.0 {
+                let _ = write!(
+                    svg,
+                    "<rect x=\"{bx:.2}\" y=\"{:.2}\" width=\"{w:.2}\" height=\"{}\" \
+                     fill=\"{}\"><title>{}: {v:.2}%</title></rect>",
+                    y + 2.0,
+                    ROW_H - 4.0,
+                    color(i),
+                    esc(series.get(i).copied().unwrap_or("?")),
+                );
+            }
+            bx += w;
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a result table's columns × rows as an HTML table.
+fn html_table(html: &mut String, columns: &[String], rows: &[Json]) {
+    html.push_str("<table><thead><tr>");
+    for c in columns {
+        let _ = write!(html, "<th>{}</th>", esc(c));
+    }
+    html.push_str("</tr></thead><tbody>");
+    for row in rows {
+        html.push_str("<tr>");
+        if let Some(cells) = row.as_arr() {
+            for cell in cells {
+                let text = match cell {
+                    Json::Str(s) => esc(s),
+                    other => other
+                        .as_num()
+                        .map_or_else(|| esc(&other.to_string()), fmt_num),
+                };
+                let _ = write!(html, "<td>{text}</td>");
+            }
+        }
+        html.push_str("</tr>");
+    }
+    html.push_str("</tbody></table>");
+}
+
+/// Formats a JSON number the way the source tables render: integers
+/// bare, fractions with their stored precision (trailing zeros trimmed).
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// One `BENCH_*.json` artifact: an engine-throughput table (for
+/// `BENCH_expt.json`-shaped documents), a per-workload MIPS table (for
+/// `BENCH_perf.json`-shaped ones), or a raw fold-out otherwise.
+fn bench_section(html: &mut String, file: &str, doc: &Json) {
+    let _ = write!(html, "<h3>{}</h3>", esc(file));
+    if let Some(experiments) = doc.get("experiments").and_then(Json::as_arr) {
+        // BENCH_expt.json: per-experiment engine reports.
+        let num = |e: &Json, k: &str| {
+            e.get("engine")
+                .and_then(|g| g.get(k))
+                .and_then(Json::as_num)
+        };
+        let hist = |e: &Json, k: &str| {
+            e.get("engine")
+                .and_then(|g| g.get("job_hist_ms"))
+                .and_then(|h| h.get(k))
+                .and_then(Json::as_num)
+        };
+        html.push_str(
+            "<table><thead><tr><th>experiment</th><th>jobs</th><th>wall ms</th>\
+             <th>p50 ms</th><th>p95 ms</th><th>p99 ms</th><th>jobs/s</th>\
+             <th>sim MIPS</th></tr></thead><tbody>",
+        );
+        let mut mips_bars = Vec::new();
+        for e in experiments {
+            let name = e.get("experiment").and_then(Json::as_str).unwrap_or("?");
+            let mips = num(e, "sim_instrs_per_sec").unwrap_or(0.0) / 1e6;
+            mips_bars.push((name.to_string(), mips));
+            let cell = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.1}"));
+            let _ = write!(
+                html,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{mips:.2}</td></tr>",
+                esc(name),
+                num(e, "jobs").map_or_else(|| "-".into(), |v| format!("{v}")),
+                cell(num(e, "wall_ms")),
+                cell(hist(e, "p50")),
+                cell(hist(e, "p95")),
+                cell(hist(e, "p99")),
+                cell(num(e, "jobs_per_sec")),
+            );
+        }
+        html.push_str("</tbody></table>");
+        html.push_str(&chart_panel(
+            "Simulated MIPS by experiment",
+            &hbar_svg(&mips_bars, "MIPS"),
+        ));
+    } else if let Some(workloads) = doc.get("workloads").and_then(Json::as_arr) {
+        // BENCH_perf.json: pinned-suite per-workload throughput.
+        html.push_str(
+            "<table><thead><tr><th>workload</th><th>wall ms</th><th>sim MIPS</th>\
+             <th>allocs/kcycle</th></tr></thead><tbody>",
+        );
+        let mut mips_bars = Vec::new();
+        for w in workloads {
+            let name = w.get("workload").and_then(Json::as_str).unwrap_or("?");
+            let num = |k: &str| w.get(k).and_then(Json::as_num);
+            let mips = num("sim_mips").unwrap_or(0.0);
+            mips_bars.push((name.to_string(), mips));
+            let _ = write!(
+                html,
+                "<tr><td>{}</td><td>{:.1}</td><td>{mips:.3}</td><td>{:.2}</td></tr>",
+                esc(name),
+                num("wall_ms").unwrap_or(0.0),
+                num("allocs_per_kilocycle").unwrap_or(0.0),
+            );
+        }
+        html.push_str("</tbody></table>");
+        if let Some(total) = doc
+            .get("total")
+            .and_then(|t| t.get("sim_mips"))
+            .and_then(Json::as_num)
+        {
+            let _ = write!(
+                html,
+                "<p class=\"caption\">suite total: {total:.3} sim MIPS</p>"
+            );
+        }
+        html.push_str(&chart_panel(
+            "Simulated MIPS by workload",
+            &hbar_svg(&mips_bars, "MIPS"),
+        ));
+    } else {
+        let _ = write!(
+            html,
+            "<details><summary>raw document</summary><pre>{}</pre></details>",
+            esc(&doc.pretty())
+        );
+    }
+}
+
+/// A simple horizontal bar chart of `(label, value)` pairs scaled to the
+/// largest value.
+fn hbar_svg(bars: &[(String, f64)], unit: &str) -> String {
+    const LABEL_W: f64 = 180.0;
+    const BAR_W: f64 = 520.0;
+    const ROW_H: f64 = 20.0;
+    let max = bars
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let mut svg = format!(
+        "<svg width=\"{}\" height=\"{}\" role=\"img\">",
+        LABEL_W + BAR_W + 120.0,
+        bars.len() as f64 * ROW_H + 4.0
+    );
+    for (r, (label, v)) in bars.iter().enumerate() {
+        let y = r as f64 * ROW_H;
+        let w = v / max * BAR_W;
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>\
+             <rect x=\"{LABEL_W}\" y=\"{:.2}\" width=\"{w:.2}\" height=\"{}\" fill=\"{}\"/>\
+             <text x=\"{:.2}\" y=\"{}\">{v:.2} {}</text>",
+            LABEL_W - 6.0,
+            y + 13.0,
+            esc(label),
+            y + 2.0,
+            ROW_H - 4.0,
+            PALETTE[1],
+            LABEL_W + w + 6.0,
+            y + 13.0,
+            esc(unit)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::find;
+    use crate::results::{bench_doc, experiment_doc, write_out_dir};
+    use crate::{run_experiment, RunSpec};
+
+    fn tiny() -> RunSpec {
+        RunSpec {
+            seed: 7,
+            fast_forward: 200,
+            horizon: 2_000,
+        }
+    }
+
+    /// A fresh per-test scratch directory under the system temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hydra-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn report_renders_cpi_charts_tables_and_perf_panel() {
+        let rs = tiny();
+        let e = find("fig-cpi").expect("registered");
+        let run = run_experiment(e.as_ref(), &rs, 2);
+        let dir = scratch("cpi");
+        let finished = vec![("fig-cpi".to_string(), "t".to_string(), run.clone())];
+        write_out_dir(&dir, &rs, &finished).expect("out dir written");
+
+        let path = write_report(&dir).expect("report renders");
+        assert_eq!(path.file_name().unwrap(), "report.html");
+        let html = std::fs::read_to_string(&path).expect("report readable");
+        // Self-contained document with both chart kinds and the table.
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("id=\"fig-cpi\""));
+        assert!(html.contains("Commit-slot accounting"));
+        assert!(html.contains("Mispredicted-return causes"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("return_mispredict"));
+        // The BENCH_expt.json perf artifact feeds the trajectory panel.
+        assert!(html.contains("Perf trajectory"));
+        assert!(html.contains("BENCH_expt.json"));
+        assert!(html.contains("Simulated MIPS by experiment"));
+        // No external references: offline by construction.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_survives_non_cpi_documents_and_unknown_bench_shapes() {
+        let rs = tiny();
+        let e = find("table1").expect("registered");
+        let run = run_experiment(e.as_ref(), &rs, 1);
+        let dir = scratch("misc");
+        std::fs::write(
+            dir.join("table1.json"),
+            experiment_doc(e.as_ref(), &rs, &run).pretty(),
+        )
+        .expect("doc written");
+        // A bench artifact with an unknown shape falls back to raw JSON.
+        std::fs::write(
+            dir.join("BENCH_other.json"),
+            Json::obj([("something", Json::int(3))]).pretty(),
+        )
+        .expect("bench written");
+        // Non-JSON files are skipped, not fatal.
+        std::fs::write(dir.join("trace.json"), "not json {").expect("junk written");
+
+        let html = render_report(&dir).expect("report renders");
+        assert!(html.contains("id=\"table1\""));
+        assert!(html.contains("raw document"));
+        // table1 has no %-partition columns: no stacked chart for it.
+        assert!(!html.contains("Commit-slot accounting"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_is_a_usage_error() {
+        let dir = scratch("empty");
+        let err = render_report(&dir).expect_err("nothing to render");
+        assert!(matches!(err, Error::Usage(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_doc_panel_lists_percentiles() {
+        let rs = tiny();
+        let e = find("fig-analytical").expect("registered");
+        let run = run_experiment(e.as_ref(), &rs, 2);
+        let doc = bench_doc(&rs, &[("fig-analytical".to_string(), run.report)]);
+        let mut html = String::new();
+        bench_section(&mut html, "BENCH_expt.json", &doc);
+        assert!(html.contains("p99 ms"));
+        assert!(html.contains("fig-analytical"));
+    }
+}

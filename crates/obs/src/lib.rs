@@ -1,0 +1,442 @@
+//! Always-on observability substrate for the HydraScalar simulator.
+//!
+//! Two fixed-size counter structures, designed to be cheap enough to
+//! leave on in every run (plain array increments, no allocation, no
+//! feature gate):
+//!
+//! * [`CpiStack`] — cycle accounting. Every cycle a core retires fewer
+//!   micro-ops than its commit width, the lost commit slots are charged
+//!   to a typed [`LostCause`]. Together with the committed-instruction
+//!   count this decomposes CPI into a stack of causes, and the
+//!   bookkeeping is conservative by construction:
+//!   `lost slots + retired uops == cycles × commit width`
+//!   (see [`CpiStack::verify`]).
+//! * [`CauseHistogram`] — return-misprediction forensics. On every
+//!   mispredicted return the proximate [`MispredictCause`] is recorded,
+//!   turning the paper's aggregate hit rates into per-cause breakdowns
+//!   (overflow wrap vs. wrong-path corruption vs. SMT contention ...).
+//!
+//! The [`popflags`] bit constants carry per-pop evidence from the RAS
+//! unit to the commit stage, where the final classification happens.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hydra_stats::Json;
+
+/// Why a commit slot went unused in a cycle.
+///
+/// The taxonomy follows the classic CPI-stack decomposition, specialized
+/// to what this simulator models: the front end (I-cache, return/branch
+/// mispredictions) and the window (RUU/LSQ capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LostCause {
+    /// Fetch starved by an instruction-cache miss (empty window, every
+    /// live path stalled on the I-cache).
+    IcacheStarve,
+    /// Squash drain or refill bubble after a mispredicted **return** —
+    /// the paper's headline cost.
+    ReturnMispredict,
+    /// Squash drain or refill bubble after any other control
+    /// misprediction (conditional direction, indirect target).
+    BranchMispredict,
+    /// The head of the window is not done and the RUU or LSQ is full:
+    /// the machine is window-limited.
+    RuuLsqFull,
+    /// The machine has committed its `halt`; remaining slots drain.
+    Drain,
+    /// Unattributed: execution latency at the window head, decode
+    /// latency bubbles, or an empty window with no typed evidence.
+    Other,
+}
+
+impl LostCause {
+    /// Number of variants (the size of a [`CpiStack`]).
+    pub const COUNT: usize = 6;
+
+    /// Every cause, in presentation order.
+    pub const ALL: [LostCause; LostCause::COUNT] = [
+        LostCause::IcacheStarve,
+        LostCause::ReturnMispredict,
+        LostCause::BranchMispredict,
+        LostCause::RuuLsqFull,
+        LostCause::Drain,
+        LostCause::Other,
+    ];
+
+    /// Dense index of this cause (inverse of `ALL`).
+    pub fn index(self) -> usize {
+        match self {
+            LostCause::IcacheStarve => 0,
+            LostCause::ReturnMispredict => 1,
+            LostCause::BranchMispredict => 2,
+            LostCause::RuuLsqFull => 3,
+            LostCause::Drain => 4,
+            LostCause::Other => 5,
+        }
+    }
+
+    /// Stable serialization name (a schema contract, like
+    /// `SimStats::named_counters`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LostCause::IcacheStarve => "icache_starve",
+            LostCause::ReturnMispredict => "return_mispredict",
+            LostCause::BranchMispredict => "branch_mispredict",
+            LostCause::RuuLsqFull => "ruu_lsq_full",
+            LostCause::Drain => "drain",
+            LostCause::Other => "other",
+        }
+    }
+}
+
+/// Per-core CPI-stack accumulator: lost commit slots by [`LostCause`].
+///
+/// # Examples
+///
+/// ```
+/// use hydra_obs::{CpiStack, LostCause};
+///
+/// let mut cpi = CpiStack::default();
+/// cpi.charge(LostCause::ReturnMispredict, 3);
+/// cpi.charge(LostCause::Drain, 1);
+/// assert_eq!(cpi.get(LostCause::ReturnMispredict), 3);
+/// assert_eq!(cpi.total_lost(), 4);
+/// // 1 cycle × 4-wide commit, 0 retired, 4 slots charged: conserved.
+/// assert!(cpi.verify(0, 1, 4));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CpiStack {
+    slots: [u64; LostCause::COUNT],
+}
+
+impl CpiStack {
+    /// Charges `n` lost commit slots to `cause`.
+    #[inline]
+    pub fn charge(&mut self, cause: LostCause, n: u64) {
+        self.slots[cause.index()] += n;
+    }
+
+    /// Lost slots charged to `cause` so far.
+    pub fn get(&self, cause: LostCause) -> u64 {
+        self.slots[cause.index()]
+    }
+
+    /// Total lost slots across every cause.
+    pub fn total_lost(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// The conservation invariant: every commit slot of every cycle was
+    /// either used by a retiring micro-op or charged to a cause.
+    pub fn verify(&self, retired: u64, cycles: u64, commit_width: usize) -> bool {
+        self.total_lost() + retired == cycles * commit_width as u64
+    }
+
+    /// `(label, slots)` for every cause, in [`LostCause::ALL`] order.
+    pub fn named(&self) -> [(&'static str, u64); LostCause::COUNT] {
+        let mut out = [("", 0u64); LostCause::COUNT];
+        for (slot, cause) in out.iter_mut().zip(LostCause::ALL) {
+            *slot = (cause.label(), self.get(cause));
+        }
+        out
+    }
+
+    /// The stack as a JSON object keyed by cause label, in `ALL` order.
+    pub fn to_json(&self) -> Json {
+        Json::obj(self.named().map(|(k, v)| (k, Json::int(v))))
+    }
+
+    /// Folds another stack's counters into this one.
+    pub fn absorb(&mut self, other: &CpiStack) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots) {
+            *a += b;
+        }
+    }
+}
+
+/// The proximate cause of one mispredicted return, classified from the
+/// evidence the RAS unit recorded at pop time (see [`popflags`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MispredictCause {
+    /// The stack wrapped on a push (deep call chain) and the matching
+    /// pop read an overwritten frame.
+    OverflowWrap,
+    /// The pop hit an architecturally empty stack (no prior overflow
+    /// evidence): more returns than calls in flight.
+    Underflow,
+    /// Wrong-path pops/pushes corrupted an entry the repair policy did
+    /// not restore: a valid entry held the wrong address.
+    WrongPathCorruption,
+    /// The repair mechanism detected but could not recover the entry
+    /// (e.g. a valid-bits invalidation): the pop yielded no prediction.
+    RepairShortfall,
+    /// A sibling hardware thread touched the shared stack between this
+    /// hart's push and its pop (SMT contention).
+    SmtContention,
+    /// The prediction did not come from the stack at all (BTB fallback,
+    /// fallthrough, BTB-only configuration).
+    Other,
+}
+
+impl MispredictCause {
+    /// Number of variants (the size of a [`CauseHistogram`]).
+    pub const COUNT: usize = 6;
+
+    /// Every cause, in presentation order.
+    pub const ALL: [MispredictCause; MispredictCause::COUNT] = [
+        MispredictCause::OverflowWrap,
+        MispredictCause::Underflow,
+        MispredictCause::WrongPathCorruption,
+        MispredictCause::RepairShortfall,
+        MispredictCause::SmtContention,
+        MispredictCause::Other,
+    ];
+
+    /// Dense index of this cause (inverse of `ALL`).
+    pub fn index(self) -> usize {
+        match self {
+            MispredictCause::OverflowWrap => 0,
+            MispredictCause::Underflow => 1,
+            MispredictCause::WrongPathCorruption => 2,
+            MispredictCause::RepairShortfall => 3,
+            MispredictCause::SmtContention => 4,
+            MispredictCause::Other => 5,
+        }
+    }
+
+    /// Stable serialization name.
+    pub fn label(self) -> &'static str {
+        match self {
+            MispredictCause::OverflowWrap => "overflow_wrap",
+            MispredictCause::Underflow => "underflow",
+            MispredictCause::WrongPathCorruption => "wrong_path_corruption",
+            MispredictCause::RepairShortfall => "repair_shortfall",
+            MispredictCause::SmtContention => "smt_contention",
+            MispredictCause::Other => "other",
+        }
+    }
+}
+
+/// Per-hart histogram of [`MispredictCause`]s.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CauseHistogram {
+    counts: [u64; MispredictCause::COUNT],
+}
+
+impl CauseHistogram {
+    /// Records one mispredicted return with the given cause.
+    #[inline]
+    pub fn record(&mut self, cause: MispredictCause) {
+        self.counts[cause.index()] += 1;
+    }
+
+    /// Mispredictions attributed to `cause` so far.
+    pub fn get(&self, cause: MispredictCause) -> u64 {
+        self.counts[cause.index()]
+    }
+
+    /// Total mispredicted returns recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(label, count)` for every cause, in [`MispredictCause::ALL`]
+    /// order.
+    pub fn named(&self) -> [(&'static str, u64); MispredictCause::COUNT] {
+        let mut out = [("", 0u64); MispredictCause::COUNT];
+        for (slot, cause) in out.iter_mut().zip(MispredictCause::ALL) {
+            *slot = (cause.label(), self.get(cause));
+        }
+        out
+    }
+
+    /// The histogram as a JSON object keyed by cause label.
+    pub fn to_json(&self) -> Json {
+        Json::obj(self.named().map(|(k, v)| (k, Json::int(v))))
+    }
+
+    /// Folds another histogram's counts into this one.
+    pub fn absorb(&mut self, other: &CauseHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Pop-time evidence bits the RAS unit hands the pipeline alongside each
+/// predicted return target; the commit stage classifies a mispredicted
+/// return from them (see [`classify_return_mispredict`]).
+pub mod popflags {
+    /// The pop hit an architecturally empty stack.
+    pub const UNDERFLOW: u8 = 1 << 0;
+    /// The stack had lost frames to overflow wraps when the pop
+    /// underflowed.
+    pub const OVERFLOW_WRAP: u8 = 1 << 1;
+    /// The popped entry was invalidated by the repair mechanism.
+    pub const INVALID_ENTRY: u8 = 1 << 2;
+    /// A different hart accessed this stack since the previous access.
+    pub const SMT_CONTENTION: u8 = 1 << 3;
+    /// The prediction came from the stack (as opposed to BTB fallback
+    /// or fallthrough).
+    pub const FROM_STACK: u8 = 1 << 4;
+}
+
+/// Classifies one mispredicted return from its pop-time evidence bits.
+///
+/// Precedence: contention from a sibling hart dominates (it explains the
+/// wrong contents), then overflow-wrap (an underflow with prior lost
+/// frames), plain underflow, a detected-but-unrecovered entry, and
+/// finally — a valid stack entry that was simply wrong — wrong-path
+/// corruption. Predictions where the stack produced neither an entry nor
+/// invalidation evidence (BTB-only / fallthrough returns) are `Other`.
+/// `INVALID_ENTRY` counts as stack evidence even though the prediction
+/// itself fell back to the BTB: the repair mechanism *knew* the entry was
+/// stale and had nothing better, which is precisely a repair shortfall.
+pub fn classify_return_mispredict(flags: u8) -> MispredictCause {
+    if flags & (popflags::FROM_STACK | popflags::INVALID_ENTRY) == 0 {
+        MispredictCause::Other
+    } else if flags & popflags::SMT_CONTENTION != 0 {
+        MispredictCause::SmtContention
+    } else if flags & popflags::OVERFLOW_WRAP != 0 {
+        MispredictCause::OverflowWrap
+    } else if flags & popflags::UNDERFLOW != 0 {
+        MispredictCause::Underflow
+    } else if flags & popflags::INVALID_ENTRY != 0 {
+        MispredictCause::RepairShortfall
+    } else {
+        MispredictCause::WrongPathCorruption
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lost_cause_index_inverts_all() {
+        for (i, c) in LostCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn mispredict_cause_index_inverts_all() {
+        for (i, c) in MispredictCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let lost: Vec<_> = LostCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            lost,
+            [
+                "icache_starve",
+                "return_mispredict",
+                "branch_mispredict",
+                "ruu_lsq_full",
+                "drain",
+                "other",
+            ]
+        );
+        let mis: Vec<_> = MispredictCause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            mis,
+            [
+                "overflow_wrap",
+                "underflow",
+                "wrong_path_corruption",
+                "repair_shortfall",
+                "smt_contention",
+                "other",
+            ]
+        );
+    }
+
+    #[test]
+    fn cpi_stack_charges_and_conserves() {
+        let mut s = CpiStack::default();
+        s.charge(LostCause::IcacheStarve, 2);
+        s.charge(LostCause::ReturnMispredict, 5);
+        s.charge(LostCause::ReturnMispredict, 1);
+        assert_eq!(s.get(LostCause::ReturnMispredict), 6);
+        assert_eq!(s.total_lost(), 8);
+        // 3 cycles × 4-wide = 12 slots; 4 retired + 8 lost.
+        assert!(s.verify(4, 3, 4));
+        assert!(!s.verify(5, 3, 4));
+    }
+
+    #[test]
+    fn cpi_stack_absorb_sums() {
+        let mut a = CpiStack::default();
+        a.charge(LostCause::Drain, 1);
+        let mut b = CpiStack::default();
+        b.charge(LostCause::Drain, 2);
+        b.charge(LostCause::Other, 3);
+        a.absorb(&b);
+        assert_eq!(a.get(LostCause::Drain), 3);
+        assert_eq!(a.get(LostCause::Other), 3);
+    }
+
+    #[test]
+    fn cpi_stack_json_key_order() {
+        let s = CpiStack::default();
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"icache_starve":0,"return_mispredict":0,"branch_mispredict":0,"ruu_lsq_full":0,"drain":0,"other":0}"#
+        );
+    }
+
+    #[test]
+    fn cause_histogram_counts() {
+        let mut h = CauseHistogram::default();
+        h.record(MispredictCause::OverflowWrap);
+        h.record(MispredictCause::OverflowWrap);
+        h.record(MispredictCause::SmtContention);
+        assert_eq!(h.get(MispredictCause::OverflowWrap), 2);
+        assert_eq!(h.total(), 3);
+        let mut other = CauseHistogram::default();
+        other.record(MispredictCause::Underflow);
+        h.absorb(&other);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn classify_precedence() {
+        use popflags::*;
+        assert_eq!(classify_return_mispredict(0), MispredictCause::Other);
+        assert_eq!(
+            classify_return_mispredict(FROM_STACK),
+            MispredictCause::WrongPathCorruption
+        );
+        assert_eq!(
+            classify_return_mispredict(FROM_STACK | INVALID_ENTRY),
+            MispredictCause::RepairShortfall
+        );
+        // An invalidated entry is stack evidence even when the prediction
+        // itself fell back to the BTB (valid-bits repair, stale entry).
+        assert_eq!(
+            classify_return_mispredict(INVALID_ENTRY),
+            MispredictCause::RepairShortfall
+        );
+        assert_eq!(
+            classify_return_mispredict(FROM_STACK | UNDERFLOW),
+            MispredictCause::Underflow
+        );
+        assert_eq!(
+            classify_return_mispredict(FROM_STACK | UNDERFLOW | OVERFLOW_WRAP),
+            MispredictCause::OverflowWrap
+        );
+        assert_eq!(
+            classify_return_mispredict(FROM_STACK | UNDERFLOW | OVERFLOW_WRAP | SMT_CONTENTION),
+            MispredictCause::SmtContention
+        );
+        // Flags without stack evidence never classify as a stack cause.
+        assert_eq!(
+            classify_return_mispredict(UNDERFLOW | SMT_CONTENTION),
+            MispredictCause::Other
+        );
+    }
+}

@@ -29,6 +29,7 @@ use hydra_bpred::{Btb, ConfidenceEstimator, HybridPredictor};
 use hydra_isa::semantics::{alu, branch_taken, effective_address};
 use hydra_isa::{Addr, ControlKind, Inst, Program, Reg};
 use hydra_mem::MemoryHierarchy;
+use hydra_obs::{classify_return_mispredict, CauseHistogram, CpiStack, LostCause};
 use hydra_stats::Histogram;
 use std::collections::VecDeque;
 
@@ -317,6 +318,16 @@ pub struct Core {
     lsq: Lsq,
 
     stats: SimStats,
+    /// Always-on CPI-stack accounting: every commit slot the core fails
+    /// to fill is charged to a typed cause here, every cycle, with no
+    /// feature gate (see [`Core::cpi_stack`]).
+    cpi: CpiStack,
+    /// Cause of the squash whose post-recovery refill bubble the front
+    /// end is currently serving: set when a conventional misprediction
+    /// redirects fetch, cleared by the next retire. While set, empty-RUU
+    /// commit slots are charged to this cause instead of fetch
+    /// starvation.
+    pending_refill: Option<LostCause>,
     /// Cycle count at the last statistics reset (warm-up boundary).
     cycle_base: u64,
     last_commit_cycle: u64,
@@ -411,6 +422,8 @@ impl Core {
                 max_live_paths: 1,
                 ..SimStats::default()
             },
+            cpi: CpiStack::default(),
+            pending_refill: None,
             cycle_base: 0,
             last_commit_cycle: 0,
             golden: None,
@@ -567,7 +580,22 @@ impl Core {
         self.cycle_base = self.cycle;
         self.memory.reset_stats();
         self.ras.reset_stats();
+        self.cpi = CpiStack::default();
         self.occupancy = Occupancy::new(&self.config);
+    }
+
+    /// The CPI-stack accounting gathered since the last
+    /// [`Core::reset_stats`]: lost commit slots by cause. Together with
+    /// [`SimStats::committed`] it conserves issue bandwidth exactly:
+    /// `cpi_stack().total_lost() + committed == cycles × commit_width`.
+    pub fn cpi_stack(&self) -> &CpiStack {
+        &self.cpi
+    }
+
+    /// This hart's return-misprediction cause histogram (see
+    /// [`hydra_obs::MispredictCause`]).
+    pub fn mispredict_causes(&self) -> CauseHistogram {
+        self.ras.mispredict_causes(self.hart)
     }
 
     /// Architecturally fast-forwards a *fresh* core by up to
@@ -692,14 +720,17 @@ impl Core {
             let hu = head as usize;
             if self.slab[hu].squashed {
                 // Squashed entries drain through the RUU front consuming
-                // retire bandwidth, as the paper's footnote describes.
+                // retire bandwidth, as the paper's footnote describes;
+                // charge the slot to whatever squashed the micro-op.
                 let seq = self.slab[hu].seq;
+                let cause = self.slab[hu].squash_cause;
                 self.ruu.pop_front();
                 self.lsq_remove_for(head);
                 if let Some(t) = &mut self.ptrace {
                     t.on_retire(seq, self.cycle);
                 }
                 self.free_slot(head);
+                self.cpi.charge(cause, 1);
                 slots -= 1;
                 continue;
             }
@@ -718,6 +749,45 @@ impl Core {
             self.retire(head);
             self.free_slot(head);
             slots -= 1;
+        }
+        // Every slot not consumed above is a lost commit opportunity;
+        // charge the whole remainder to one diagnosed cause. Together
+        // with the per-uop charges this conserves bandwidth exactly:
+        // charged + retired == cycles × commit_width.
+        if slots > 0 {
+            let cause = self.lost_slot_cause();
+            self.cpi.charge(cause, slots as u64);
+        }
+    }
+
+    /// Diagnoses why commit broke out of its loop with slots to spare,
+    /// from the machine state left at the break.
+    fn lost_slot_cause(&self) -> LostCause {
+        if self.halted {
+            return LostCause::Drain;
+        }
+        if !self.ruu.is_empty() {
+            // The head exists but is not done: the window is stalled. If
+            // a structure is full the back end is the bottleneck;
+            // otherwise it is ordinary execution latency.
+            if self.ruu.len() >= self.config.ruu_size || self.lsq.len() >= self.config.lsq_size {
+                LostCause::RuuLsqFull
+            } else {
+                LostCause::Other
+            }
+        } else if let Some(cause) = self.pending_refill {
+            // Empty window while the front end refills after a squash:
+            // the bubble belongs to the misprediction being recovered.
+            cause
+        } else if self
+            .paths
+            .alive_ids()
+            .iter()
+            .any(|&p| self.path_ctx[p.index()].stall_until > self.cycle)
+        {
+            LostCause::IcacheStarve
+        } else {
+            LostCause::Other
         }
     }
 
@@ -814,6 +884,8 @@ impl Core {
         // Statistics and predictor training.
         self.stats.committed += 1;
         self.last_commit_cycle = self.cycle;
+        // A retire means the post-squash refill (if any) has delivered.
+        self.pending_refill = None;
         let kind = inst.control_kind();
         match kind {
             ControlKind::Halt => self.halted = true,
@@ -860,6 +932,16 @@ impl Core {
                     }
                 } else {
                     self.stats.target_mispredictions += 1;
+                    // Forensics: classify the misprediction from the
+                    // evidence bits the RAS recorded at pop time.
+                    let cause = classify_return_mispredict(self.slab[su].pop_flags);
+                    self.ras.record_mispredict(self.hart, cause);
+                    hydra_trace::trace_event!(hydra_trace::TraceEvent::ReturnMispredictCause {
+                        cycle: self.cycle,
+                        hart: self.hart.index() as u64,
+                        pc: pc.word(),
+                        cause: cause.label(),
+                    });
                 }
                 if return_source == Some(ReturnSource::Fallthrough) {
                     self.stats.return_no_prediction += 1;
@@ -927,13 +1009,25 @@ impl Core {
             mispredict: !correct,
         });
 
+        // CPI attribution for anything this resolution squashes: a wrong
+        // return is the paper's headline cost, any other wrong control
+        // transfer is an ordinary branch mispredict. Multipath forks
+        // charge the losing arm the same way — those squashed slots are
+        // branch-speculation costs whichever arm wins.
+        let kind = self.slab[su].inst.control_kind();
+        let cause = if kind == ControlKind::Return {
+            LostCause::ReturnMispredict
+        } else {
+            LostCause::BranchMispredict
+        };
+
         if let Some(child) = forked_child {
             if correct {
                 // The fetched (predicted) arm wins: the child subtree dies.
                 let mut subtree = std::mem::take(&mut self.scratch_subtree);
                 subtree.clear();
                 self.paths.kill_subtree_into(child, &mut subtree);
-                self.squash_paths(&subtree);
+                self.squash_paths(&subtree, LostCause::BranchMispredict);
                 self.scratch_subtree = subtree;
             } else {
                 // The forked arm wins: squash the parent's continuation
@@ -942,7 +1036,7 @@ impl Core {
                 // The parent's stack is retained: if an even older branch
                 // on the parent later mispredicts, the parent is revived
                 // as the correct continuation.
-                self.squash_lineage(path, seq);
+                self.squash_lineage(path, seq, LostCause::BranchMispredict);
                 self.paths.retire_path(path);
                 self.path_ctx[path.index()].fetch_stopped = true;
             }
@@ -964,7 +1058,10 @@ impl Core {
         // have been retired by a forked branch younger than this one —
         // that fork (and the subtree that took over) is part of the
         // squashed continuation, so this path fetches again: revive it.
-        self.squash_lineage(path, seq);
+        self.squash_lineage(path, seq, cause);
+        // The refill bubble until the next retire belongs to this
+        // misprediction, not to fetch starvation.
+        self.pending_refill = Some(cause);
         self.paths.revive(path);
         if let Some(handle) = ckpt {
             self.emit_check(CheckEvent::RasRestore {
@@ -996,8 +1093,9 @@ impl Core {
 
     /// Squashes every micro-op on the continuation of `base` after
     /// `min_seq`, kills paths forked out of that continuation, and flushes
-    /// matching fetch-queue entries.
-    fn squash_lineage(&mut self, base: PathId, min_seq: u64) {
+    /// matching fetch-queue entries. RUU entries drain through commit
+    /// later with their lost slot charged to `cause`.
+    fn squash_lineage(&mut self, base: PathId, min_seq: u64, cause: LostCause) {
         // Kill paths whose fork chain leaves `base` strictly after
         // `min_seq` — including paths that already stopped fetching
         // (retired fork parents): their in-flight micro-ops are part of
@@ -1044,6 +1142,7 @@ impl Core {
                 let handle = {
                     let u = &mut self.slab[su];
                     u.squashed = true;
+                    u.squash_cause = cause;
                     u.ras_ckpt.take()
                 };
                 squashed_seqs.push(useq);
@@ -1108,8 +1207,9 @@ impl Core {
         self.scratch_seqs = squashed_seqs;
     }
 
-    /// Squashes every micro-op belonging to the given (killed) paths.
-    fn squash_paths(&mut self, killed: &[PathId]) {
+    /// Squashes every micro-op belonging to the given (killed) paths,
+    /// charging their eventual drain slots to `cause`.
+    fn squash_paths(&mut self, killed: &[PathId], cause: LostCause) {
         for &q in killed {
             self.ras.on_path_death(q);
         }
@@ -1125,6 +1225,7 @@ impl Core {
                     continue;
                 }
                 u.squashed = true;
+                u.squash_cause = cause;
                 (u.seq, u.ras_ckpt.take())
             };
             squashed_seqs.push(useq);
@@ -1686,6 +1787,10 @@ impl Core {
                 ControlKind::Return => {
                     let (target, source) = self.predict_return(path, pc);
                     self.slab[su].return_source = Some(source);
+                    // Snapshot the RAS's pop-time evidence so commit can
+                    // classify a misprediction long after the stack has
+                    // moved on.
+                    self.slab[su].pop_flags = self.ras.last_pop_flags();
                     self.slab[su].ras_ckpt = self.ras.checkpoint(self.hart, path);
                     if self.slab[su].ras_ckpt.is_some() {
                         self.emit_check(CheckEvent::RasCheckpoint {

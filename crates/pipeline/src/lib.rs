@@ -64,6 +64,9 @@ pub use config::{
     ConfigError, CoreConfig, CoreConfigBuilder, FuLatencies, MultipathConfig, RasSharing,
     ReturnPredictor,
 };
+pub use hydra_obs::{
+    classify_return_mispredict, popflags, CauseHistogram, CpiStack, LostCause, MispredictCause,
+};
 pub use path::{HartId, PathId, PathTable};
 pub use ptrace::{PipeTrace, UopRecord};
 pub use ras_unit::{CkptHandle, RasUnit, RasUnitStats};

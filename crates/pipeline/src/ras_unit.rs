@@ -18,6 +18,7 @@
 
 use crate::config::{CoreConfig, RasSharing, ReturnPredictor};
 use crate::path::{HartId, PathId};
+use hydra_obs::{popflags, CauseHistogram, MispredictCause};
 use ras_core::{
     CheckpointBudget, LinkCheckpoint, RasCheckpoint, RepairPolicy, ReturnAddressStack,
     SelfCheckpointingStack,
@@ -130,6 +131,21 @@ pub struct RasUnit {
     real_pool: Vec<ReturnAddressStack>,
     /// Recycled per-path self-checkpointing stacks.
     jourdan_pool: Vec<SelfCheckpointingStack>,
+    /// Forensics: the hart whose push/pop last touched the unit, used to
+    /// flag cross-hart contention on stacks shared between harts.
+    last_accessor: Option<HartId>,
+    /// Forensics: per-stack count of frames lost to overflow wraps that
+    /// have not yet been consumed by an underflowing pop. Distinguishes
+    /// an overflow-wrap underflow from a plain one. Machine state, not a
+    /// statistic: survives [`RasUnit::reset_stats`].
+    lost_frames: HashMap<PathId, u64>,
+    /// Forensics: evidence bits describing the most recent [`RasUnit::pop`]
+    /// (see [`hydra_obs::popflags`]). The pipeline snapshots this into the
+    /// predicted return uop so commit can classify a misprediction.
+    last_pop_flags: u8,
+    /// Forensics: per-hart histogram of classified return mispredictions,
+    /// recorded by the commit stage via [`RasUnit::record_mispredict`].
+    causes: Vec<CauseHistogram>,
 }
 
 impl RasUnit {
@@ -206,6 +222,10 @@ impl RasUnit {
             oracle_pool: Vec::new(),
             real_pool: Vec::new(),
             jourdan_pool: Vec::new(),
+            last_accessor: None,
+            lost_frames: HashMap::new(),
+            last_pop_flags: 0,
+            causes: vec![CauseHistogram::default(); config.harts as usize],
         }
     }
 
@@ -288,10 +308,24 @@ impl RasUnit {
                 }
             }
         }
+        // Per-path stacks inherit the parent's outstanding lost-frame
+        // debt along with its contents.
+        if !self.hart_keyed {
+            if let Mode::Real { per_path: true, .. } = self.mode {
+                if let Some(&lost) = self.lost_frames.get(&parent) {
+                    if lost > 0 {
+                        self.lost_frames.insert(child, lost);
+                    }
+                }
+            }
+        }
     }
 
     /// A path died: harvest its private stack into the reuse pool.
     pub fn on_path_death(&mut self, path: PathId) {
+        if !self.hart_keyed && path != PathId::ROOT {
+            self.lost_frames.remove(&path);
+        }
         match &mut self.mode {
             Mode::Off => {}
             Mode::Oracle { stacks } => {
@@ -334,6 +368,12 @@ impl RasUnit {
             Mode::Oracle { stacks } => stacks.entry(key).or_default().push(return_addr),
             Mode::Real { stacks, .. } => {
                 if let Some(s) = stacks.get_mut(&key) {
+                    // A push at full depth wraps and destroys the oldest
+                    // frame; remember it so a later deep pop can be
+                    // classified as overflow-wrap rather than underflow.
+                    if s.depth() == s.capacity() {
+                        *self.lost_frames.entry(key).or_insert(0) += 1;
+                    }
                     s.push(return_addr);
                 }
             }
@@ -343,20 +383,105 @@ impl RasUnit {
                 }
             }
         }
+        if !matches!(self.mode, Mode::Off) {
+            self.last_accessor = Some(hart);
+        }
     }
 
     /// Pop a predicted return target at fetch time (a return by `hart`
     /// on `path`).
+    ///
+    /// As a side effect, records pop-time forensics evidence retrievable
+    /// via [`RasUnit::last_pop_flags`] until the next pop.
     pub fn pop(&mut self, hart: HartId, path: PathId) -> Option<u64> {
         hydra_trace::trace_hart!(hart.index() as u64);
         hydra_trace::trace_path!(path.index() as u64);
         let key = self.stack_key(hart, path);
-        match &mut self.mode {
+        // On a stack shared between harts, an intervening sibling access
+        // is evidence the contents were perturbed. Hart-keyed stacks are
+        // private, so contention is impossible there by construction.
+        let contended = !self.hart_keyed && self.last_accessor.is_some_and(|prev| prev != hart);
+        let mut flags = 0u8;
+        let out = match &mut self.mode {
             Mode::Off => None,
-            Mode::Oracle { stacks } => stacks.get_mut(&key).and_then(Vec::pop),
-            Mode::Real { stacks, .. } => stacks.get_mut(&key).and_then(|s| s.pop()),
-            Mode::Jourdan { stacks, .. } => stacks.get_mut(&key).and_then(|s| s.pop()),
+            Mode::Oracle { stacks } => {
+                let r = stacks.get_mut(&key).and_then(Vec::pop);
+                if r.is_some() {
+                    flags |= popflags::FROM_STACK;
+                }
+                r
+            }
+            Mode::Real { stacks, .. } => match stacks.get_mut(&key) {
+                Some(s) => {
+                    if s.depth() == 0 {
+                        flags |= popflags::UNDERFLOW;
+                        if let Some(lost) = self.lost_frames.get_mut(&key) {
+                            if *lost > 0 {
+                                *lost -= 1;
+                                flags |= popflags::OVERFLOW_WRAP;
+                            }
+                        }
+                    }
+                    let r = s.pop();
+                    // The circular stack returns the stale wrapped entry
+                    // on underflow (real hardware behavior); `None` means
+                    // the entry was invalidated by the repair mechanism
+                    // or never written.
+                    match r {
+                        Some(_) => flags |= popflags::FROM_STACK,
+                        None => flags |= popflags::INVALID_ENTRY,
+                    }
+                    r
+                }
+                None => None,
+            },
+            Mode::Jourdan { stacks, .. } => {
+                // The self-checkpointing stack keeps its depth internal;
+                // classification for this mode is best-effort (hit vs.
+                // contention only).
+                let r = stacks.get_mut(&key).and_then(|s| s.pop());
+                if r.is_some() {
+                    flags |= popflags::FROM_STACK;
+                }
+                r
+            }
+        };
+        if !matches!(self.mode, Mode::Off) {
+            if contended {
+                flags |= popflags::SMT_CONTENTION;
+            }
+            self.last_accessor = Some(hart);
         }
+        self.last_pop_flags = flags;
+        out
+    }
+
+    /// Evidence bits from the most recent [`RasUnit::pop`] (see
+    /// [`hydra_obs::popflags`]).
+    pub fn last_pop_flags(&self) -> u8 {
+        self.last_pop_flags
+    }
+
+    /// Records a classified return misprediction against `hart`'s
+    /// forensics histogram (called by the commit stage).
+    pub fn record_mispredict(&mut self, hart: HartId, cause: MispredictCause) {
+        if let Some(h) = self.causes.get_mut(hart.index()) {
+            h.record(cause);
+        }
+    }
+
+    /// `hart`'s return-misprediction cause histogram.
+    pub fn mispredict_causes(&self, hart: HartId) -> CauseHistogram {
+        self.causes.get(hart.index()).copied().unwrap_or_default()
+    }
+
+    /// All harts' cause histograms folded together.
+    pub fn mispredict_causes_total(&self) -> CauseHistogram {
+        let mut out = CauseHistogram::default();
+        for h in &self.causes {
+            out.absorb(h);
+        }
+        out
     }
 
     /// Takes a checkpoint for a speculation point on `path`, consuming a
@@ -458,6 +583,9 @@ impl RasUnit {
     /// contents and in-flight budget state intact.
     pub fn reset_stats(&mut self) {
         self.stats = RasUnitStats::default();
+        for h in &mut self.causes {
+            *h = CauseHistogram::default();
+        }
         match &mut self.mode {
             Mode::Real { stacks, .. } => {
                 for s in stacks.values_mut() {
@@ -652,6 +780,86 @@ mod tests {
         assert_eq!(tag.pop(h1, PathId::ROOT), Some(2));
         assert_eq!(tag.pop(h1, PathId::ROOT), Some(1));
         assert_eq!(tag.stats().overflows, 0);
+    }
+
+    #[test]
+    fn pop_flags_report_underflow_and_overflow_wrap() {
+        let mut u = RasUnit::new(&CoreConfig {
+            return_predictor: ReturnPredictor::Ras {
+                entries: 2,
+                repair: RepairPolicy::None,
+            },
+            ..CoreConfig::default()
+        });
+        // Underflow on an empty, never-written stack: no stale entry.
+        assert_eq!(u.pop(H0, PathId::ROOT), None);
+        let f = u.last_pop_flags();
+        assert_ne!(f & popflags::UNDERFLOW, 0);
+        assert_ne!(f & popflags::INVALID_ENTRY, 0);
+        assert_eq!(f & popflags::OVERFLOW_WRAP, 0);
+        // Fill, then overflow once: 3 pushes into 2 entries lose a frame.
+        for a in [1u64, 2, 3] {
+            u.push(H0, PathId::ROOT, a);
+        }
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(3));
+        assert_eq!(u.last_pop_flags(), popflags::FROM_STACK);
+        assert_eq!(u.pop(H0, PathId::ROOT), Some(2));
+        // The pop for the lost frame underflows into the stale slot and
+        // carries the overflow-wrap evidence exactly once.
+        let stale = u.pop(H0, PathId::ROOT);
+        assert!(stale.is_some(), "circular stack returns the stale entry");
+        let f = u.last_pop_flags();
+        assert_ne!(f & popflags::UNDERFLOW, 0);
+        assert_ne!(f & popflags::OVERFLOW_WRAP, 0);
+        u.pop(H0, PathId::ROOT);
+        assert_eq!(
+            u.last_pop_flags() & popflags::OVERFLOW_WRAP,
+            0,
+            "lost-frame debt was consumed"
+        );
+    }
+
+    #[test]
+    fn pop_flags_report_shared_hart_contention() {
+        let h1 = HartId::new(1);
+        let mut u = smt_unit(RasSharing::Shared, 32);
+        u.push(H0, PathId::ROOT, 0x10);
+        u.push(h1, PathId::ROOT, 0x20);
+        u.pop(H0, PathId::ROOT);
+        assert_ne!(
+            u.last_pop_flags() & popflags::SMT_CONTENTION,
+            0,
+            "hart 1 touched the shared stack since hart 0's push"
+        );
+        u.pop(H0, PathId::ROOT);
+        assert_eq!(
+            u.last_pop_flags() & popflags::SMT_CONTENTION,
+            0,
+            "back-to-back same-hart pops are not contended"
+        );
+        // Partitioned stacks are hart-private: never contended.
+        let mut p = smt_unit(RasSharing::Partitioned, 32);
+        p.push(H0, PathId::ROOT, 0x10);
+        p.push(h1, PathId::ROOT, 0x20);
+        p.pop(H0, PathId::ROOT);
+        assert_eq!(p.last_pop_flags() & popflags::SMT_CONTENTION, 0);
+    }
+
+    #[test]
+    fn mispredict_cause_histograms_are_per_hart() {
+        let h1 = HartId::new(1);
+        let mut u = smt_unit(RasSharing::Shared, 32);
+        u.record_mispredict(H0, MispredictCause::Underflow);
+        u.record_mispredict(h1, MispredictCause::SmtContention);
+        u.record_mispredict(h1, MispredictCause::SmtContention);
+        assert_eq!(u.mispredict_causes(H0).get(MispredictCause::Underflow), 1);
+        assert_eq!(
+            u.mispredict_causes(h1).get(MispredictCause::SmtContention),
+            2
+        );
+        assert_eq!(u.mispredict_causes_total().total(), 3);
+        u.reset_stats();
+        assert_eq!(u.mispredict_causes_total().total(), 0);
     }
 
     #[test]

@@ -281,6 +281,17 @@ impl CoreHandle<'_> {
         self.sys.with_engine(self.hart, |e| e.stats())
     }
 
+    /// This hart's CPI-stack accounting (see [`Core::cpi_stack`]).
+    pub fn cpi_stack(&self) -> hydra_obs::CpiStack {
+        *self.engine().cpi_stack()
+    }
+
+    /// This hart's return-misprediction cause histogram, read from the
+    /// core-shared RAS unit (see [`Core::mispredict_causes`]).
+    pub fn mispredict_causes(&mut self) -> hydra_obs::CauseHistogram {
+        self.sys.with_engine(self.hart, |e| e.mispredict_causes())
+    }
+
     /// Enables this hart's differential-check stream (see
     /// [`Core::enable_check_stream`]).
     #[cfg(feature = "commit-stream")]

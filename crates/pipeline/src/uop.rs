@@ -93,6 +93,13 @@ pub(crate) struct Uop {
     /// This micro-op's LSQ slot ([`NIL`] when it holds none), making
     /// commit- and squash-time LSQ removal O(1) instead of a retain scan.
     pub lsq_slot: u32,
+    /// RAS pop-time evidence bits recorded at fetch (returns only; see
+    /// [`hydra_obs::popflags`]), used by commit to classify a
+    /// misprediction.
+    pub pop_flags: u8,
+    /// CPI-stack cause this micro-op's commit slot is charged to if it
+    /// drains squashed.
+    pub squash_cause: hydra_obs::LostCause,
 }
 
 impl Uop {
@@ -121,6 +128,8 @@ impl Uop {
             resolved: false,
             consumers: Vec::new(),
             lsq_slot: NIL,
+            pop_flags: 0,
+            squash_cause: hydra_obs::LostCause::Other,
         }
     }
 

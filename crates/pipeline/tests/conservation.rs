@@ -1,0 +1,94 @@
+//! CPI-stack conservation invariant, end to end.
+//!
+//! The always-on cycle accounting must balance its books exactly: every
+//! commit slot of every cycle is either filled by a retiring micro-op or
+//! charged to a typed loss cause, so
+//!
+//! ```text
+//! cpi_stack().total_lost() + committed == cycles × commit_width
+//! ```
+//!
+//! holds by construction — this test asserts it on every suite workload,
+//! single-hart (baseline and multipath, where fork/squash bookkeeping is
+//! the stress case) and 2-hart SMT on a shared stack.
+
+use hydra_pipeline::{Core, CoreConfig, CpiStack, RasSharing, ReturnPredictor, SimStats, System};
+use hydra_workloads::Workload;
+use ras_core::{MultipathStackPolicy, RepairPolicy};
+
+const SEED: u64 = 12345;
+
+fn assert_conserves(label: &str, cpi: &CpiStack, stats: &SimStats, width: usize) {
+    assert!(
+        cpi.verify(stats.committed, stats.cycles, width),
+        "{label}: lost {} + committed {} != cycles {} x width {width} (stack: {:?})",
+        cpi.total_lost(),
+        stats.committed,
+        stats.cycles,
+        cpi.named(),
+    );
+}
+
+#[test]
+fn conservation_holds_on_the_suite_single_hart() {
+    for w in Workload::spec95_suite(SEED).expect("suite generates") {
+        let config = CoreConfig::baseline();
+        let width = config.commit_width;
+        let mut core = Core::new(config, w.program());
+        let stats = core.run(10_000);
+        assert_conserves(w.spec().name.as_str(), core.cpi_stack(), &stats, width);
+        assert!(
+            core.cpi_stack().total_lost() > 0,
+            "{}: a real pipeline loses at least some slots",
+            w.spec().name
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_under_multipath() {
+    for w in Workload::spec95_suite(SEED).expect("suite generates") {
+        let config = CoreConfig::multipath(2, MultipathStackPolicy::PerPath);
+        let width = config.commit_width;
+        let mut core = Core::new(config, w.program());
+        let stats = core.run(10_000);
+        assert_conserves(w.spec().name.as_str(), core.cpi_stack(), &stats, width);
+    }
+}
+
+#[test]
+fn conservation_holds_per_hart_under_smt() {
+    let suite = Workload::spec95_suite(SEED).expect("suite generates");
+    for pair in suite.chunks(2) {
+        let (w0, w1) = (&pair[0], &pair[pair.len() - 1]);
+        let mut config = CoreConfig::smt(2, RasSharing::Shared);
+        config.return_predictor = ReturnPredictor::Ras {
+            entries: 32,
+            repair: RepairPolicy::TosPointerAndContents,
+        };
+        let width = config.commit_width;
+        let mut sys = System::new(1, config, &[w0.program(), w1.program()]);
+        let stats = sys.run(5_000);
+        for (i, s) in stats.iter().enumerate() {
+            let cpi = sys.hart(i).cpi_stack();
+            let label = format!(
+                "{}+{} hart {i}",
+                w0.spec().name.as_str(),
+                w1.spec().name.as_str()
+            );
+            assert_conserves(&label, &cpi, s, width);
+        }
+    }
+}
+
+#[test]
+fn conservation_survives_a_warmup_reset() {
+    let w = &Workload::spec95_suite(SEED).expect("suite generates")[0];
+    let config = CoreConfig::baseline();
+    let width = config.commit_width;
+    let mut core = Core::new(config, w.program());
+    core.run(2_000);
+    core.reset_stats();
+    let stats = core.run(8_000);
+    assert_conserves("post-reset window", core.cpi_stack(), &stats, width);
+}

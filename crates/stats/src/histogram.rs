@@ -104,8 +104,10 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
+        // Clamp into [1, total]: p = 100 on a large population can round
+        // up past the last rank in f64, which would skip every bucket.
         let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.total as f64).ceil() as u64;
-        let rank = rank.max(1);
+        let rank = rank.clamp(1, self.total);
         let mut cum = 0u64;
         for (value, count) in self.iter() {
             cum += count;
@@ -122,10 +124,10 @@ impl Histogram {
     }
 
     /// The histogram as a JSON object with stable field names:
-    /// `{"count", "mean", "p50", "p95", "max", "overflow", "buckets"}`.
-    /// `p50`/`p95`/`max` are `null` when empty; `buckets` lists only the
-    /// non-empty exact buckets as `[value, count]` pairs so sparse
-    /// histograms stay small.
+    /// `{"count", "mean", "p50", "p95", "p99", "max", "overflow",
+    /// "buckets"}`. The percentiles and `max` are `null` when empty;
+    /// `buckets` lists only the non-empty exact buckets as
+    /// `[value, count]` pairs so sparse histograms stay small.
     pub fn to_json(&self) -> crate::Json {
         let opt = |v: Option<u64>| v.map(crate::Json::int).unwrap_or(crate::Json::Null);
         crate::Json::obj([
@@ -133,6 +135,7 @@ impl Histogram {
             ("mean", crate::Json::num(self.mean())),
             ("p50", opt(self.percentile(50.0))),
             ("p95", opt(self.percentile(95.0))),
+            ("p99", opt(self.percentile(99.0))),
             ("max", opt(self.max)),
             ("overflow", crate::Json::int(self.overflow)),
             (
@@ -232,6 +235,7 @@ mod tests {
         }
         assert_eq!(h.percentile(50.0), Some(50));
         assert_eq!(h.percentile(95.0), Some(95));
+        assert_eq!(h.percentile(99.0), Some(99));
         assert_eq!(h.percentile(0.0), Some(1));
         // The sample `100` sits at the cap (overflow bucket), so the
         // top rank resolves through the observed max.
@@ -256,11 +260,34 @@ mod tests {
     }
 
     #[test]
+    fn percentile_top_rank_on_saturating_buckets() {
+        // Every sample lands in the overflow bucket: the exact buckets
+        // are empty and every rank — including the q=1.0 edge, where f64
+        // rounding can push ceil() past the last rank — must resolve
+        // through the observed max, never to None.
+        let mut h = Histogram::with_cap(1);
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        assert_eq!(h.percentile(99.0), Some(u64::MAX));
+        assert_eq!(h.percentile(50.0), Some(u64::MAX));
+
+        // A population large enough that (p/100)*total rounds up past
+        // total in f64 still clamps back to the last rank.
+        let mut big = Histogram::with_cap(2);
+        big.record(1);
+        big.total = u64::MAX - 1; // simulate a huge sample count
+        big.buckets[1] = u64::MAX - 1;
+        assert_eq!(big.percentile(100.0), Some(1));
+    }
+
+    #[test]
     fn to_json_zero_samples() {
         let h = Histogram::with_cap(4);
         assert_eq!(
             h.to_json().to_string(),
-            r#"{"count":0,"mean":0,"p50":null,"p95":null,"max":null,"overflow":0,"buckets":[]}"#
+            r#"{"count":0,"mean":0,"p50":null,"p95":null,"p99":null,"max":null,"overflow":0,"buckets":[]}"#
         );
     }
 
@@ -270,7 +297,7 @@ mod tests {
         h.record(3);
         assert_eq!(
             h.to_json().to_string(),
-            r#"{"count":1,"mean":3,"p50":3,"p95":3,"max":3,"overflow":0,"buckets":[[3,1]]}"#
+            r#"{"count":1,"mean":3,"p50":3,"p95":3,"p99":3,"max":3,"overflow":0,"buckets":[[3,1]]}"#
         );
     }
 

@@ -181,6 +181,21 @@ pub fn chrome_trace(trace: &Trace) -> Json {
                 *parent,
                 Json::obj([("child", Json::int(*child))]),
             ),
+            TraceEvent::ReturnMispredictCause {
+                cycle,
+                hart,
+                pc,
+                cause,
+            } => instant(
+                "return_mispredict",
+                "ras",
+                *cycle,
+                sim_row(*hart, 0),
+                Json::obj([
+                    ("pc", Json::Str(format!("{pc:#x}"))),
+                    ("cause", Json::str(*cause)),
+                ]),
+            ),
             TraceEvent::BranchResolve {
                 cycle,
                 hart,

@@ -74,6 +74,18 @@ pub enum TraceEvent {
         /// Child path id.
         child: u64,
     },
+    /// A mispredicted return classified at commit by the forensics layer
+    /// (see `hydra_obs::MispredictCause`).
+    ReturnMispredictCause {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Hardware thread that committed the return.
+        hart: u64,
+        /// Return PC (word address).
+        pc: u64,
+        /// Proximate-cause label (e.g. `overflow_wrap`).
+        cause: &'static str,
+    },
     /// A conditional or indirect branch resolved at execute.
     BranchResolve {
         /// Simulation cycle.
@@ -270,7 +282,8 @@ impl TraceEvent {
             | TraceEvent::RasPop { .. }
             | TraceEvent::RasSave { .. }
             | TraceEvent::RasRepair { .. }
-            | TraceEvent::RasFork { .. } => EventClass::Ras,
+            | TraceEvent::RasFork { .. }
+            | TraceEvent::ReturnMispredictCause { .. } => EventClass::Ras,
             TraceEvent::BranchResolve { .. } => EventClass::Branch,
             TraceEvent::Squash { .. } => EventClass::Squash,
             TraceEvent::StageSample { .. } => EventClass::Stage,
@@ -294,6 +307,7 @@ impl TraceEvent {
             TraceEvent::RasSave { .. } => "ras_save",
             TraceEvent::RasRepair { .. } => "ras_repair",
             TraceEvent::RasFork { .. } => "ras_fork",
+            TraceEvent::ReturnMispredictCause { .. } => "return_mispredict_cause",
             TraceEvent::BranchResolve { .. } => "branch_resolve",
             TraceEvent::Squash { .. } => "squash",
             TraceEvent::StageSample { .. } => "stage_sample",
@@ -311,6 +325,7 @@ impl TraceEvent {
             | TraceEvent::RasSave { cycle, .. }
             | TraceEvent::RasRepair { cycle, .. }
             | TraceEvent::RasFork { cycle, .. }
+            | TraceEvent::ReturnMispredictCause { cycle, .. }
             | TraceEvent::BranchResolve { cycle, .. }
             | TraceEvent::Squash { cycle, .. }
             | TraceEvent::StageSample { cycle, .. }
@@ -389,6 +404,18 @@ impl TraceEvent {
                 ("cycle", Json::int(*cycle)),
                 ("parent", Json::int(*parent)),
                 ("child", Json::int(*child)),
+            ]),
+            TraceEvent::ReturnMispredictCause {
+                cycle,
+                hart,
+                pc,
+                cause,
+            } => Json::obj([
+                ("kind", Json::Str(self.kind().into())),
+                ("cycle", Json::int(*cycle)),
+                ("hart", Json::int(*hart)),
+                ("pc", hex(*pc)),
+                ("cause", Json::Str((*cause).into())),
             ]),
             TraceEvent::BranchResolve {
                 cycle,
@@ -551,6 +578,12 @@ mod tests {
                 path: 0,
                 pc: 0x40,
                 mispredict: true,
+            },
+            TraceEvent::ReturnMispredictCause {
+                cycle: 11,
+                hart: 1,
+                pc: 0x44,
+                cause: "overflow_wrap",
             },
             TraceEvent::ExptSpan {
                 label: "fig-repair".into(),
