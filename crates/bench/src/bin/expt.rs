@@ -17,6 +17,8 @@
 //! expt fuzz                        differential fuzz: pipeline vs references
 //! expt fuzz --cases 500 --seed 7   a longer, differently-seeded campaign
 //! expt fuzz --replay repro.json    re-run a minimized divergence repro
+//! expt serve --addr 127.0.0.1:8091 simulation-as-a-service with result cache
+//! expt storm --addr 127.0.0.1:8091 --min-hit-rate 90   load-test + CI gate
 //! ```
 //!
 //! Results go to **stdout** and are byte-identical for any `--jobs`
@@ -84,6 +86,10 @@ const USAGE: &str = "usage: expt --list\n\
        expt perf [--out DIR] [--baseline FILE]\n\
        expt report --out DIR\n\
        expt fuzz [--cases N] [--seed S] [--replay FILE] [--out DIR]\n\
+       expt serve [--addr HOST:PORT] [--jobs N] [--http-threads N] [--sim-workers N]\n\
+                  [--queue-depth N] [--cache-capacity N] [--job-budget N] [--timeout-ms MS]\n\
+       expt storm [<name>...] [--addr HOST:PORT] [--requests N] [--concurrency N]\n\
+                  [--distinct N] [--seed S] [--min-hit-rate PCT] [--out DIR]\n\
        expt --validate-trace FILE";
 
 fn main() -> ExitCode {
@@ -120,6 +126,19 @@ struct Cli {
     trace_filter: EventMask,
     profile: bool,
     validate_trace: Option<PathBuf>,
+    serve: bool,
+    storm: bool,
+    addr: String,
+    http_threads: usize,
+    sim_workers: usize,
+    queue_depth: usize,
+    cache_capacity: usize,
+    job_budget: u64,
+    timeout_ms: u64,
+    requests: u64,
+    concurrency: usize,
+    distinct: u64,
+    min_hit_rate: Option<f64>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, Error> {
@@ -145,6 +164,19 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
         trace_filter: EventMask::all(),
         profile: false,
         validate_trace: None,
+        serve: false,
+        storm: false,
+        addr: "127.0.0.1:8091".to_string(),
+        http_threads: 4,
+        sim_workers: 2,
+        queue_depth: 32,
+        cache_capacity: 1024,
+        job_budget: 0,
+        timeout_ms: 0,
+        requests: 200,
+        concurrency: 8,
+        distinct: 8,
+        min_hit_rate: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -240,6 +272,103 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
             a if a.starts_with("--replay=") => {
                 cli.replay = Some(PathBuf::from(&a["--replay=".len()..]));
             }
+            "--addr" => {
+                let v = it.next().ok_or_else(|| usage("--addr needs host:port"))?;
+                cli.addr = v.clone();
+            }
+            a if a.starts_with("--addr=") => {
+                cli.addr = a["--addr=".len()..].to_string();
+            }
+            "--http-threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--http-threads needs a value"))?;
+                cli.http_threads = parse_count("--http-threads", v)?;
+            }
+            a if a.starts_with("--http-threads=") => {
+                cli.http_threads = parse_count("--http-threads", &a["--http-threads=".len()..])?;
+            }
+            "--sim-workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--sim-workers needs a value"))?;
+                cli.sim_workers = parse_count("--sim-workers", v)?;
+            }
+            a if a.starts_with("--sim-workers=") => {
+                cli.sim_workers = parse_count("--sim-workers", &a["--sim-workers=".len()..])?;
+            }
+            "--queue-depth" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--queue-depth needs a value"))?;
+                cli.queue_depth = parse_count("--queue-depth", v)?;
+            }
+            a if a.starts_with("--queue-depth=") => {
+                cli.queue_depth = parse_count("--queue-depth", &a["--queue-depth=".len()..])?;
+            }
+            "--cache-capacity" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--cache-capacity needs a value"))?;
+                cli.cache_capacity = parse_count("--cache-capacity", v)?;
+            }
+            a if a.starts_with("--cache-capacity=") => {
+                cli.cache_capacity =
+                    parse_count("--cache-capacity", &a["--cache-capacity=".len()..])?;
+            }
+            "--job-budget" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--job-budget needs a value"))?;
+                cli.job_budget = parse_u64("--job-budget", v)?;
+            }
+            a if a.starts_with("--job-budget=") => {
+                cli.job_budget = parse_u64("--job-budget", &a["--job-budget=".len()..])?;
+            }
+            "--timeout-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--timeout-ms needs a value"))?;
+                cli.timeout_ms = parse_u64("--timeout-ms", v)?;
+            }
+            a if a.starts_with("--timeout-ms=") => {
+                cli.timeout_ms = parse_u64("--timeout-ms", &a["--timeout-ms=".len()..])?;
+            }
+            "--requests" => {
+                let v = it.next().ok_or_else(|| usage("--requests needs a value"))?;
+                cli.requests = parse_u64("--requests", v)?;
+            }
+            a if a.starts_with("--requests=") => {
+                cli.requests = parse_u64("--requests", &a["--requests=".len()..])?;
+            }
+            "--concurrency" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--concurrency needs a value"))?;
+                cli.concurrency = parse_count("--concurrency", v)?;
+            }
+            a if a.starts_with("--concurrency=") => {
+                cli.concurrency = parse_count("--concurrency", &a["--concurrency=".len()..])?;
+            }
+            "--distinct" => {
+                let v = it.next().ok_or_else(|| usage("--distinct needs a value"))?;
+                cli.distinct = parse_u64("--distinct", v)?;
+            }
+            a if a.starts_with("--distinct=") => {
+                cli.distinct = parse_u64("--distinct", &a["--distinct=".len()..])?;
+            }
+            "--min-hit-rate" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| usage("--min-hit-rate needs a percentage"))?;
+                cli.min_hit_rate = Some(parse_percent("--min-hit-rate", v)?);
+            }
+            a if a.starts_with("--min-hit-rate=") => {
+                cli.min_hit_rate = Some(parse_percent(
+                    "--min-hit-rate",
+                    &a["--min-hit-rate=".len()..],
+                )?);
+            }
             "--help" | "-h" => {
                 cli.list = true; // --help shows the list too
             }
@@ -247,6 +376,8 @@ fn parse(args: &[String]) -> Result<Cli, Error> {
             "perf" => cli.perf = true,
             "report" => cli.report = true,
             "fuzz" => cli.fuzz = true,
+            "serve" => cli.serve = true,
+            "storm" => cli.storm = true,
             name => cli.names.push(name.to_string()),
         }
     }
@@ -264,13 +395,32 @@ fn parse_u64(flag: &str, v: &str) -> Result<u64, Error> {
 }
 
 fn parse_jobs(v: &str) -> Result<usize, Error> {
+    parse_count("--jobs", v)
+}
+
+/// Parses a `usize` flag value that must be at least 1 (thread counts,
+/// queue depths, capacities).
+fn parse_count(flag: &str, v: &str) -> Result<usize, Error> {
     let n: usize = v
         .parse()
-        .map_err(|e| Error::Usage(format!("--jobs: cannot parse {v:?}: {e}")))?;
+        .map_err(|e| Error::Usage(format!("{flag}: cannot parse {v:?}: {e}")))?;
     if n == 0 {
-        return Err(Error::Usage("--jobs must be at least 1".into()));
+        return Err(Error::Usage(format!("{flag} must be at least 1")));
     }
     Ok(n)
+}
+
+/// Parses a percentage in `[0, 100]` into a fraction.
+fn parse_percent(flag: &str, v: &str) -> Result<f64, Error> {
+    let pct: f64 = v
+        .parse()
+        .map_err(|e| Error::Usage(format!("{flag}: cannot parse {v:?}: {e}")))?;
+    if !(0.0..=100.0).contains(&pct) {
+        return Err(Error::Usage(format!(
+            "{flag}: {v:?} is not a percentage in [0, 100]"
+        )));
+    }
+    Ok(pct / 100.0)
 }
 
 /// Resolves the experiment names on the command line (`all`, or empty in
@@ -326,7 +476,28 @@ fn run(args: Vec<String>) -> Result<ExitCode, Error> {
             "  {:<16} differential fuzz: pipeline vs reference models",
             "fuzz"
         );
+        println!(
+            "  {:<16} HTTP server with a content-addressed result cache",
+            "serve"
+        );
+        println!(
+            "  {:<16} load generator against a running `expt serve`",
+            "storm"
+        );
         return Ok(ExitCode::SUCCESS);
+    }
+
+    if cli.serve {
+        if !cli.names.is_empty() {
+            return Err(Error::Usage(
+                "'serve' cannot be combined with experiment names".into(),
+            ));
+        }
+        return run_serve(&cli);
+    }
+
+    if cli.storm {
+        return run_storm(&cli);
     }
 
     if cli.perf {
@@ -532,6 +703,90 @@ fn run_fuzz(cli: &Cli) -> Result<ExitCode, Error> {
             })
         }
     }
+}
+
+/// `expt serve`: binds the hydra-serve HTTP server over the experiment
+/// registry and runs until the process is killed. Engine threads per
+/// computation come from `--jobs` (default: available parallelism split
+/// across the `--sim-workers` compute workers).
+fn run_serve(cli: &Cli) -> Result<ExitCode, Error> {
+    let engine_workers = cli.jobs.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (cores / cli.sim_workers).max(1)
+    });
+    let config = hydra_serve::Config {
+        handler_threads: cli.http_threads,
+        workers: cli.sim_workers,
+        queue_depth: cli.queue_depth,
+        cache_capacity: cli.cache_capacity,
+        job_budget: cli.job_budget,
+        timeout_ms: cli.timeout_ms,
+        ..hydra_serve::Config::default()
+    };
+    let service = std::sync::Arc::new(hydra_bench::ExptService::new(engine_workers));
+    let handle = hydra_serve::serve(&cli.addr, service, config)
+        .map_err(|io| Error::io(format!("binding {}", cli.addr), io))?;
+    // The listening line goes to stdout unbuffered so wrapper scripts
+    // (CI readiness checks) can wait for it.
+    println!("expt serve: listening on http://{}", handle.addr());
+    println!(
+        "expt serve: POST {} | GET /healthz | GET /metrics  \
+         ({} http threads, {} sim workers x {} engine jobs, queue {}, cache {})",
+        hydra_serve::EXPERIMENTS_PATH,
+        cli.http_threads,
+        cli.sim_workers,
+        engine_workers,
+        cli.queue_depth,
+        cli.cache_capacity,
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `expt storm`: runs the two-phase load generator against a live
+/// server, prints both phase summaries, writes the latency report under
+/// `--out`, and gates on `--min-hit-rate` (hot phase) for CI.
+fn run_storm(cli: &Cli) -> Result<ExitCode, Error> {
+    let mut opts = hydra_bench::StormOptions::new(cli.addr.clone());
+    opts.concurrency = cli.concurrency;
+    opts.requests = cli.requests;
+    opts.distinct = cli.distinct;
+    opts.seed = cli.fuzz_seed;
+    if !cli.names.is_empty() {
+        for name in &cli.names {
+            hydra_bench::lookup(name)?; // fail fast, before load starts
+        }
+        opts.experiments = cli.names.clone();
+    }
+
+    let report = hydra_bench::storm(&opts)?;
+    println!("{}", report.cold.summary());
+    println!("{}", report.hot.summary());
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|io| Error::io(format!("creating {}", dir.display()), io))?;
+        let path = dir.join("STORM_expt.json");
+        std::fs::write(&path, report.to_json(&opts).pretty())
+            .map_err(|io| Error::io(format!("writing {}", path.display()), io))?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(required) = cli.min_hit_rate {
+        let measured = report.hot.hit_rate();
+        if measured < required {
+            return Err(Error::StormHitRate { measured, required });
+        }
+        println!(
+            "storm hit-rate gate ok: {:.1}% >= {:.1}%",
+            measured * 100.0,
+            required * 100.0
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Starts a trace session when `--trace` was given, refusing cleanly if

@@ -538,8 +538,8 @@ pub fn execute(jobs: &[SimJob], workers: usize) -> (Vec<JobOutput>, EngineReport
     (outputs, report)
 }
 
-/// An ordered cursor over job outputs, used by `Experiment::reduce`
-/// implementations to consume results in the same order `jobs()` emitted
+/// An ordered cursor over job outputs, used by `Experiment::harvest`
+/// implementations to consume results in the same order `plan()` emitted
 /// them.
 #[derive(Debug)]
 pub struct Harvest<'a> {
@@ -557,7 +557,7 @@ impl<'a> Harvest<'a> {
         let out = self
             .outputs
             .get(self.next)
-            .expect("reduce consumed more outputs than jobs() emitted");
+            .expect("harvest consumed more outputs than plan() emitted");
         self.next += 1;
         out
     }
@@ -603,12 +603,12 @@ impl<'a> Harvest<'a> {
         }
     }
 
-    /// Asserts every output was consumed (catches job/reduce drift).
+    /// Asserts every output was consumed (catches plan/harvest drift).
     pub fn finish(self) {
         assert_eq!(
             self.next,
             self.outputs.len(),
-            "reduce consumed {} of {} outputs",
+            "harvest consumed {} of {} outputs",
             self.next,
             self.outputs.len()
         );

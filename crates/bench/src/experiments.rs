@@ -1,12 +1,15 @@
 //! The unified [`Experiment`] API and its registry.
 //!
 //! Every artifact of the paper's evaluation is an [`Experiment`]: a named
-//! unit that *decomposes* into independent [`SimJob`]s and *reduces* the
-//! job outputs back into a rendered [`Table`]. The split is what lets the
-//! engine in [`crate::engine`] fan the jobs out across cores while
-//! keeping the reduced table byte-identical to a serial run — `jobs()`
-//! defines the deterministic order, `reduce()` consumes outputs in that
-//! same order via [`Harvest`].
+//! unit that *plans* a batch of independent [`SimJob`]s and *harvests*
+//! the job outputs back into a rendered [`Table`]. The plan/harvest
+//! split is the programmatic entry point everything else drives — the
+//! `expt` CLI, the `hydra-serve` request handler, sweeps, and tests all
+//! call `plan()`, run the jobs however they like (the engine in
+//! [`crate::engine`], a remote worker pool, a cache), and feed the
+//! outputs to `harvest()`. `plan()` defines the deterministic job order,
+//! `harvest()` consumes outputs in that same order via [`Harvest`], and
+//! the result is byte-identical however the jobs were scheduled.
 //!
 //! [`registry`] lists every experiment; the `expt` binary dispatches on
 //! [`Experiment::name`] (`expt --list`, `expt table1`, `expt all`).
@@ -22,10 +25,12 @@ use crate::{repair_ladder, RunSpec};
 
 /// One reproducible artifact of the paper's evaluation.
 ///
-/// Implementations decompose into [`SimJob`]s and fold the outputs back
-/// into a table; see the module docs. The contract between the two
-/// halves: `reduce` must consume outputs in exactly the order `jobs`
-/// emitted them (enforced by [`Harvest`]).
+/// Implementations plan a batch of [`SimJob`]s and harvest the outputs
+/// back into a table; see the module docs. The contract between the two
+/// halves: `harvest` must consume outputs in exactly the order `plan`
+/// emitted them (enforced by [`Harvest`]), and both halves must be pure
+/// functions of `rs` — that purity is what lets a server answer a
+/// repeated request from a content-addressed cache byte-identically.
 pub trait Experiment: Sync {
     /// Registry key and CLI name, e.g. `"fig-repair"`.
     fn name(&self) -> &'static str;
@@ -33,11 +38,12 @@ pub trait Experiment: Sync {
     /// One-line description shown by `expt --list`.
     fn title(&self) -> &'static str;
 
-    /// Decomposes the experiment into independent job units for `rs`.
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob>;
+    /// Plans the experiment as independent job units for `rs`, in the
+    /// deterministic order `harvest` will consume them.
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob>;
 
-    /// Folds job outputs (in `jobs()` order) into the rendered table.
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table;
+    /// Harvests job outputs (in `plan()` order) into the rendered table.
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table;
 }
 
 /// A finished experiment: the artifact plus engine observability.
@@ -54,10 +60,10 @@ pub struct ExperimentRun {
 /// The output table is independent of `workers`; only the report's
 /// timings change.
 pub fn run_experiment(experiment: &dyn Experiment, rs: &RunSpec, workers: usize) -> ExperimentRun {
-    let jobs = experiment.jobs(rs);
+    let jobs = experiment.plan(rs);
     let (outputs, report) = execute(&jobs, workers);
     ExperimentRun {
-        table: experiment.reduce(rs, &outputs),
+        table: experiment.harvest(rs, &outputs),
         report,
     }
 }
@@ -124,11 +130,11 @@ impl Experiment for Table1 {
         "baseline machine model (configuration dump)"
     }
 
-    fn jobs(&self, _rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, _rs: &RunSpec) -> Vec<SimJob> {
         Vec::new()
     }
 
-    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         Harvest::new(outputs).finish();
         let c = CoreConfig::baseline();
         let mut t = Table::new(vec!["parameter", "value"]);
@@ -220,7 +226,7 @@ impl Experiment for Table2 {
         "benchmark characteristics on the baseline machine"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             jobs.push(SimJob::cycle(&spec, seed, CoreConfig::baseline(), rs).tagged("baseline"));
@@ -229,7 +235,7 @@ impl Experiment for Table2 {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut t = Table::new(vec![
             "benchmark",
@@ -280,7 +286,7 @@ impl Experiment for Table4 {
         "return prediction from the BTB alone vs a repaired stack"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             jobs.push(
@@ -297,7 +303,7 @@ impl Experiment for Table4 {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut t = Table::new(vec![
             "benchmark",
@@ -339,7 +345,7 @@ impl Experiment for FigRepair {
         "return hit rate by repair mechanism"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (tag, rp) in repair_ladder() {
@@ -352,7 +358,7 @@ impl Experiment for FigRepair {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let ladder = repair_ladder();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
@@ -388,11 +394,11 @@ impl Experiment for FigSpeedup {
         "IPC by repair mechanism and repair speedups"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
-        FigRepair.jobs(rs)
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
+        FigRepair.plan(rs)
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let ladder = repair_ladder();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
@@ -440,7 +446,7 @@ impl Experiment for FigDepth {
         "return hit rate vs stack size (TOS ptr+contents repair)"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for entries in DEPTH_SIZES {
@@ -457,7 +463,7 @@ impl Experiment for FigDepth {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
         header.extend(DEPTH_SIZES.iter().map(|s| format!("{s} entries")));
@@ -498,7 +504,7 @@ impl Experiment for FigBudget {
         "checkpoint shadow-storage sensitivity (ptr+contents)"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (tag, budget) in BUDGETS {
@@ -509,7 +515,7 @@ impl Experiment for FigBudget {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
         for (name, _) in &BUDGETS {
@@ -567,7 +573,7 @@ impl Experiment for FigMultipath {
         "relative IPC by stack organization under multipath fetch"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for paths in [2usize, 4] {
@@ -582,7 +588,7 @@ impl Experiment for FigMultipath {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let policies = multipath_policies();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
@@ -643,7 +649,7 @@ impl Experiment for FigTopk {
         "hit rate vs checkpointed top-of-stack entries"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (tag, repair) in topk_ladder() {
@@ -660,7 +666,7 @@ impl Experiment for FigTopk {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let ks = topk_ladder();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
@@ -712,7 +718,7 @@ impl Experiment for FigAnalytical {
         "hit rate vs wrong-path length on the trace model"
     }
 
-    fn jobs(&self, _rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, _rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for max_len in ANALYTICAL_LENS {
             for (tag, policy) in analytical_policies() {
@@ -733,7 +739,7 @@ impl Experiment for FigAnalytical {
         jobs
     }
 
-    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let policies = analytical_policies();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["wrong-path len".to_string()];
@@ -782,7 +788,7 @@ impl Experiment for FigFrontend {
         "repair speedup vs fetch-to-dispatch depth"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in frontend_specs(rs) {
             for d in FRONTEND_DEPTHS {
@@ -806,7 +812,7 @@ impl Experiment for FigFrontend {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
         for d in FRONTEND_DEPTHS {
@@ -883,7 +889,7 @@ impl Experiment for FigJourdan {
         "self-checkpointing stack vs contents checkpointing"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (tag, rp) in jourdan_configs() {
@@ -896,7 +902,7 @@ impl Experiment for FigJourdan {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let configs = jourdan_configs();
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string()];
@@ -957,7 +963,7 @@ impl Experiment for FigSmt {
         "2-hart SMT: RAS contention by sharing policy and repair"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in frontend_specs(rs) {
             for (rtag, repair) in smt_repairs() {
@@ -982,7 +988,7 @@ impl Experiment for FigSmt {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut header = vec!["benchmark".to_string(), "repair".to_string()];
         header.push("1-hart hit".to_string());
@@ -1068,7 +1074,7 @@ impl Experiment for FigSeeds {
         "repair comparison across workload seeds (mean ± stddev)"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for spec in WorkloadSpec::spec95_suite() {
             for (i, &seed) in self.seeds.iter().enumerate() {
@@ -1088,7 +1094,7 @@ impl Experiment for FigSeeds {
         jobs
     }
 
-    fn reduce(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, _rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         let mut h = Harvest::new(outputs);
         let mut t = Table::new(vec![
             "benchmark",
@@ -1146,7 +1152,7 @@ impl Experiment for FigCpi {
         "CPI stack and return-mispredict causes by repair policy"
     }
 
-    fn jobs(&self, rs: &RunSpec) -> Vec<SimJob> {
+    fn plan(&self, rs: &RunSpec) -> Vec<SimJob> {
         let mut jobs = Vec::new();
         for (spec, seed) in suite_specs(rs) {
             for (rtag, repair) in smt_repairs() {
@@ -1163,7 +1169,7 @@ impl Experiment for FigCpi {
         jobs
     }
 
-    fn reduce(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
+    fn harvest(&self, rs: &RunSpec, outputs: &[JobOutput]) -> Table {
         use hydra_pipeline::{LostCause, MispredictCause};
         let mut h = Harvest::new(outputs);
         let mut header = vec![
@@ -1244,12 +1250,12 @@ mod tests {
     #[test]
     fn job_counts_match_structure() {
         let rs = RunSpec::quick();
-        assert_eq!(Table1.jobs(&rs).len(), 0);
-        assert_eq!(Table2.jobs(&rs).len(), 8 * 2);
-        assert_eq!(FigRepair.jobs(&rs).len(), 8 * repair_ladder().len());
-        assert_eq!(FigAnalytical.jobs(&rs).len(), 6 * 5);
-        assert_eq!(FigSmt.jobs(&rs).len(), 4 * 6 * 4);
-        assert_eq!(FigSeeds::default().jobs(&rs).len(), 8 * 3 * 2);
-        assert_eq!(FigCpi.jobs(&rs).len(), 8 * 6);
+        assert_eq!(Table1.plan(&rs).len(), 0);
+        assert_eq!(Table2.plan(&rs).len(), 8 * 2);
+        assert_eq!(FigRepair.plan(&rs).len(), 8 * repair_ladder().len());
+        assert_eq!(FigAnalytical.plan(&rs).len(), 6 * 5);
+        assert_eq!(FigSmt.plan(&rs).len(), 4 * 6 * 4);
+        assert_eq!(FigSeeds::default().plan(&rs).len(), 8 * 3 * 2);
+        assert_eq!(FigCpi.plan(&rs).len(), 8 * 6);
     }
 }

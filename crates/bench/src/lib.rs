@@ -4,8 +4,8 @@
 //! Each artifact of *"Improving Prediction for Procedure Returns with
 //! Return-Address-Stack Repair Mechanisms"* (MICRO-31, 1998) is an
 //! [`Experiment`]: a named unit that decomposes into independent
-//! [`SimJob`]s (`jobs()`) and folds the outputs back into a rendered
-//! [`hydra_stats::Table`] (`reduce()`). The [`registry`] lists them all;
+//! [`SimJob`]s (`plan()`) and harvests the outputs back into a rendered
+//! [`hydra_stats::Table`] (`harvest()`). The [`registry`] lists them all;
 //! the single `expt` binary fronts the registry:
 //!
 //! ```text
@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod engine;
 pub mod error;
 pub mod experiments;
@@ -61,13 +62,18 @@ pub mod golden;
 pub mod perf;
 pub mod report;
 pub mod results;
+pub mod service;
+pub mod storm;
 
+pub use api::{handle, ApiError, Request, Response};
 pub use engine::{execute, run_job, EngineReport, Harvest, JobKind, JobOutput, SimJob};
 pub use error::Error;
 pub use experiments::{find, lookup, registry, run_experiment, Experiment, ExperimentRun};
 pub use golden::{diff, DiffOptions, GoldenError, Mismatch};
 pub use report::{render_report, write_report};
 pub use results::{Format, ResultSink, SCHEMA_VERSION};
+pub use service::ExptService;
+pub use storm::{storm, PhaseStats, StormOptions, StormReport};
 
 use hydra_pipeline::ReturnPredictor;
 use hydra_workloads::Workload;

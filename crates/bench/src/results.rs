@@ -1,6 +1,6 @@
 //! The schema-versioned structured-results layer.
 //!
-//! Every [`Experiment`](crate::Experiment) reduces to a typed
+//! Every [`Experiment`](crate::Experiment) harvests to a typed
 //! [`hydra_stats::Table`]; this module projects those tables into
 //! machine-readable documents and routes them through a [`ResultSink`]:
 //!
@@ -358,7 +358,7 @@ mod tests {
             .and_then(|e| e.get("jobs"))
             .and_then(Json::as_num)
             .unwrap();
-        assert_eq!(jobs as usize, e.jobs(&rs).len());
+        assert_eq!(jobs as usize, e.plan(&rs).len());
         assert!(doc.get("total").is_some());
     }
 

@@ -1,0 +1,139 @@
+//! The experiment adapter for the serve layer: maps HTTP request bodies
+//! onto the typed [`api`](crate::api) and the engine.
+//!
+//! [`hydra_serve`] is generic over a [`Service`]; this is the one the
+//! reproduction actually serves. The three hooks line up with the
+//! redesigned experiment API:
+//!
+//! * `key` — parse the body as a typed [`Request`] and return its
+//!   canonical content address ([`Request::cache_key`]), rejecting
+//!   unknown experiments up front so they never occupy cache or queue;
+//! * `cost` — [`api::job_count`]: how many engine jobs the request
+//!   would plan, checked against the server's per-request job budget
+//!   before admission;
+//! * `compute` — [`api::handle`]: plan → engine → harvest, rendered as
+//!   the pretty-printed schema-versioned result document (the same
+//!   bytes `expt --out` writes), which is what makes cached and fresh
+//!   responses indistinguishable.
+
+use hydra_serve::{Service, ServiceError};
+
+use crate::api::{self, ApiError, Request};
+use crate::experiments::lookup;
+
+/// The [`Service`] implementation serving the experiment registry.
+#[derive(Debug, Clone)]
+pub struct ExptService {
+    workers: usize,
+}
+
+impl ExptService {
+    /// A service that runs each computation on `workers` engine threads.
+    /// (The response is independent of the count — deterministic merge —
+    /// so this is purely a latency knob.)
+    pub fn new(workers: usize) -> Self {
+        ExptService {
+            workers: workers.max(1),
+        }
+    }
+
+    fn parse(&self, body: &str) -> Result<Request, ServiceError> {
+        Request::parse(body).map_err(to_service_error)
+    }
+}
+
+impl Service for ExptService {
+    fn key(&self, body: &str) -> Result<String, ServiceError> {
+        let request = self.parse(body)?;
+        lookup(&request.experiment).map_err(|_| {
+            to_service_error(ApiError::UnknownExperiment(request.experiment.clone()))
+        })?;
+        Ok(request.cache_key())
+    }
+
+    fn cost(&self, body: &str) -> Result<u64, ServiceError> {
+        let request = self.parse(body)?;
+        api::job_count(&request)
+            .map(|jobs| jobs as u64)
+            .map_err(to_service_error)
+    }
+
+    fn compute(&self, body: &str) -> Result<String, ServiceError> {
+        let request = self.parse(body)?;
+        let response = api::handle(&request, self.workers).map_err(to_service_error)?;
+        Ok(response.to_json().pretty())
+    }
+}
+
+/// Maps typed API rejections onto HTTP statuses: protocol problems are
+/// 400s, a well-formed request for a nonexistent experiment is a 404.
+fn to_service_error(e: ApiError) -> ServiceError {
+    let status = match &e {
+        ApiError::UnknownExperiment(_) => 404,
+        ApiError::Parse(_)
+        | ApiError::Schema { .. }
+        | ApiError::Missing(_)
+        | ApiError::Bad { .. } => 400,
+    };
+    ServiceError::new(status, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunSpec;
+
+    fn body(experiment: &str) -> String {
+        Request::new(
+            experiment,
+            RunSpec {
+                seed: 3,
+                fast_forward: 100,
+                horizon: 1_000,
+            },
+        )
+        .to_json()
+        .pretty()
+    }
+
+    #[test]
+    fn key_is_the_canonical_cache_key() {
+        let svc = ExptService::new(1);
+        let req = Request::parse(&body("table1")).unwrap();
+        assert_eq!(svc.key(&body("table1")).unwrap(), req.cache_key());
+    }
+
+    #[test]
+    fn key_rejects_unknown_experiments_with_404() {
+        let svc = ExptService::new(1);
+        let err = svc.key(&body("tabel1")).unwrap_err();
+        assert_eq!(err.status, 404);
+        assert!(err.message.contains("tabel1"));
+    }
+
+    #[test]
+    fn key_rejects_malformed_bodies_with_400() {
+        let svc = ExptService::new(1);
+        assert_eq!(svc.key("{not json").unwrap_err().status, 400);
+        assert_eq!(svc.key(r#"{"schema_version":9}"#).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn cost_counts_planned_jobs() {
+        let svc = ExptService::new(1);
+        assert_eq!(svc.cost(&body("table1")).unwrap(), 0);
+        assert_eq!(svc.cost(&body("table2")).unwrap(), 16);
+    }
+
+    #[test]
+    fn compute_returns_the_result_document() {
+        let svc = ExptService::new(1);
+        let out = svc.compute(&body("table1")).unwrap();
+        let doc = hydra_stats::Json::parse(&out).expect("response body is valid JSON");
+        assert_eq!(
+            doc.get("experiment").and_then(hydra_stats::Json::as_str),
+            Some("table1")
+        );
+        assert!(doc.get("table").is_some());
+    }
+}

@@ -1,0 +1,409 @@
+//! `expt storm`: a load generator for the serve layer.
+//!
+//! Replays mixed experiment traffic against a running `expt serve` in
+//! two phases over the same request population:
+//!
+//! * **cold** — first contact: every distinct request variant is sent
+//!   once, concurrently, so the server computes (or coalesces) each;
+//! * **hot** — repeated traffic: the configured request count is spread
+//!   round-robin over the same variants, which a content-addressed
+//!   cache should answer almost entirely with hits.
+//!
+//! Each phase reports client-observed p50/p95/p99 latency (a
+//! [`hydra_stats::Histogram`] in milliseconds), throughput (a
+//! [`hydra_stats::Meter`]), and the cache hit/miss/coalesced split read
+//! from the server's `X-Cache` response headers. The CLI renders the
+//! report and can gate on the hot-phase hit rate (`--min-hit-rate`,
+//! used by CI to prove the ≥90 % repeated-traffic target).
+//!
+//! The client is the same deliberately small HTTP subset the server
+//! speaks: one request per connection, `Connection: close` framing,
+//! plain `std::net::TcpStream`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hydra_stats::{Histogram, Json, Meter};
+
+use crate::api::Request;
+use crate::{Error, RunSpec};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct StormOptions {
+    /// Server address, e.g. `127.0.0.1:8091`.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Requests in the hot (repeated-traffic) phase.
+    pub requests: u64,
+    /// Distinct request variants (different seeds over the experiment
+    /// mix); the cold phase sends each exactly once.
+    pub distinct: u64,
+    /// Experiment names to mix, round-robin over variants.
+    pub experiments: Vec<String>,
+    /// Base workload seed; variant `v` runs at `seed + v`.
+    pub seed: u64,
+    /// Per-request sizing template (the seed field is overridden per
+    /// variant). Storm requests default to tiny runs — the point is
+    /// serving behavior, not simulation depth.
+    pub run: RunSpec,
+}
+
+impl StormOptions {
+    /// Defaults sized for a quick local or CI storm against `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        StormOptions {
+            addr: addr.into(),
+            concurrency: 8,
+            requests: 200,
+            distinct: 8,
+            experiments: vec!["table1".to_string(), "table2".to_string()],
+            seed: 12345,
+            run: RunSpec {
+                seed: 0,
+                fast_forward: 200,
+                horizon: 2_000,
+            },
+        }
+    }
+}
+
+/// What one phase observed, client-side.
+#[derive(Debug)]
+pub struct PhaseStats {
+    /// Phase name (`cold` / `hot`).
+    pub name: &'static str,
+    /// Requests sent.
+    pub sent: u64,
+    /// `200` responses.
+    pub ok: u64,
+    /// Responses with `X-Cache: hit`.
+    pub hits: u64,
+    /// Responses with `X-Cache: miss`.
+    pub misses: u64,
+    /// Responses with `X-Cache: coalesced`.
+    pub coalesced: u64,
+    /// Non-200 responses plus transport failures.
+    pub errors: u64,
+    /// Client-observed request latency, in milliseconds.
+    pub latency_ms: Histogram,
+    /// Wall-clock phase duration.
+    pub elapsed: Duration,
+}
+
+impl PhaseStats {
+    fn new(name: &'static str) -> Self {
+        PhaseStats {
+            name,
+            sent: 0,
+            ok: 0,
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            errors: 0,
+            latency_ms: Histogram::with_cap(2_000),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Fraction of sent requests answered from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.sent as f64
+        }
+    }
+
+    /// The phase as a JSON object (stable field names; `latency_ms` and
+    /// `throughput` reuse the Histogram/Meter projections).
+    pub fn to_json(&self) -> Json {
+        let mut throughput = Meter::new();
+        throughput.add(self.sent);
+        throughput.set_window(self.elapsed);
+        Json::obj([
+            ("name", Json::str(self.name)),
+            ("requests", Json::int(self.sent)),
+            ("ok", Json::int(self.ok)),
+            ("errors", Json::int(self.errors)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::int(self.hits)),
+                    ("misses", Json::int(self.misses)),
+                    ("coalesced", Json::int(self.coalesced)),
+                    ("hit_rate", Json::num(self.hit_rate())),
+                ]),
+            ),
+            ("latency_ms", self.latency_ms.to_json()),
+            ("throughput", throughput.to_json()),
+        ])
+    }
+
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        let pct = |p: f64| {
+            self.latency_ms
+                .percentile(p)
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        };
+        format!(
+            "storm {:<4} {:>5} requests in {:.2}s  hits {}/{} ({:.1}%)  \
+             miss {}  coalesced {}  errors {}  p50/p95/p99 = {}/{}/{} ms",
+            self.name,
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.hits,
+            self.sent,
+            self.hit_rate() * 100.0,
+            self.misses,
+            self.coalesced,
+            self.errors,
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
+        )
+    }
+}
+
+/// Both phases of one storm run.
+#[derive(Debug)]
+pub struct StormReport {
+    /// First-contact phase (one request per variant).
+    pub cold: PhaseStats,
+    /// Repeated-traffic phase.
+    pub hot: PhaseStats,
+}
+
+impl StormReport {
+    /// The full report document written as the CI latency artifact.
+    pub fn to_json(&self, opts: &StormOptions) -> Json {
+        Json::obj([
+            ("schema_version", Json::int(crate::results::SCHEMA_VERSION)),
+            ("tool", Json::str("expt storm")),
+            ("addr", Json::str(&opts.addr)),
+            ("concurrency", Json::int(opts.concurrency as u64)),
+            ("distinct", Json::int(opts.distinct)),
+            (
+                "experiments",
+                Json::arr(opts.experiments.iter().map(Json::str)),
+            ),
+            (
+                "run",
+                Json::obj([
+                    ("seed", Json::int(opts.seed)),
+                    ("fast_forward", Json::int(opts.run.fast_forward)),
+                    ("horizon", Json::int(opts.run.horizon)),
+                ]),
+            ),
+            (
+                "phases",
+                Json::arr([self.cold.to_json(), self.hot.to_json()]),
+            ),
+        ])
+    }
+}
+
+/// Runs the two-phase storm against `opts.addr`.
+///
+/// # Errors
+///
+/// [`Error::Usage`] when the options are inconsistent (no experiments,
+/// zero variants), [`Error::Io`] when the server cannot be reached at
+/// all (individual request failures are counted, not fatal).
+pub fn storm(opts: &StormOptions) -> Result<StormReport, Error> {
+    if opts.experiments.is_empty() {
+        return Err(Error::Usage("storm needs at least one experiment".into()));
+    }
+    if opts.requests == 0 || opts.distinct == 0 || opts.concurrency == 0 {
+        return Err(Error::Usage(
+            "storm needs --requests, --distinct, and --concurrency of at least 1".into(),
+        ));
+    }
+    probe(&opts.addr)?;
+
+    let cold = run_phase("cold", opts, opts.distinct);
+    let hot = run_phase("hot", opts, opts.requests);
+    Ok(StormReport { cold, hot })
+}
+
+/// `GET /healthz` once, so an unreachable or unhealthy server is a
+/// clean error instead of a storm of per-request failures.
+fn probe(addr: &str) -> Result<(), Error> {
+    let mut conn = TcpStream::connect(addr)
+        .map_err(|io| Error::io(format!("connecting to expt serve at {addr}"), io))?;
+    conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .map_err(|io| Error::io(format!("probing {addr}/healthz"), io))?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)
+        .map_err(|io| Error::io(format!("reading {addr}/healthz"), io))?;
+    if !reply.starts_with("HTTP/1.1 200") {
+        return Err(Error::Usage(format!(
+            "{addr}/healthz did not answer 200: {:?}",
+            reply.lines().next().unwrap_or("")
+        )));
+    }
+    Ok(())
+}
+
+/// Sends `total` requests (round-robin over the variant population)
+/// from `opts.concurrency` client threads and collects the stats.
+fn run_phase(name: &'static str, opts: &StormOptions, total: u64) -> PhaseStats {
+    let stats = Mutex::new(PhaseStats::new(name));
+    let next = AtomicU64::new(0);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..opts.concurrency {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                let outcome = send_one(opts, i % opts.distinct);
+                let mut stats = stats.lock().expect("storm stats lock");
+                stats.sent += 1;
+                match outcome {
+                    Ok((200, cache, latency)) => {
+                        stats.ok += 1;
+                        stats.latency_ms.record(latency.as_millis() as u64);
+                        match cache.as_deref() {
+                            Some("hit") => stats.hits += 1,
+                            Some("miss") => stats.misses += 1,
+                            Some("coalesced") => stats.coalesced += 1,
+                            _ => {}
+                        }
+                    }
+                    Ok((_, _, latency)) => {
+                        stats.errors += 1;
+                        stats.latency_ms.record(latency.as_millis() as u64);
+                    }
+                    Err(_) => stats.errors += 1,
+                }
+            });
+        }
+    });
+    let mut stats = stats.into_inner().expect("storm stats lock");
+    stats.elapsed = started.elapsed();
+    stats
+}
+
+/// One request for variant `v`: returns (status, `X-Cache` value,
+/// client-observed latency).
+fn send_one(opts: &StormOptions, v: u64) -> std::io::Result<(u16, Option<String>, Duration)> {
+    let experiment = &opts.experiments[(v as usize) % opts.experiments.len()];
+    let run = RunSpec {
+        seed: opts.seed + v,
+        ..opts.run
+    };
+    let body = Request::new(experiment.clone(), run).to_json().pretty();
+
+    let started = Instant::now();
+    let mut conn = TcpStream::connect(&opts.addr)?;
+    write!(
+        conn,
+        "POST /v1/experiments HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)?;
+    let latency = started.elapsed();
+
+    let (head, _) = reply.split_once("\r\n\r\n").unwrap_or((reply.as_str(), ""));
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cache = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("x-cache"))
+        .map(|(_, v)| v.trim().to_string());
+    Ok((status, cache, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_compute_hit_rate_and_render() {
+        let mut p = PhaseStats::new("hot");
+        p.sent = 10;
+        p.ok = 10;
+        p.hits = 9;
+        p.misses = 1;
+        for ms in [1u64, 2, 2, 3, 3, 3, 4, 4, 5, 40] {
+            p.latency_ms.record(ms);
+        }
+        p.elapsed = Duration::from_millis(500);
+        assert_eq!(p.hit_rate(), 0.9);
+        let line = p.summary();
+        assert!(line.contains("hits 9/10 (90.0%)"), "{line}");
+        assert!(line.contains("p50/p95/p99"), "{line}");
+
+        let doc = p.to_json();
+        assert_eq!(
+            doc.get("cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(Json::as_num),
+            Some(0.9)
+        );
+        assert_eq!(
+            doc.get("throughput")
+                .and_then(|t| t.get("per_sec"))
+                .and_then(Json::as_num),
+            Some(20.0)
+        );
+    }
+
+    #[test]
+    fn empty_phase_is_benign() {
+        let p = PhaseStats::new("cold");
+        assert_eq!(p.hit_rate(), 0.0);
+        assert!(p.summary().contains("p50/p95/p99 = -/-/-"));
+        assert!(Json::parse(&p.to_json().to_string()).is_ok());
+    }
+
+    #[test]
+    fn storm_rejects_inconsistent_options() {
+        let mut opts = StormOptions::new("127.0.0.1:1");
+        opts.experiments.clear();
+        assert!(matches!(storm(&opts), Err(Error::Usage(_))));
+
+        let mut opts = StormOptions::new("127.0.0.1:1");
+        opts.distinct = 0;
+        assert!(matches!(storm(&opts), Err(Error::Usage(_))));
+    }
+
+    #[test]
+    fn storm_fails_cleanly_when_no_server_listens() {
+        // Port 1 is essentially never bound; connect must fail fast and
+        // map to a typed Io error naming the address.
+        let opts = StormOptions::new("127.0.0.1:1");
+        match storm(&opts) {
+            Err(Error::Io { what, .. }) => assert!(what.contains("127.0.0.1:1"), "{what}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_lists_both_phases() {
+        let report = StormReport {
+            cold: PhaseStats::new("cold"),
+            hot: PhaseStats::new("hot"),
+        };
+        let doc = report.to_json(&StormOptions::new("127.0.0.1:9"));
+        let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_num),
+            Some(crate::results::SCHEMA_VERSION as f64)
+        );
+    }
+}

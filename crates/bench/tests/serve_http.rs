@@ -1,0 +1,225 @@
+//! The experiment service over real sockets: an in-process hydra-serve
+//! server fronting [`ExptService`], driven by a plain `std::net`
+//! client — the same wire traffic `expt serve` handles.
+//!
+//! The load-bearing assertion is byte-identity: the body served on a
+//! cache hit must equal the cold-computed body, which must equal what
+//! the in-process API returns. That chain is exactly why the
+//! content-addressed cache is sound.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use hydra_bench::api::{handle, Request};
+use hydra_bench::{ExptService, RunSpec};
+use hydra_serve::{serve, Config, ServerHandle};
+use hydra_stats::Json;
+
+fn start(config: Config) -> ServerHandle {
+    serve("127.0.0.1:0", Arc::new(ExptService::new(2)), config).expect("bind ephemeral port")
+}
+
+fn tiny(seed: u64) -> RunSpec {
+    RunSpec {
+        seed,
+        fast_forward: 100,
+        horizon: 1_000,
+    }
+}
+
+/// One POST round-trip; returns (status, x-cache, body).
+fn post(addr: SocketAddr, body: &str) -> (u16, Option<String>, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "POST /v1/experiments HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("read reply");
+    let (head, payload) = reply.split_once("\r\n\r\n").expect("framed reply");
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let cache = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("x-cache"))
+        .map(|(_, v)| v.trim().to_string());
+    (status, cache, payload.to_string())
+}
+
+#[test]
+fn served_response_matches_the_in_process_api_byte_for_byte() {
+    let server = start(Config::default());
+    let request = Request::new("table2", tiny(5));
+
+    let (status, cache, served) = post(server.addr(), &request.to_json().pretty());
+    assert_eq!(status, 200);
+    assert_eq!(cache.as_deref(), Some("miss"));
+
+    let in_process = handle(&request, 2)
+        .expect("table2 handles")
+        .to_json()
+        .pretty();
+    assert_eq!(
+        served, in_process,
+        "the wire body must be the in-process result document, byte for byte"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cache_hit_bodies_are_byte_identical_to_the_cold_computation() {
+    let server = start(Config::default());
+    let body = Request::new("table2", tiny(7)).to_json().pretty();
+
+    let (cold_status, cold_cache, cold) = post(server.addr(), &body);
+    assert_eq!((cold_status, cold_cache.as_deref()), (200, Some("miss")));
+    assert_eq!(server.computed_count(), 1);
+
+    // A field-order permutation of the same request is the same content
+    // address: served from cache, byte-identical, nothing recomputed.
+    let permuted = {
+        let doc = Json::parse(&body).unwrap();
+        let run = doc.get("run").unwrap();
+        Json::obj([
+            ("run", run.clone()),
+            ("experiment", doc.get("experiment").unwrap().clone()),
+            ("schema_version", doc.get("schema_version").unwrap().clone()),
+        ])
+        .pretty()
+    };
+    let (hot_status, hot_cache, hot) = post(server.addr(), &permuted);
+    assert_eq!((hot_status, hot_cache.as_deref()), (200, Some("hit")));
+    assert_eq!(
+        hot, cold,
+        "cache hit must be byte-identical to the cold compute"
+    );
+    assert_eq!(server.computed_count(), 1, "the hit computed nothing");
+
+    // A different seed is a different address: fresh computation.
+    let (other_status, other_cache, other) = post(
+        server.addr(),
+        &Request::new("table2", tiny(8)).to_json().pretty(),
+    );
+    assert_eq!((other_status, other_cache.as_deref()), (200, Some("miss")));
+    assert_ne!(other, cold);
+    assert_eq!(server.computed_count(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn identical_concurrent_experiment_requests_share_one_engine_run() {
+    let server = start(Config {
+        workers: 1,
+        ..Config::default()
+    });
+    let addr = server.addr();
+    // Slow enough to still be in flight when the followers arrive.
+    let body = Request::new("fig-repair", tiny(11)).to_json().pretty();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || post(addr, &body))
+        })
+        .collect();
+    let replies: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let first = &replies[0].2;
+    for (status, _, reply_body) in &replies {
+        assert_eq!(*status, 200);
+        assert_eq!(reply_body, first, "coalesced bodies must be byte-identical");
+    }
+    // Some requests may arrive after the computation finished (cache
+    // hits); the invariant is that the service computed at most once.
+    assert_eq!(
+        server.computed_count(),
+        1,
+        "identical concurrent requests must not multiply engine work"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn job_budget_refuses_wide_plans_with_413() {
+    // table2 plans 16 jobs; a budget of 4 must refuse it before any
+    // engine work, while table1 (0 jobs) passes.
+    let server = start(Config {
+        job_budget: 4,
+        ..Config::default()
+    });
+
+    let (status, _, body) = post(
+        server.addr(),
+        &Request::new("table2", tiny(1)).to_json().pretty(),
+    );
+    assert_eq!(status, 413);
+    assert!(body.contains("budget"), "body: {body}");
+    assert_eq!(server.computed_count(), 0);
+
+    let (ok_status, _, _) = post(
+        server.addr(),
+        &Request::new("table1", tiny(1)).to_json().pretty(),
+    );
+    assert_eq!(ok_status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn api_rejections_surface_as_http_statuses() {
+    let server = start(Config::default());
+    let addr = server.addr();
+
+    let (status, _, body) = post(addr, &Request::new("tabel2", tiny(1)).to_json().pretty());
+    assert_eq!(status, 404, "unknown experiment");
+    assert!(body.contains("tabel2"));
+
+    let (status, _, _) = post(addr, "{this is not json");
+    assert_eq!(status, 400);
+
+    let (status, _, body) = post(
+        addr,
+        r#"{"schema_version":99,"experiment":"table1","run":{"seed":1,"fast_forward":0,"horizon":0}}"#,
+    );
+    assert_eq!(status, 400, "wrong schema_version");
+    assert!(body.contains("schema_version"));
+
+    assert_eq!(
+        server.computed_count(),
+        0,
+        "rejections never reach the engine"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_reflect_experiment_traffic() {
+    let server = start(Config::default());
+    let addr = server.addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    assert!(reply.ends_with("ok\n"), "{reply}");
+
+    let body = Request::new("table1", tiny(2)).to_json().pretty();
+    let _ = post(addr, &body);
+    let _ = post(addr, &body);
+
+    let doc = server.metrics_json();
+    let num = |a: &str, b: &str| doc.get(a).and_then(|v| v.get(b)).and_then(Json::as_num);
+    assert_eq!(num("cache", "hits"), Some(1.0));
+    assert_eq!(num("cache", "misses"), Some(1.0));
+    assert_eq!(num("engine", "computed"), Some(1.0));
+    server.shutdown();
+}

@@ -1,0 +1,116 @@
+//! The content-addressed result cache.
+//!
+//! Keys are the [`Service::key`](crate::Service::key) content addresses
+//! (canonical-form hashes), values are complete response bodies. Because
+//! a response is a pure function of its request, a stored body never goes
+//! stale — the only reason to drop one is capacity, so eviction is plain
+//! FIFO over insertion order: the simplest policy that bounds memory,
+//! and repeated-traffic phases (the workload this server exists for)
+//! re-insert hot keys quickly after any eviction.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A bounded map from content address to response body.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a server without a cache is a
+    /// different deployment, not an empty cache.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        ResultCache {
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The stored body for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.map.get(key).cloned()
+    }
+
+    /// Stores `body` under `key`, evicting the oldest entry at capacity.
+    /// Re-inserting an existing key refreshes the body without growing
+    /// the cache.
+    pub fn insert(&mut self, key: &str, body: String) {
+        if self.map.insert(key.to_string(), body).is_some() {
+            return;
+        }
+        self.order.push_back(key.to_string());
+        while self.map.len() > self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_returns_bodies() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.insert("k", "body".into());
+        assert_eq!(c.get("k"), Some("body".into()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", "1".into());
+        c.insert("b", "2".into());
+        c.insert("c", "3".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), None, "oldest entry is evicted first");
+        assert_eq!(c.get("b"), Some("2".into()));
+        assert_eq!(c.get("c"), Some("3".into()));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", "1".into());
+        c.insert("a", "updated".into());
+        c.insert("b", "2".into());
+        c.insert("c", "3".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), None, "a was still the oldest insertion");
+        assert_eq!(c.get("c"), Some("3".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = ResultCache::new(0);
+    }
+}

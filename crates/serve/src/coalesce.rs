@@ -1,0 +1,196 @@
+//! Request coalescing: identical in-flight requests share one
+//! computation.
+//!
+//! The first request for a content address becomes the **leader** — it
+//! owns enqueuing the computation. Every later request for the same
+//! address while that computation is in flight becomes a **follower**
+//! and just waits on the leader's [`Slot`]. When the result is
+//! published, all waiters wake with a clone of the same body — which is
+//! sound for the same reason the cache is: responses are pure functions
+//! of the request, so there is nothing request-specific to lose by
+//! sharing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::ServiceError;
+
+/// One in-flight computation's result cell: filled exactly once,
+/// then broadcast to every waiter.
+#[derive(Debug, Default)]
+pub struct Slot {
+    done: Mutex<Option<Result<String, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    /// Blocks until the result is published, up to `timeout` (`None`
+    /// waits forever). Returns `None` on timeout — the computation keeps
+    /// running and will still fill the cache for later requests.
+    pub fn wait(&self, timeout: Option<Duration>) -> Option<Result<String, ServiceError>> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut done = self.done.lock().expect("slot lock");
+        loop {
+            if let Some(result) = done.as_ref() {
+                return Some(result.clone());
+            }
+            match deadline {
+                None => done = self.cv.wait(done).expect("slot lock"),
+                Some(deadline) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return None;
+                    }
+                    let (guard, timed_out) = self.cv.wait_timeout(done, left).expect("slot lock");
+                    done = guard;
+                    if timed_out.timed_out() && done.is_none() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn publish(&self, result: Result<String, ServiceError>) {
+        let mut done = self.done.lock().expect("slot lock");
+        debug_assert!(done.is_none(), "slot published twice");
+        *done = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Whether a claim made this request the leader or a follower.
+#[derive(Debug)]
+pub enum Claim {
+    /// First request for this key: caller must compute (or publish the
+    /// failure) and then [`Inflight::publish`].
+    Leader(Arc<Slot>),
+    /// A computation for this key is already in flight: wait on it.
+    Follower(Arc<Slot>),
+}
+
+/// The in-flight computation table, keyed by content address.
+#[derive(Debug, Default)]
+pub struct Inflight {
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+}
+
+impl Inflight {
+    /// An empty table.
+    pub fn new() -> Self {
+        Inflight::default()
+    }
+
+    /// Claims `key`: the first caller becomes the leader, everyone else
+    /// a follower on the same slot.
+    pub fn claim(&self, key: &str) -> Claim {
+        let mut slots = self.slots.lock().expect("inflight lock");
+        match slots.get(key) {
+            Some(slot) => Claim::Follower(Arc::clone(slot)),
+            None => {
+                let slot = Arc::new(Slot::default());
+                slots.insert(key.to_string(), Arc::clone(&slot));
+                Claim::Leader(slot)
+            }
+        }
+    }
+
+    /// Publishes the leader's result: retires the key so later requests
+    /// go to the cache (or start fresh), then wakes every waiter.
+    ///
+    /// The key is removed *before* the broadcast; a request that arrives
+    /// in between becomes a new leader and — on the success path — hits
+    /// the cache that was filled before publishing.
+    pub fn publish(&self, key: &str, slot: &Arc<Slot>, result: Result<String, ServiceError>) {
+        self.slots.lock().expect("inflight lock").remove(key);
+        slot.publish(result);
+    }
+
+    /// Number of distinct keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("inflight lock").len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn first_claim_leads_rest_follow() {
+        let inflight = Inflight::new();
+        let leader = match inflight.claim("k") {
+            Claim::Leader(slot) => slot,
+            Claim::Follower(_) => panic!("first claim must lead"),
+        };
+        assert!(matches!(inflight.claim("k"), Claim::Follower(_)));
+        assert!(matches!(inflight.claim("other"), Claim::Leader(_)));
+        assert_eq!(inflight.len(), 2);
+        inflight.publish("k", &leader, Ok("body".into()));
+        assert_eq!(inflight.len(), 1);
+        // Retired: the next claim for the key leads again.
+        assert!(matches!(inflight.claim("k"), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn waiters_all_receive_the_published_result() {
+        let inflight = Arc::new(Inflight::new());
+        let leader = match inflight.claim("k") {
+            Claim::Leader(slot) => slot,
+            Claim::Follower(_) => unreachable!(),
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = match inflight.claim("k") {
+                    Claim::Follower(slot) => slot,
+                    Claim::Leader(_) => unreachable!(),
+                };
+                thread::spawn(move || slot.wait(None))
+            })
+            .collect();
+        inflight.publish("k", &leader, Ok("shared".into()));
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Some(Ok("shared".into())));
+        }
+    }
+
+    #[test]
+    fn wait_after_publish_returns_immediately() {
+        let inflight = Inflight::new();
+        let leader = match inflight.claim("k") {
+            Claim::Leader(slot) => slot,
+            Claim::Follower(_) => unreachable!(),
+        };
+        let late = Arc::clone(&leader);
+        inflight.publish("k", &leader, Ok("early".into()));
+        assert_eq!(
+            late.wait(Some(Duration::from_millis(1))),
+            Some(Ok("early".into()))
+        );
+    }
+
+    #[test]
+    fn wait_times_out_without_a_result() {
+        let slot = Slot::default();
+        assert_eq!(slot.wait(Some(Duration::from_millis(10))), None);
+    }
+
+    #[test]
+    fn errors_broadcast_like_successes() {
+        let inflight = Inflight::new();
+        let leader = match inflight.claim("k") {
+            Claim::Leader(slot) => slot,
+            Claim::Follower(_) => unreachable!(),
+        };
+        let err = ServiceError::new(503, "shed");
+        inflight.publish("k", &leader, Err(err.clone()));
+        assert_eq!(leader.wait(None), Some(Err(err)));
+    }
+}

@@ -1,0 +1,326 @@
+//! A deliberately small HTTP/1.1 implementation over std I/O.
+//!
+//! The serve layer needs exactly four things from HTTP: parse a request
+//! head, read a `Content-Length` body, write a response, and fail
+//! loudly on anything outside that subset. Hand-rolling those ~200
+//! lines keeps the workspace at zero network build dependencies (the
+//! container vendors no crates), and the strictness is a feature: every
+//! request either parses into an [`HttpRequest`] or maps to a precise
+//! 4xx via [`HttpError`].
+//!
+//! Out of scope on purpose: chunked transfer encoding, keep-alive
+//! (every response carries `Connection: close`), TLS, and HTTP/2. The
+//! load generator and CI smoke clients speak the same subset.
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request: method, target, headers, UTF-8 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (`/healthz`, `/v1/experiments`, ...).
+    pub target: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line.
+    Closed,
+    /// The bytes on the wire were not the supported HTTP subset.
+    Malformed(String),
+    /// The declared body length exceeds the server's limit.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Server limit.
+        limit: usize,
+    },
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed before a request line"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(why: impl Into<String>) -> HttpError {
+    HttpError::Malformed(why.into())
+}
+
+/// Reads one request from `r`.
+///
+/// # Errors
+///
+/// [`HttpError::Closed`] on a clean EOF before any bytes, otherwise the
+/// parse or transport failure.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<HttpRequest, HttpError> {
+    let request_line = match read_line(r)? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| malformed("request line has no target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| malformed("request line has no version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!(
+            "unsupported request line {request_line:?}"
+        )));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(malformed(format!("unsupported method {method:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| malformed("eof inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= 100 {
+            return Err(malformed("more than 100 headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed(format!("header line without a colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = HttpRequest {
+        method,
+        target,
+        headers,
+        body: String::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let declared: usize = len
+            .parse()
+            .map_err(|_| malformed(format!("bad content-length {len:?}")))?;
+        if declared > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        r.read_exact(&mut body)?;
+        request.body = String::from_utf8(body).map_err(|_| malformed("body is not valid UTF-8"))?;
+    }
+    Ok(request)
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line; `None` on clean EOF.
+/// Lines are capped at 8 KiB — nothing in the protocol needs more.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(malformed("eof mid-line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(
+                        String::from_utf8(line)
+                            .map_err(|_| malformed("header bytes are not valid UTF-8"))?,
+                    ));
+                }
+                if line.len() >= 8192 {
+                    return Err(malformed("line longer than 8192 bytes"));
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// The reason phrase for every status this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response with `Content-Length` framing and
+/// `Connection: close`, plus any `extra` headers (`X-Cache`,
+/// `Retry-After`, ...).
+///
+/// # Errors
+///
+/// Propagates transport failures from `w`.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "Connection: close\r\n\r\n")?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let req = parse(
+            "POST /v1/experiments HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse("GET / HTTP/1.1\r\nX-ThInG: v\r\n\r\n").unwrap();
+        assert_eq!(req.header("x-thing"), Some("v"));
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse("GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_by_declared_length() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(HttpError::BodyTooLarge {
+                declared: 9999,
+                limit: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(parse(raw), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Cache", "hit".to_string())],
+            "{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nX-Cache: hit\r\nConnection: close\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn reasons_cover_emitted_statuses() {
+        for status in [200, 400, 404, 405, 413, 500, 503, 504] {
+            assert_ne!(reason(status), "Unknown");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulation-as-a-service substrate for the HydraScalar reproduction.
+//!
+//! Every result in this workspace is a **pure function of its request**:
+//! the simulator is deterministic and the experiment engine merges job
+//! outputs in plan order, so the same request always yields the same
+//! bytes. This crate turns that property into a long-running service:
+//!
+//! * a hand-rolled HTTP/1.1 server over `std::net::TcpListener` — zero
+//!   network build dependencies ([`http`]);
+//! * a content-addressed result cache: repeated queries are near-free,
+//!   and a cache hit is *byte-identical* to a cold computation
+//!   ([`cache`]);
+//! * request coalescing: identical in-flight requests share one
+//!   computation ([`coalesce`]);
+//! * a bounded compute queue with backpressure — a full queue answers
+//!   `503` + `Retry-After` instead of growing without bound
+//!   ([`queue`]);
+//! * per-request job budgets (`413`) and wait timeouts (`504`);
+//! * `/healthz` and a `/metrics` document built on the workspace's
+//!   [`hydra_stats::Histogram`] machinery ([`metrics`]).
+//!
+//! The crate is generic over what it serves: a [`Service`] maps request
+//! bodies to content addresses and response bodies. The experiment
+//! adapter (requests = schema-versioned experiment documents, compute =
+//! plan → engine → harvest) lives in `hydra-bench`, which wires this
+//! server up as `expt serve`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_serve::{serve, Config, Service, ServiceError};
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//! use std::sync::Arc;
+//!
+//! struct Upper;
+//! impl Service for Upper {
+//!     fn key(&self, body: &str) -> Result<String, ServiceError> {
+//!         Ok(body.to_string())
+//!     }
+//!     fn compute(&self, body: &str) -> Result<String, ServiceError> {
+//!         Ok(body.to_uppercase())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let handle = serve("127.0.0.1:0", Arc::new(Upper), Config::default())?;
+//! let mut conn = TcpStream::connect(handle.addr())?;
+//! write!(conn, "POST /v1/experiments HTTP/1.1\r\nContent-Length: 5\r\n\r\nhydra")?;
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply)?; // Connection: close frames the reply
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.ends_with("HYDRA"));
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use coalesce::{Claim, Inflight, Slot};
+pub use metrics::Metrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{serve, ServerHandle, EXPERIMENTS_PATH};
+
+/// What the server serves: a pure mapping from request bodies to
+/// response bodies, plus the content address that makes responses
+/// cacheable.
+///
+/// The contract the cache and coalescer rely on: `compute` must be a
+/// **pure function** of the body as seen through `key` — two bodies with
+/// equal keys must compute byte-identical responses. The experiment
+/// adapter gets this for free from the engine's deterministic merge.
+pub trait Service: Send + Sync + 'static {
+    /// The content address of `body` (for the experiment service: the
+    /// canonical-form SHA-256 of the typed request).
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] (usually status 400) for bodies that do not
+    /// parse as a request at all.
+    fn key(&self, body: &str) -> Result<String, ServiceError>;
+
+    /// An admission-control cost estimate for `body` — engine jobs, for
+    /// the experiment service. Checked against [`Config::job_budget`]
+    /// *before* the request is queued. The default costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] when the cost cannot be determined.
+    fn cost(&self, body: &str) -> Result<u64, ServiceError> {
+        let _ = body;
+        Ok(0)
+    }
+
+    /// Computes the response body for `body`. Runs on a worker thread;
+    /// the result is cached under [`Service::key`] and broadcast to
+    /// every coalesced waiter.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`]; failures are *not* cached.
+    fn compute(&self, body: &str) -> Result<String, ServiceError>;
+}
+
+/// A service-level failure, carrying the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// HTTP status code (400 bad request, 404 unknown experiment, 413
+    /// over budget, 500 internal).
+    pub status: u16,
+    /// Human-readable explanation, returned in the error body.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// An error with `status` and `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        ServiceError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Server sizing and policy knobs; `Config::default()` is sized for
+/// tests and local serving.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Threads accepting and answering connections (each handles one
+    /// connection at a time, end to end).
+    pub handler_threads: usize,
+    /// Compute worker threads pulling from the bounded queue.
+    pub workers: usize,
+    /// Bounded-queue depth; a full queue sheds with `503`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Per-request engine-job budget ([`Service::cost`] above this is
+    /// refused with `413`); `0` disables the check.
+    pub job_budget: u64,
+    /// How long a handler waits for a result before answering `504`;
+    /// `0` waits forever. The computation always runs to completion and
+    /// fills the cache either way.
+    pub timeout_ms: u64,
+    /// Value of the `Retry-After` header on `503` responses, in seconds.
+    pub retry_after_secs: u64,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            handler_threads: 4,
+            workers: 2,
+            queue_depth: 32,
+            cache_capacity: 1024,
+            job_budget: 0,
+            timeout_ms: 0,
+            retry_after_secs: 1,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}

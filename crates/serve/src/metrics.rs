@@ -1,0 +1,227 @@
+//! Server metrics: request outcome counters plus latency histograms,
+//! rendered as the `/metrics` JSON document.
+//!
+//! Latencies are recorded in whole milliseconds into
+//! [`hydra_stats::Histogram`]s (exact buckets below two seconds, one
+//! overflow bucket above — the same machinery every experiment report
+//! uses), so `/metrics` reports p50/p95/p99 with the stable field names
+//! the rest of the workspace already emits.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hydra_stats::{Histogram, Json};
+
+/// Exact-bucket cap for latency histograms: two seconds in ms.
+const LATENCY_CAP_MS: usize = 2_000;
+
+/// Thread-safe server metrics; one instance per server.
+#[derive(Debug)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    shed: u64,
+    timeouts: u64,
+    rejected: u64,
+    computed: u64,
+    compute_errors: u64,
+    request_ms: Histogram,
+    compute_ms: Histogram,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            inner: Mutex::new(Inner {
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+                shed: 0,
+                timeouts: 0,
+                rejected: 0,
+                computed: 0,
+                compute_errors: 0,
+                request_ms: Histogram::with_cap(LATENCY_CAP_MS),
+                compute_ms: Histogram::with_cap(LATENCY_CAP_MS),
+            }),
+        }
+    }
+
+    fn with(&self, f: impl FnOnce(&mut Inner)) {
+        f(&mut self.inner.lock().expect("metrics lock"));
+    }
+
+    /// A request answered straight from the result cache.
+    pub fn hit(&self, latency: Duration) {
+        self.with(|m| {
+            m.hits += 1;
+            m.request_ms.record(latency.as_millis() as u64);
+        });
+    }
+
+    /// A request that led a fresh computation.
+    pub fn miss(&self, latency: Duration) {
+        self.with(|m| {
+            m.misses += 1;
+            m.request_ms.record(latency.as_millis() as u64);
+        });
+    }
+
+    /// A request that shared another request's in-flight computation.
+    pub fn coalesced(&self, latency: Duration) {
+        self.with(|m| {
+            m.coalesced += 1;
+            m.request_ms.record(latency.as_millis() as u64);
+        });
+    }
+
+    /// A request shed with 503 because the queue was full.
+    pub fn shed(&self) {
+        self.with(|m| m.shed += 1);
+    }
+
+    /// A request that gave up waiting (504); the computation continues.
+    pub fn timeout(&self) {
+        self.with(|m| m.timeouts += 1);
+    }
+
+    /// A request rejected before computing (4xx: malformed, unknown
+    /// experiment, over budget).
+    pub fn rejected(&self) {
+        self.with(|m| m.rejected += 1);
+    }
+
+    /// One service computation finished (success or failure), with its
+    /// compute-side latency.
+    pub fn computed(&self, elapsed: Duration, ok: bool) {
+        self.with(|m| {
+            m.computed += 1;
+            if !ok {
+                m.compute_errors += 1;
+            }
+            m.compute_ms.record(elapsed.as_millis() as u64);
+        });
+    }
+
+    /// Number of computations run so far (the coalescing tests assert on
+    /// this: N identical concurrent requests must raise it by one).
+    pub fn computed_count(&self) -> u64 {
+        self.inner.lock().expect("metrics lock").computed
+    }
+
+    /// Cache hits so far.
+    pub fn hit_count(&self) -> u64 {
+        self.inner.lock().expect("metrics lock").hits
+    }
+
+    /// The `/metrics` document. `queue_len`/`queue_capacity` are sampled
+    /// by the caller (the queue lives in the server, not here).
+    pub fn to_json(&self, queue_len: usize, queue_capacity: usize, cached: usize) -> Json {
+        let m = self.inner.lock().expect("metrics lock");
+        let lookups = m.hits + m.misses + m.coalesced;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            m.hits as f64 / lookups as f64
+        };
+        Json::obj([
+            (
+                "requests",
+                Json::obj([
+                    ("served", Json::int(lookups)),
+                    ("shed", Json::int(m.shed)),
+                    ("timeouts", Json::int(m.timeouts)),
+                    ("rejected", Json::int(m.rejected)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::int(m.hits)),
+                    ("misses", Json::int(m.misses)),
+                    ("coalesced", Json::int(m.coalesced)),
+                    ("hit_rate", Json::num(hit_rate)),
+                    ("entries", Json::int(cached as u64)),
+                ]),
+            ),
+            (
+                "engine",
+                Json::obj([
+                    ("computed", Json::int(m.computed)),
+                    ("compute_errors", Json::int(m.compute_errors)),
+                    ("queue_len", Json::int(queue_len as u64)),
+                    ("queue_capacity", Json::int(queue_capacity as u64)),
+                ]),
+            ),
+            ("request_ms", m.request_ms.to_json()),
+            ("compute_ms", m.compute_ms.to_json()),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_outcome_class() {
+        let m = Metrics::new();
+        m.hit(Duration::from_millis(1));
+        m.hit(Duration::from_millis(2));
+        m.miss(Duration::from_millis(40));
+        m.coalesced(Duration::from_millis(30));
+        m.shed();
+        m.timeout();
+        m.rejected();
+        m.computed(Duration::from_millis(35), true);
+        m.computed(Duration::from_millis(5), false);
+
+        let doc = m.to_json(3, 8, 1);
+        let get = |path: &[&str]| {
+            let mut cur = doc.clone();
+            for p in path {
+                cur = cur.get(p).expect(p).clone();
+            }
+            cur.as_num().unwrap()
+        };
+        assert_eq!(get(&["requests", "served"]), 4.0);
+        assert_eq!(get(&["requests", "shed"]), 1.0);
+        assert_eq!(get(&["requests", "timeouts"]), 1.0);
+        assert_eq!(get(&["requests", "rejected"]), 1.0);
+        assert_eq!(get(&["cache", "hits"]), 2.0);
+        assert_eq!(get(&["cache", "hit_rate"]), 0.5);
+        assert_eq!(get(&["cache", "entries"]), 1.0);
+        assert_eq!(get(&["engine", "computed"]), 2.0);
+        assert_eq!(get(&["engine", "compute_errors"]), 1.0);
+        assert_eq!(get(&["engine", "queue_len"]), 3.0);
+        assert_eq!(get(&["engine", "queue_capacity"]), 8.0);
+        assert_eq!(get(&["request_ms", "count"]), 4.0);
+        assert_eq!(get(&["compute_ms", "count"]), 2.0);
+        assert_eq!(m.computed_count(), 2);
+        assert_eq!(m.hit_count(), 2);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_hit_rate() {
+        let doc = Metrics::new().to_json(0, 8, 0);
+        assert_eq!(
+            doc.get("cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(Json::as_num),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! The server: accept loop, request routing, and the compute pipeline
+//! (cache → coalesce → bounded queue → sim workers).
+//!
+//! Thread model: `handler_threads` acceptors each own a clone of the
+//! listener and handle one connection at a time end-to-end (parse,
+//! route, wait for the result, respond; every response closes the
+//! connection). `workers` compute threads pull jobs from the
+//! [`BoundedQueue`] and run [`Service::compute`]. The only coupling
+//! between the two pools is the queue (bounded, for backpressure) and
+//! the coalescing slots (so a handler can wait for a computation some
+//! other request started).
+//!
+//! The request walk for `POST /v1/experiments`:
+//!
+//! 1. `Service::key` → content address (4xx on a malformed body);
+//! 2. cache probe → `200` with `X-Cache: hit` on a hit;
+//! 3. `Service::cost` vs. the configured job budget → `413` if over;
+//! 4. claim the address in the in-flight table: the leader enqueues
+//!    (full queue → `503` + `Retry-After`, broadcast to any followers),
+//!    followers just wait (`X-Cache: coalesced`);
+//! 5. wait on the slot up to the configured timeout → `504` on
+//!    expiry (the computation keeps running and still fills the cache);
+//! 6. a worker computes, fills the cache, and publishes to the slot.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use hydra_stats::Json;
+
+use crate::cache::ResultCache;
+use crate::coalesce::{Claim, Inflight, Slot};
+use crate::http::{read_request, write_response, HttpError, HttpRequest};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::{Config, Service, ServiceError};
+
+/// The POST target that runs an experiment.
+pub const EXPERIMENTS_PATH: &str = "/v1/experiments";
+
+/// One queued computation: the request body plus the slot to publish to.
+struct ComputeJob {
+    key: String,
+    body: String,
+    slot: Arc<Slot>,
+}
+
+/// Everything shared between handler and worker threads.
+struct Shared {
+    service: Arc<dyn Service>,
+    config: Config,
+    cache: Mutex<ResultCache>,
+    inflight: Inflight,
+    queue: BoundedQueue<ComputeJob>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping the handle leaks the threads, so call
+/// [`ServerHandle::shutdown`] when done.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handlers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+/// the handler and worker pools.
+///
+/// # Errors
+///
+/// Propagates socket errors from binding or cloning the listener.
+pub fn serve(addr: &str, service: Arc<dyn Service>, config: Config) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+        inflight: Inflight::new(),
+        queue: BoundedQueue::new(config.queue_depth),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let mut handlers = Vec::with_capacity(shared.config.handler_threads);
+    for i in 0..shared.config.handler_threads {
+        let shared = Arc::clone(&shared);
+        let listener = listener.try_clone()?;
+        handlers.push(
+            thread::Builder::new()
+                .name(format!("serve-handler-{i}"))
+                .spawn(move || handler_loop(&shared, &listener))
+                .expect("spawn handler thread"),
+        );
+    }
+    let mut workers = Vec::with_capacity(shared.config.workers);
+    for i in 0..shared.config.workers {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread"),
+        );
+    }
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        handlers,
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current `/metrics` document (also available over HTTP).
+    pub fn metrics_json(&self) -> Json {
+        metrics_doc(&self.shared)
+    }
+
+    /// Number of [`Service::compute`] runs so far — what the coalescing
+    /// tests assert on.
+    pub fn computed_count(&self) -> u64 {
+        self.shared.metrics.computed_count()
+    }
+
+    /// Stops accepting, drains queued work, and joins every thread.
+    ///
+    /// In-flight requests complete normally: handlers are joined first
+    /// (workers still running, so their waits resolve), then the queue
+    /// closes and workers drain it.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // One wake-up connection per handler unblocks every accept().
+        for _ in &self.handlers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.handlers {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn handler_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // A stuck peer must not pin a handler forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        handle_connection(shared, stream);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let started = Instant::now();
+        let result = shared.service.compute(&job.body);
+        shared.metrics.computed(started.elapsed(), result.is_ok());
+        if let Ok(body) = &result {
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(&job.key, body.clone());
+        }
+        shared.inflight.publish(&job.key, &job.slot, result);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut out = stream;
+    let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::Closed) => return,
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            shared.metrics.rejected();
+            respond_error(
+                &mut out,
+                413,
+                &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                &[],
+            );
+            return;
+        }
+        Err(HttpError::Malformed(why)) => {
+            shared.metrics.rejected();
+            respond_error(&mut out, 400, &why, &[]);
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    route(shared, &mut out, &request);
+}
+
+fn route(shared: &Shared, out: &mut TcpStream, request: &HttpRequest) {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_response(out, 200, "text/plain", &[], "ok\n");
+        }
+        ("GET", "/metrics") => {
+            let body = metrics_doc(shared).pretty();
+            let _ = write_response(out, 200, "application/json", &[], &body);
+        }
+        ("POST", EXPERIMENTS_PATH) => handle_experiment(shared, out, &request.body),
+        (_, "/healthz" | "/metrics" | EXPERIMENTS_PATH) => {
+            shared.metrics.rejected();
+            respond_error(
+                out,
+                405,
+                &format!("method {} not allowed here", request.method),
+                &[],
+            );
+        }
+        (_, target) => {
+            shared.metrics.rejected();
+            respond_error(out, 404, &format!("no such resource {target:?}"), &[]);
+        }
+    }
+}
+
+fn handle_experiment(shared: &Shared, out: &mut TcpStream, body: &str) {
+    let started = Instant::now();
+    let key = match shared.service.key(body) {
+        Ok(key) => key,
+        Err(e) => {
+            shared.metrics.rejected();
+            respond_error(out, e.status, &e.message, &[]);
+            return;
+        }
+    };
+
+    if let Some(cached) = shared.cache.lock().expect("cache lock").get(&key) {
+        shared.metrics.hit(started.elapsed());
+        let _ = write_response(
+            out,
+            200,
+            "application/json",
+            &[("X-Cache", "hit".to_string())],
+            &cached,
+        );
+        return;
+    }
+
+    if shared.config.job_budget > 0 {
+        match shared.service.cost(body) {
+            Ok(cost) if cost > shared.config.job_budget => {
+                shared.metrics.rejected();
+                respond_error(
+                    out,
+                    413,
+                    &format!(
+                        "request plans {cost} engine jobs, over the budget of {}",
+                        shared.config.job_budget
+                    ),
+                    &[],
+                );
+                return;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                shared.metrics.rejected();
+                respond_error(out, e.status, &e.message, &[]);
+                return;
+            }
+        }
+    }
+
+    let (slot, cache_state) = match shared.inflight.claim(&key) {
+        Claim::Leader(slot) => {
+            let job = ComputeJob {
+                key: key.clone(),
+                body: body.to_string(),
+                slot: Arc::clone(&slot),
+            };
+            if let Err(refusal) = shared.queue.try_push(job) {
+                let why = match refusal {
+                    PushError::Full => "compute queue is full",
+                    PushError::Closed => "server is shutting down",
+                };
+                // Followers already waiting on this slot get the same
+                // refusal; the key retires so a retry can lead afresh.
+                shared
+                    .inflight
+                    .publish(&key, &slot, Err(ServiceError::new(503, why)));
+                shared.metrics.shed();
+                respond_error(out, 503, why, &retry_after(shared));
+                return;
+            }
+            (slot, "miss")
+        }
+        Claim::Follower(slot) => (slot, "coalesced"),
+    };
+
+    let timeout = match shared.config.timeout_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    match slot.wait(timeout) {
+        None => {
+            shared.metrics.timeout();
+            respond_error(
+                out,
+                504,
+                &format!(
+                    "no result within {} ms; the computation continues and will be cached",
+                    shared.config.timeout_ms
+                ),
+                &[],
+            );
+        }
+        Some(Ok(body)) => {
+            match cache_state {
+                "miss" => shared.metrics.miss(started.elapsed()),
+                _ => shared.metrics.coalesced(started.elapsed()),
+            }
+            let _ = write_response(
+                out,
+                200,
+                "application/json",
+                &[("X-Cache", cache_state.to_string())],
+                &body,
+            );
+        }
+        Some(Err(e)) => {
+            let extra = if e.status == 503 {
+                shared.metrics.shed();
+                retry_after(shared)
+            } else {
+                shared.metrics.rejected();
+                Vec::new()
+            };
+            respond_error(out, e.status, &e.message, &extra);
+        }
+    }
+}
+
+fn retry_after(shared: &Shared) -> Vec<(&'static str, String)> {
+    vec![("Retry-After", shared.config.retry_after_secs.to_string())]
+}
+
+fn respond_error(out: &mut impl Write, status: u16, message: &str, extra: &[(&str, String)]) {
+    let body = Json::obj([
+        ("status", Json::int(u64::from(status))),
+        ("error", Json::str(message)),
+    ])
+    .pretty();
+    let _ = write_response(out, status, "application/json", extra, &body);
+}
+
+fn metrics_doc(shared: &Shared) -> Json {
+    shared.metrics.to_json(
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.cache.lock().expect("cache lock").len(),
+    )
+}

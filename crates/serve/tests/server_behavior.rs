@@ -1,0 +1,385 @@
+//! End-to-end behavior of the serve substrate over real sockets, using
+//! gated stub services so concurrency is forced, not hoped for: compute
+//! blocks on a condvar the test controls, which guarantees requests
+//! overlap (coalescing) or pile up (backpressure) exactly when the
+//! assertions run.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hydra_serve::{serve, Config, Service, ServiceError};
+
+/// A parsed HTTP response: status, lowercased headers, body.
+struct Reply {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: String,
+}
+
+/// One round-trip: connect, send, read to EOF (`Connection: close`
+/// frames every reply), parse.
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Reply {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> Reply {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+}
+
+fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> Reply {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(raw.as_bytes()).expect("send");
+    let mut text = String::new();
+    conn.read_to_string(&mut text).expect("read reply");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// A service whose compute blocks until the test opens its gate, and
+/// counts how often compute ran.
+struct Gated {
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: Mutex<u64>,
+    entered_cv: Condvar,
+}
+
+impl Gated {
+    fn new() -> Arc<Self> {
+        Arc::new(Gated {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: Mutex::new(0),
+            entered_cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `n` computations have *started* (are inside the
+    /// gate), so the test knows the worker is occupied.
+    fn await_entered(&self, n: u64) {
+        let mut entered = self.entered.lock().unwrap();
+        while *entered < n {
+            let (guard, timeout) = self
+                .entered_cv
+                .wait_timeout(entered, Duration::from_secs(5))
+                .unwrap();
+            entered = guard;
+            assert!(!timeout.timed_out(), "compute never started");
+        }
+    }
+}
+
+/// Newtype so the foreign `Service` trait can be implemented (orphan
+/// rule) while the test keeps its own handle on the gate.
+struct GatedService(Arc<Gated>);
+
+impl Service for GatedService {
+    fn key(&self, body: &str) -> Result<String, ServiceError> {
+        Ok(body.to_string())
+    }
+
+    fn compute(&self, body: &str) -> Result<String, ServiceError> {
+        let gate = &self.0;
+        {
+            let mut entered = gate.entered.lock().unwrap();
+            *entered += 1;
+            gate.entered_cv.notify_all();
+        }
+        let mut open = gate.open.lock().unwrap();
+        while !*open {
+            let (guard, timeout) = gate.cv.wait_timeout(open, Duration::from_secs(5)).unwrap();
+            open = guard;
+            assert!(!timeout.timed_out(), "test never opened the gate");
+        }
+        Ok(format!("computed:{body}"))
+    }
+}
+
+fn small_config() -> Config {
+    Config {
+        handler_threads: 8,
+        workers: 1,
+        queue_depth: 8,
+        cache_capacity: 16,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn identical_concurrent_requests_compute_once_with_identical_bodies() {
+    let gate = Gated::new();
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::new(GatedService(Arc::clone(&gate))),
+        small_config(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Leader in flight and parked inside compute...
+    let clients: Vec<_> = (0..6)
+        .map(|_| thread::spawn(move || post(addr, "/v1/experiments", "same-request")))
+        .collect();
+    gate.await_entered(1);
+    // ...while the rest of the pack arrives and coalesces behind it.
+    thread::sleep(Duration::from_millis(100));
+    gate.open();
+
+    let replies: Vec<Reply> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for reply in &replies {
+        assert_eq!(reply.status, 200);
+        assert_eq!(
+            reply.body, "computed:same-request",
+            "every waiter gets the one computed body, byte-identical"
+        );
+    }
+    assert_eq!(
+        handle.computed_count(),
+        1,
+        "six identical concurrent requests must share one computation"
+    );
+    // Every reply declares how it was satisfied; at most one computed.
+    let misses = replies
+        .iter()
+        .filter(|r| r.headers.get("x-cache").map(String::as_str) == Some("miss"))
+        .count();
+    assert_eq!(misses, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    let gate = Gated::new();
+    let config = Config {
+        handler_threads: 8,
+        workers: 1,
+        queue_depth: 1,
+        cache_capacity: 16,
+        retry_after_secs: 7,
+        ..Config::default()
+    };
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::new(GatedService(Arc::clone(&gate))),
+        config,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // "a" occupies the only worker (parked in the gate), "b" fills the
+    // one-deep queue, so "c" must be shed — memory use stays bounded no
+    // matter how many more distinct requests arrive.
+    let a = thread::spawn(move || post(addr, "/v1/experiments", "a"));
+    gate.await_entered(1);
+    let b = thread::spawn(move || post(addr, "/v1/experiments", "b"));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let queued = handle
+            .metrics_json()
+            .get("engine")
+            .and_then(|e| e.get("queue_len"))
+            .and_then(hydra_stats::Json::as_num);
+        if queued == Some(1.0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "b never reached the queue");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    let c = post(addr, "/v1/experiments", "c");
+    assert_eq!(c.status, 503);
+    assert_eq!(
+        c.headers.get("retry-after").map(String::as_str),
+        Some("7"),
+        "shed responses tell the client when to come back"
+    );
+
+    gate.open();
+    assert_eq!(a.join().unwrap().status, 200);
+    assert_eq!(b.join().unwrap().status, 200, "queued work still completes");
+    handle.shutdown();
+}
+
+#[test]
+fn timed_out_requests_get_504_but_the_result_is_still_cached() {
+    let gate = Gated::new();
+    let config = Config {
+        timeout_ms: 50,
+        ..small_config()
+    };
+    let handle = serve(
+        "127.0.0.1:0",
+        Arc::new(GatedService(Arc::clone(&gate))),
+        config,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let slow = post(addr, "/v1/experiments", "slow");
+    assert_eq!(slow.status, 504, "the gate outlasts the 50 ms budget");
+
+    // The abandoned computation still runs to completion and fills the
+    // cache; a retry is a hit.
+    gate.open();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.computed_count() < 1 {
+        assert!(Instant::now() < deadline, "computation never finished");
+        thread::sleep(Duration::from_millis(5));
+    }
+    let retry = post(addr, "/v1/experiments", "slow");
+    assert_eq!(retry.status, 200);
+    assert_eq!(
+        retry.headers.get("x-cache").map(String::as_str),
+        Some("hit")
+    );
+    assert_eq!(retry.body, "computed:slow");
+    assert_eq!(handle.computed_count(), 1);
+    handle.shutdown();
+}
+
+/// A service with per-body cost and failure modes, for the admission
+/// and error paths.
+struct Quirky;
+
+impl Service for Quirky {
+    fn key(&self, body: &str) -> Result<String, ServiceError> {
+        if body == "unparseable" {
+            return Err(ServiceError::new(400, "not a request"));
+        }
+        Ok(body.to_string())
+    }
+
+    fn cost(&self, body: &str) -> Result<u64, ServiceError> {
+        Ok(body.len() as u64)
+    }
+
+    fn compute(&self, body: &str) -> Result<String, ServiceError> {
+        if body == "boom" {
+            return Err(ServiceError::new(500, "compute exploded"));
+        }
+        Ok(format!("ok:{body}"))
+    }
+}
+
+#[test]
+fn over_budget_requests_are_refused_before_queueing() {
+    let config = Config {
+        job_budget: 5,
+        ..small_config()
+    };
+    let handle = serve("127.0.0.1:0", Arc::new(Quirky), config).unwrap();
+    let addr = handle.addr();
+
+    let over = post(addr, "/v1/experiments", "0123456789");
+    assert_eq!(over.status, 413);
+    assert!(over.body.contains("budget"), "body: {}", over.body);
+    assert_eq!(handle.computed_count(), 0, "never queued, never computed");
+
+    let under = post(addr, "/v1/experiments", "tiny");
+    assert_eq!(under.status, 200);
+    assert_eq!(under.body, "ok:tiny");
+    handle.shutdown();
+}
+
+#[test]
+fn service_errors_map_to_their_statuses_and_are_not_cached() {
+    let handle = serve("127.0.0.1:0", Arc::new(Quirky), small_config()).unwrap();
+    let addr = handle.addr();
+
+    assert_eq!(post(addr, "/v1/experiments", "unparseable").status, 400);
+
+    let boom = post(addr, "/v1/experiments", "boom");
+    assert_eq!(boom.status, 500);
+    assert!(boom.body.contains("compute exploded"));
+    let again = post(addr, "/v1/experiments", "boom");
+    assert_eq!(again.status, 500);
+    assert_eq!(
+        handle.computed_count(),
+        2,
+        "failures are recomputed, not served from the cache"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn repeat_requests_hit_the_cache_byte_identically() {
+    let handle = serve("127.0.0.1:0", Arc::new(Quirky), small_config()).unwrap();
+    let addr = handle.addr();
+
+    let cold = post(addr, "/v1/experiments", "req");
+    assert_eq!(cold.status, 200);
+    assert_eq!(
+        cold.headers.get("x-cache").map(String::as_str),
+        Some("miss")
+    );
+    let warm = post(addr, "/v1/experiments", "req");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.headers.get("x-cache").map(String::as_str), Some("hit"));
+    assert_eq!(
+        warm.body, cold.body,
+        "hit must be byte-identical to the cold compute"
+    );
+    assert_eq!(handle.computed_count(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_metrics_and_unknown_routes() {
+    let handle = serve("127.0.0.1:0", Arc::new(Quirky), small_config()).unwrap();
+    let addr = handle.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let _ = post(addr, "/v1/experiments", "warm");
+    let _ = post(addr, "/v1/experiments", "warm");
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let doc = hydra_stats::Json::parse(&metrics.body).expect("metrics is valid JSON");
+    let hits = doc
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(hydra_stats::Json::as_num);
+    assert_eq!(hits, Some(1.0));
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(
+        get(addr, "/v1/experiments").status,
+        405,
+        "GET on a POST route"
+    );
+    assert_eq!(roundtrip(addr, "garbage\r\n\r\n").status, 400);
+    handle.shutdown();
+}

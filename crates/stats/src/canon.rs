@@ -1,0 +1,249 @@
+//! Canonical JSON form and content addressing.
+//!
+//! The serving layer caches result documents by the *content* of the
+//! request: two requests that mean the same thing must hash to the same
+//! key, no matter how a client happened to serialize them. The [`Json`]
+//! writer is already deterministic for a given tree, but two trees can
+//! denote the same document and still differ in representation:
+//!
+//! * **member order** — `{"a":1,"b":2}` vs `{"b":2,"a":1}`;
+//! * **number spelling** — `1.50`, `1.5`, and `15e-1` all parse to the
+//!   same `f64`.
+//!
+//! [`canonical`] erases both: objects are re-serialized with members
+//! sorted by key (recursively), and numbers go through the parsed `f64`
+//! and the writer's normal form (integral values without a fraction,
+//! shortest round-trip otherwise). [`content_hash`] is the SHA-256 of
+//! those canonical bytes, in lowercase hex — the cache key.
+//!
+//! SHA-256 is hand-rolled here (FIPS 180-4, safe code only) because the
+//! build environment vendors no crypto crates; it is used for content
+//! addressing, not for any adversarial security property.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydra_stats::{canonical, content_hash, Json};
+//!
+//! let a = Json::parse(r#"{"seed": 7, "name": "gcc"}"#).unwrap();
+//! let b = Json::parse(r#"{"name": "gcc", "seed": 7.0}"#).unwrap();
+//! assert_eq!(canonical(&a), r#"{"name":"gcc","seed":7}"#);
+//! assert_eq!(content_hash(&a), content_hash(&b));
+//! ```
+
+use crate::Json;
+
+/// Serializes `doc` in canonical form: compact, object members sorted by
+/// key at every level, numbers in the writer's normal form.
+pub fn canonical(doc: &Json) -> String {
+    normalize(doc).to_string()
+}
+
+/// The canonical content address of `doc`: lowercase-hex SHA-256 over
+/// [`canonical`] bytes. Equal for any two trees denoting the same
+/// document; different whenever any field value differs.
+pub fn content_hash(doc: &Json) -> String {
+    hex(&sha256(canonical(doc).as_bytes()))
+}
+
+/// Rebuilds the tree with object members sorted by key, recursively.
+/// Duplicate keys keep their first occurrence (the strict parser never
+/// produces them from a well-formed client, and [`Json::get`] resolves
+/// to the first too, so the hash matches lookup semantics).
+fn normalize(doc: &Json) -> Json {
+    match doc {
+        Json::Obj(members) => {
+            let mut sorted: Vec<(String, Json)> = Vec::with_capacity(members.len());
+            for (k, v) in members {
+                if !sorted.iter().any(|(seen, _)| seen == k) {
+                    sorted.push((k.clone(), normalize(v)));
+                }
+            }
+            sorted.sort_by(|(a, _), (b, _)| a.cmp(b));
+            Json::Obj(sorted)
+        }
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Lowercase hex of a byte string.
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// SHA-256 (FIPS 180-4) over `data`.
+fn sha256(data: &[u8]) -> [u8; 32] {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Pad: 0x80, zeros, then the bit length as a big-endian u64.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        // FIPS 180-4 / NIST CAVP reference digests.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A multi-block message (> 64 bytes) exercises the chaining.
+        let long = vec![b'a'; 1_000];
+        assert_eq!(
+            hex(&sha256(&long)),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+        );
+    }
+
+    #[test]
+    fn canonical_sorts_members_recursively() {
+        let doc = Json::parse(r#"{"b":{"y":1,"x":2},"a":[{"q":1,"p":2}]}"#).unwrap();
+        assert_eq!(
+            canonical(&doc),
+            r#"{"a":[{"p":2,"q":1}],"b":{"x":2,"y":1}}"#
+        );
+    }
+
+    #[test]
+    fn canonical_normalizes_number_spellings() {
+        let a = Json::parse(r#"{"v": 1.50}"#).unwrap();
+        let b = Json::parse(r#"{"v": 15e-1}"#).unwrap();
+        let c = Json::parse(r#"{"v": 60000.0}"#).unwrap();
+        assert_eq!(canonical(&a), r#"{"v":1.5}"#);
+        assert_eq!(canonical(&a), canonical(&b));
+        assert_eq!(canonical(&c), r#"{"v":60000}"#);
+    }
+
+    #[test]
+    fn content_hash_is_member_order_insensitive() {
+        let a =
+            Json::parse(r#"{"experiment":"fig-repair","run":{"seed":7,"horizon":100}}"#).unwrap();
+        let b =
+            Json::parse(r#"{"run":{"horizon":100,"seed":7},"experiment":"fig-repair"}"#).unwrap();
+        assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_values() {
+        let a = Json::parse(r#"{"experiment":"fig-repair","run":{"seed":7}}"#).unwrap();
+        let b = Json::parse(r#"{"experiment":"fig-repair","run":{"seed":8}}"#).unwrap();
+        let c = Json::parse(r#"{"experiment":"table4","run":{"seed":7}}"#).unwrap();
+        assert_ne!(content_hash(&a), content_hash(&b));
+        assert_ne!(content_hash(&a), content_hash(&c));
+    }
+
+    #[test]
+    fn content_hash_is_stable_hex() {
+        let doc = Json::obj([("k", Json::int(1))]);
+        let h = content_hash(&doc);
+        assert_eq!(h.len(), 64);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        // Pinned: the canonical bytes are {"k":1}.
+        assert_eq!(h, hex(&sha256(br#"{"k":1}"#)));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_occurrence() {
+        // Json::get resolves duplicates to the first member; the hash
+        // must agree with that view of the document.
+        let dup = Json::Obj(vec![
+            ("k".to_string(), Json::int(1)),
+            ("k".to_string(), Json::int(2)),
+        ]);
+        assert_eq!(canonical(&dup), r#"{"k":1}"#);
+    }
+}

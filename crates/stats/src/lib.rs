@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canon;
 mod counter;
 mod histogram;
 mod json;
@@ -41,6 +42,7 @@ mod meter;
 mod summary;
 mod table;
 
+pub use canon::{canonical, content_hash};
 pub use counter::{Counter, Ratio};
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};

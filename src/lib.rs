@@ -21,7 +21,14 @@
 //! * [`stats`] (`hydra-stats`) — counters and report tables;
 //! * [`trace`] (`hydra-trace`) — zero-cost-when-off event tracing,
 //!   metrics, and the leveled stderr logger (enable recording with the
-//!   `trace` cargo feature).
+//!   `trace` cargo feature);
+//! * [`bench`] (`hydra-bench`) — the experiment harness behind the
+//!   `expt` binary: every table and figure of the paper as a registered
+//!   experiment, plus the typed programmatic API ([`Request`] /
+//!   [`Response`]);
+//! * [`serve`] (`hydra-serve`) — the HTTP/1.1 simulation server behind
+//!   `expt serve`: content-addressed result cache, request coalescing,
+//!   and a bounded compute queue with backpressure.
 //!
 //! The most commonly used types are also re-exported at the crate root.
 //!
@@ -84,19 +91,55 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Programmatic experiment API
+//!
+//! The paper's tables and figures are registered experiments, runnable
+//! in-process through a schema-versioned [`Request`] / [`Response`]
+//! pair. A request is a pure value — (experiment name, run spec) — and
+//! because the simulator is deterministic, the response is a pure
+//! function of it; [`Request::cache_key`] is the content address that
+//! `expt serve` caches results under.
+//!
+//! ```
+//! use hydrascalar::bench::api::handle;
+//! use hydrascalar::bench::RunSpec;
+//! use hydrascalar::{Request, Response};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let run = RunSpec::builder().seed(7).fast_forward(200).horizon(2_000).build();
+//! let request = Request::new("table1", run);
+//!
+//! // Run the experiment in-process (one worker is plenty here) and get
+//! // back the same result document `expt` writes and `expt serve`
+//! // serves.
+//! let response = handle(&request, 1)?;
+//! assert_eq!(response.experiment, "table1");
+//! assert!(!response.title.is_empty());
+//!
+//! // The document round-trips losslessly, and the content address is a
+//! // stable function of the request value.
+//! assert_eq!(Response::from_json(&response.to_json()), Ok(response));
+//! assert_eq!(request.cache_key(), Request::new("table1", run).cache_key());
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hydra_bench as bench;
 pub use hydra_bpred as bpred;
 pub use hydra_isa as isa;
 pub use hydra_mem as mem;
 pub use hydra_pipeline as pipeline;
+pub use hydra_serve as serve;
 pub use hydra_stats as stats;
 pub use hydra_trace as trace;
 pub use hydra_workloads as workloads;
 pub use ras_core as ras;
 
+pub use hydra_bench::{Request, Response, RunSpec};
 pub use hydra_isa::{Addr, FastCore, FunctionalCore, Inst, Machine, Program, ProgramBuilder, Reg};
 pub use hydra_pipeline::{
     Core, CoreConfig, CoreConfigBuilder, CoreHandle, HartId, MultipathConfig, RasSharing,
